@@ -1,0 +1,63 @@
+// Ablation of SE's starting point and allocation breadth.
+//
+// Two questions the paper leaves open:
+//   1. Does seeding SE with a constructive heuristic's solution (HEFT)
+//      instead of a random initial solution help? (run_from vs run)
+//   2. How much of the allocation breadth (Y) is actually needed once the
+//      start is good?
+#include <iostream>
+
+#include "core/options.h"
+#include "core/table.h"
+#include "heuristics/heft.h"
+#include "se/se.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace sehc;
+  const Options opts(argc, argv, {"iterations", "seed"});
+  const auto iterations = static_cast<std::size_t>(
+      opts.get_int("iterations", static_cast<std::int64_t>(scaled(100, 10))));
+  const auto seed = opts.get_seed("seed", 42);
+
+  std::cout << "=== Ablation: initial solution x allocation breadth Y ===\n\n";
+
+  struct Case {
+    const char* name;
+    WorkloadParams params;
+  };
+  const std::vector<Case> cases{
+      {"high-conn", paper_fig5_high_connectivity(seed)},
+      {"low-all", paper_fig7_low_everything(seed)},
+  };
+
+  for (const Case& c : cases) {
+    const Workload w = make_workload(c.params);
+    const Schedule heft = heft_schedule(w);
+    const SolutionString heft_seeded = heft.to_solution();
+    std::cout << "--- " << c.name << " (" << c.params.describe()
+              << "), HEFT alone = " << format_fixed(heft.makespan, 1)
+              << " ---\n";
+
+    Table table({"init", "Y", "best_makespan", "seconds"});
+    for (std::size_t y : {2u, 5u, 0u}) {  // 0 = all machines
+      for (bool seeded : {false, true}) {
+        SeParams p;
+        p.seed = seed;
+        p.y_limit = y;
+        p.max_iterations = iterations;
+        SeEngine engine(w, p);
+        const SeResult r =
+            seeded ? engine.run_from(heft_seeded) : engine.run();
+        table.begin_row()
+            .add(seeded ? "HEFT-seeded" : "random")
+            .add(y == 0 ? std::string("all") : std::to_string(y))
+            .add(r.best_makespan, 1)
+            .add(r.seconds, 2);
+      }
+    }
+    table.write_markdown(std::cout);
+    std::cout << "\n";
+  }
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Ablation of the selection bias B (paper §4.4).
+//
+// The paper prescribes negative B (-0.1..-0.3) for small problems and
+// positive B (0..0.1) for large ones. This bench sweeps B on one small and
+// one large workload and reports final quality, runtime and mean selected
+// count — making the thoroughness/speed trade-off the bias controls visible.
+#include <iostream>
+
+#include "core/options.h"
+#include "core/table.h"
+#include "se/se.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sehc;
+
+void sweep(const char* label, const WorkloadParams& wp,
+           std::size_t iterations) {
+  const Workload w = make_workload(wp);
+  std::cout << "--- " << label << " (" << wp.describe() << "), " << iterations
+            << " iterations ---\n";
+  Table table({"bias", "best_makespan", "seconds", "mean_selected"});
+  for (double bias : {-0.3, -0.2, -0.1, 0.0, 0.05, 0.1}) {
+    SeParams p;
+    p.seed = wp.seed;
+    p.bias = bias;
+    p.max_iterations = iterations;
+    const SeResult r = SeEngine(w, p).run();
+    double selected = 0.0;
+    for (const auto& row : r.trace)
+      selected += static_cast<double>(row.num_selected);
+    table.begin_row()
+        .add(bias, 2)
+        .add(r.best_makespan, 1)
+        .add(r.seconds, 2)
+        .add(selected / static_cast<double>(r.trace.size()), 1);
+  }
+  table.write_markdown(std::cout);
+  std::cout << "\n";
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sehc;
+  const Options opts(argc, argv, {"iterations", "seed"});
+  const auto iterations = static_cast<std::size_t>(
+      opts.get_int("iterations", static_cast<std::int64_t>(scaled(120, 15))));
+  const auto seed = opts.get_seed("seed", 42);
+
+  std::cout << "=== Ablation: selection bias B ===\n\n";
+  sweep("small workload", paper_small(seed), iterations * 3);
+  sweep("large workload", paper_large_high_connectivity(seed), iterations);
+  return 0;
+}

@@ -1,0 +1,14 @@
+// Reproduces Figure 5 of the paper (§5.3): best schedule length found by SE
+// and by GA as real time increases, on a 100-task / 20-machine workload of
+// HIGH connectivity.
+//
+// Expected shape (paper): SE reaches better schedules earlier than GA on
+// highly connected workloads; the curves approach each other as time grows.
+#include "se_vs_ga_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sehc;
+  return bench::run_se_vs_ga(bench::parse_config(
+      argc, argv, "Figure 5", "SE vs GA, high connectivity (100 tasks, 20 machines)",
+      &paper_fig5_high_connectivity, /*default_budget=*/4.0));
+}

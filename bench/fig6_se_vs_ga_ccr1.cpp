@@ -1,0 +1,14 @@
+// Reproduces Figure 6 of the paper (§5.3): SE vs GA anytime comparison on a
+// 100-task / 20-machine workload with CCR = 1 (communication cost comparable
+// to computation cost — heavily communicating subtasks).
+//
+// Expected shape (paper): SE finds better schedules with less time on
+// high-CCR workloads.
+#include "se_vs_ga_common.h"
+
+int main(int argc, char** argv) {
+  using namespace sehc;
+  return bench::run_se_vs_ga(bench::parse_config(
+      argc, argv, "Figure 6", "SE vs GA, CCR = 1 (100 tasks, 20 machines)",
+      &paper_fig6_ccr1, /*default_budget=*/4.0));
+}

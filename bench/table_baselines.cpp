@@ -1,0 +1,44 @@
+// Extension table: the full scheduler suite (SE, GA, HEFT, CPOP, levelized
+// mappers, SA, random search) on representative workload classes, with
+// quality normalized to the per-workload best and to the makespan lower
+// bound. This contextualizes the paper's two heuristics inside the broader
+// baseline landscape of its survey references [4][5].
+#include <iostream>
+
+#include "core/options.h"
+#include "exp/runner.h"
+#include "workload/generator.h"
+
+int main(int argc, char** argv) {
+  using namespace sehc;
+  const Options opts(argc, argv, {"budget", "seed"});
+  const auto budget = static_cast<std::size_t>(
+      opts.get_int("budget", static_cast<std::int64_t>(scaled(150, 10))));
+  const auto seed = opts.get_seed("seed", 42);
+
+  std::cout << "=== Baseline comparison: all schedulers, iterative budget "
+            << budget << " ===\n\n";
+
+  struct Case {
+    const char* name;
+    WorkloadParams params;
+  };
+  const std::vector<Case> cases{
+      {"high-conn", paper_fig5_high_connectivity(seed)},
+      {"ccr1", paper_fig6_ccr1(seed)},
+      {"low-all", paper_fig7_low_everything(seed)},
+      {"small", paper_small(seed)},
+  };
+
+  std::vector<RunRecord> all;
+  const auto suite = make_all_schedulers(budget, seed);
+  for (const Case& c : cases) {
+    const Workload w = make_workload(c.params);
+    auto records = run_suite(w, c.name, suite);
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  records_to_table(all).write_markdown(std::cout);
+  std::cout << "\n(vs_best: ratio to best scheduler on that workload; vs_lb: "
+               "ratio to makespan lower bound)\n";
+  return 0;
+}

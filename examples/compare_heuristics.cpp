@@ -1,0 +1,52 @@
+// Runs the full scheduler suite (SE, GA, HEFT, CPOP, min-min, max-min, MCT,
+// OLB, SA, random search) on a workload class of your choice and prints the
+// comparison table.
+//
+//   $ ./compare_heuristics [--tasks 60] [--machines 10] [--conn high]
+//                          [--het medium] [--ccr 0.5] [--budget 80]
+//                          [--seeds 3]
+#include <iostream>
+
+#include "core/options.h"
+#include "exp/runner.h"
+#include "workload/generator.h"
+
+namespace {
+
+sehc::Level level_from(const std::string& s) {
+  if (s == "low") return sehc::Level::kLow;
+  if (s == "medium") return sehc::Level::kMedium;
+  if (s == "high") return sehc::Level::kHigh;
+  throw sehc::Error("expected low|medium|high, got " + s);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace sehc;
+  const Options opts(argc, argv, {"tasks", "machines", "conn", "het", "ccr",
+                                  "budget", "seeds"});
+  WorkloadParams wp;
+  wp.tasks = static_cast<std::size_t>(opts.get_int("tasks", 60));
+  wp.machines = static_cast<std::size_t>(opts.get_int("machines", 10));
+  wp.connectivity = level_from(opts.get("conn", "high"));
+  wp.heterogeneity = level_from(opts.get("het", "medium"));
+  wp.ccr = opts.get_double("ccr", 0.5);
+  const auto budget =
+      static_cast<std::size_t>(opts.get_int("budget", 80));
+  const auto seeds = static_cast<std::size_t>(opts.get_int("seeds", 3));
+
+  std::cout << "Comparing all schedulers on " << wp.describe() << " over "
+            << seeds << " seeds (iterative budget " << budget << ")\n\n";
+
+  std::vector<RunRecord> all;
+  for (std::size_t i = 0; i < seeds; ++i) {
+    wp.seed = 100 + i;
+    const Workload w = make_workload(wp);
+    const auto suite = make_all_schedulers(budget, wp.seed);
+    auto records = run_suite(w, "seed" + std::to_string(wp.seed), suite);
+    all.insert(all.end(), records.begin(), records.end());
+  }
+  records_to_table(all).write_markdown(std::cout);
+  return 0;
+}

@@ -1,0 +1,20 @@
+#include "core/error.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sehc {
+
+void throw_error(const std::string& message, std::source_location loc) {
+  throw Error(std::string(loc.file_name()) + ":" + std::to_string(loc.line()) +
+              ": " + message);
+}
+
+void assert_fail(const char* expr, const char* file, int line,
+                 const std::string& message) {
+  std::fprintf(stderr, "sehc: invariant violated: %s at %s:%d%s%s\n", expr,
+               file, line, message.empty() ? "" : " -- ", message.c_str());
+  std::abort();
+}
+
+}  // namespace sehc

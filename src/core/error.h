@@ -1,0 +1,52 @@
+// Error handling primitives for the sehc library.
+//
+// Two layers:
+//   * sehc::Error         -- exception thrown on API misuse or invalid input
+//                            (bad workload files, inconsistent matrices, ...).
+//   * SEHC_ASSERT(cond)   -- internal invariant check. Active in all build
+//                            types; the algorithms here are cheap relative to
+//                            the cost of silently producing an invalid
+//                            schedule, so we keep invariant checks on.
+#pragma once
+
+#include <source_location>
+#include <stdexcept>
+#include <string>
+
+namespace sehc {
+
+/// Exception type thrown by all sehc components on invalid input or misuse.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+/// Throws sehc::Error with a formatted location prefix. Used by SEHC_CHECK.
+[[noreturn]] void throw_error(const std::string& message,
+                              std::source_location loc = std::source_location::current());
+
+/// Aborts with a diagnostic. Used by SEHC_ASSERT for internal invariants.
+[[noreturn]] void assert_fail(const char* expr,
+                              const char* file,
+                              int line,
+                              const std::string& message);
+
+}  // namespace sehc
+
+/// Validates a user-facing precondition; throws sehc::Error on failure.
+#define SEHC_CHECK(cond, msg)                  \
+  do {                                         \
+    if (!(cond)) ::sehc::throw_error((msg));   \
+  } while (0)
+
+/// Validates an internal invariant; aborts on failure.
+#define SEHC_ASSERT(cond)                                              \
+  do {                                                                 \
+    if (!(cond)) ::sehc::assert_fail(#cond, __FILE__, __LINE__, "");   \
+  } while (0)
+
+/// Internal invariant with an explanatory message.
+#define SEHC_ASSERT_MSG(cond, msg)                                      \
+  do {                                                                  \
+    if (!(cond)) ::sehc::assert_fail(#cond, __FILE__, __LINE__, (msg)); \
+  } while (0)

@@ -1,0 +1,100 @@
+// Dense row-major matrix used for the execution-time matrix E (machines x
+// subtasks) and the transfer-time matrix Tr (machine pairs x data items).
+//
+// Deliberately minimal: contiguous storage, bounds-checked access, and the
+// handful of whole-matrix helpers the generators and metrics need. Not a
+// linear-algebra library.
+#pragma once
+
+#include <algorithm>
+#include <span>
+#include <vector>
+
+#include "core/error.h"
+
+namespace sehc {
+
+template <typename T>
+class Matrix {
+ public:
+  Matrix() = default;
+
+  /// rows x cols matrix, all elements initialized to `fill`.
+  Matrix(std::size_t rows, std::size_t cols, T fill = T{})
+      : rows_(rows), cols_(cols), data_(rows * cols, fill) {}
+
+  std::size_t rows() const { return rows_; }
+  std::size_t cols() const { return cols_; }
+  bool empty() const { return data_.empty(); }
+  std::size_t size() const { return data_.size(); }
+
+  /// Bounds-checked element access.
+  T& at(std::size_t r, std::size_t c) {
+    SEHC_CHECK(r < rows_ && c < cols_, "Matrix::at: index out of range");
+    return data_[r * cols_ + c];
+  }
+  const T& at(std::size_t r, std::size_t c) const {
+    SEHC_CHECK(r < rows_ && c < cols_, "Matrix::at: index out of range");
+    return data_[r * cols_ + c];
+  }
+
+  /// Unchecked element access for hot loops (still asserted in debug-ish way
+  /// via SEHC_ASSERT which stays on; the indexing arithmetic is trivial).
+  T& operator()(std::size_t r, std::size_t c) { return data_[r * cols_ + c]; }
+  const T& operator()(std::size_t r, std::size_t c) const {
+    return data_[r * cols_ + c];
+  }
+
+  /// View of one row.
+  std::span<T> row(std::size_t r) {
+    SEHC_CHECK(r < rows_, "Matrix::row: index out of range");
+    return std::span<T>(data_.data() + r * cols_, cols_);
+  }
+  std::span<const T> row(std::size_t r) const {
+    SEHC_CHECK(r < rows_, "Matrix::row: index out of range");
+    return std::span<const T>(data_.data() + r * cols_, cols_);
+  }
+
+  /// Copies one column (columns are strided, so this materializes).
+  std::vector<T> col(std::size_t c) const {
+    SEHC_CHECK(c < cols_, "Matrix::col: index out of range");
+    std::vector<T> out(rows_);
+    for (std::size_t r = 0; r < rows_; ++r) out[r] = (*this)(r, c);
+    return out;
+  }
+
+  /// Minimum element of column `c`. Requires a non-empty matrix.
+  T col_min(std::size_t c) const {
+    SEHC_CHECK(rows_ > 0 && c < cols_, "Matrix::col_min: bad column");
+    T best = (*this)(0, c);
+    for (std::size_t r = 1; r < rows_; ++r) best = std::min(best, (*this)(r, c));
+    return best;
+  }
+
+  /// Row index of the minimum element of column `c` (ties -> lowest row).
+  std::size_t col_argmin(std::size_t c) const {
+    SEHC_CHECK(rows_ > 0 && c < cols_, "Matrix::col_argmin: bad column");
+    std::size_t best = 0;
+    for (std::size_t r = 1; r < rows_; ++r)
+      if ((*this)(r, c) < (*this)(best, c)) best = r;
+    return best;
+  }
+
+  /// Flat access to the underlying storage.
+  std::span<const T> flat() const { return data_; }
+  std::span<T> flat() { return data_; }
+
+  /// Fills every element.
+  void fill(T value) { std::fill(data_.begin(), data_.end(), value); }
+
+  friend bool operator==(const Matrix& a, const Matrix& b) {
+    return a.rows_ == b.rows_ && a.cols_ == b.cols_ && a.data_ == b.data_;
+  }
+
+ private:
+  std::size_t rows_ = 0;
+  std::size_t cols_ = 0;
+  std::vector<T> data_;
+};
+
+}  // namespace sehc

@@ -1,0 +1,97 @@
+#include "core/options.h"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "core/error.h"
+
+namespace sehc {
+
+Options::Options(int argc, const char* const* argv,
+                 std::vector<std::string> known) {
+  auto is_known = [&](const std::string& k) {
+    return std::find(known.begin(), known.end(), k) != known.end();
+  };
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    SEHC_CHECK(arg.rfind("--", 0) == 0, "Options: expected --key[=value], got " + arg);
+    arg = arg.substr(2);
+    std::string key, value;
+    if (auto eq = arg.find('='); eq != std::string::npos) {
+      key = arg.substr(0, eq);
+      value = arg.substr(eq + 1);
+    } else {
+      key = arg;
+      // --key value form: consume the next token if it is not another option.
+      if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        value = argv[++i];
+      } else {
+        value = "1";  // bare flag
+      }
+    }
+    SEHC_CHECK(is_known(key), "Options: unknown option --" + key);
+    values_[key] = value;
+  }
+}
+
+bool Options::has(const std::string& key) const { return values_.count(key) > 0; }
+
+std::string Options::get(const std::string& key,
+                         const std::string& fallback) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? fallback : it->second;
+}
+
+double Options::get_double(const std::string& key, double fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stod(it->second);
+  } catch (const std::exception&) {
+    throw Error("Options: --" + key + " expects a number, got " + it->second);
+  }
+}
+
+std::int64_t Options::get_int(const std::string& key,
+                              std::int64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoll(it->second);
+  } catch (const std::exception&) {
+    throw Error("Options: --" + key + " expects an integer, got " + it->second);
+  }
+}
+
+std::uint64_t Options::get_seed(const std::string& key,
+                                std::uint64_t fallback) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return fallback;
+  try {
+    return std::stoull(it->second);
+  } catch (const std::exception&) {
+    throw Error("Options: --" + key + " expects a seed, got " + it->second);
+  }
+}
+
+double scale_from_env() {
+  const char* env = std::getenv("SEHC_SCALE");
+  if (env == nullptr || *env == '\0') return 1.0;
+  try {
+    double v = std::stod(env);
+    SEHC_CHECK(v > 0.0, "SEHC_SCALE must be positive");
+    return v;
+  } catch (const Error&) {
+    throw;
+  } catch (const std::exception&) {
+    throw Error("SEHC_SCALE is not a number");
+  }
+}
+
+std::size_t scaled(std::size_t base, std::size_t min_value) {
+  const double v = static_cast<double>(base) * scale_from_env();
+  auto out = static_cast<std::size_t>(v);
+  return std::max(out, min_value);
+}
+
+}  // namespace sehc

@@ -1,0 +1,41 @@
+// Minimal command-line / environment option handling for the example and
+// bench executables.
+//
+// Supported syntax: --key=value, --key value, --flag. Unknown keys raise
+// sehc::Error so typos fail loudly. `scale_from_env` implements the
+// SEHC_SCALE contract used by every figure bench: a multiplicative factor on
+// iteration budgets so the whole suite can be shrunk for smoke runs or grown
+// for full reproductions.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace sehc {
+
+class Options {
+ public:
+  /// Parses argv; `known` lists the accepted keys (without leading dashes).
+  Options(int argc, const char* const* argv, std::vector<std::string> known);
+
+  bool has(const std::string& key) const;
+  std::string get(const std::string& key, const std::string& fallback) const;
+  double get_double(const std::string& key, double fallback) const;
+  std::int64_t get_int(const std::string& key, std::int64_t fallback) const;
+  std::uint64_t get_seed(const std::string& key, std::uint64_t fallback) const;
+
+ private:
+  std::map<std::string, std::string> values_;
+};
+
+/// Reads SEHC_SCALE (positive float, default 1.0). All figure benches
+/// multiply their iteration / time budgets by this.
+double scale_from_env();
+
+/// Scales `base` by scale_from_env(), with a floor of `min_value`.
+std::size_t scaled(std::size_t base, std::size_t min_value = 1);
+
+}  // namespace sehc

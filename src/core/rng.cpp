@@ -1,0 +1,93 @@
+#include "core/rng.h"
+
+#include <cmath>
+#include <numbers>
+
+namespace sehc {
+
+std::uint64_t splitmix64(std::uint64_t& state) {
+  std::uint64_t z = (state += 0x9E3779B97F4A7C15ULL);
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+namespace {
+inline std::uint64_t rotl(std::uint64_t x, int k) {
+  return (x << k) | (x >> (64 - k));
+}
+}  // namespace
+
+Xoshiro256::Xoshiro256(std::uint64_t seed) {
+  std::uint64_t sm = seed;
+  for (auto& word : s_) word = splitmix64(sm);
+}
+
+std::uint64_t Xoshiro256::next() {
+  const std::uint64_t result = rotl(s_[1] * 5, 7) * 9;
+  const std::uint64_t t = s_[1] << 17;
+  s_[2] ^= s_[0];
+  s_[3] ^= s_[1];
+  s_[1] ^= s_[2];
+  s_[0] ^= s_[3];
+  s_[2] ^= t;
+  s_[3] = rotl(s_[3], 45);
+  return result;
+}
+
+double Rng::uniform() {
+  // 53 random bits -> double in [0, 1).
+  return static_cast<double>(gen_.next() >> 11) * 0x1.0p-53;
+}
+
+double Rng::uniform(double lo, double hi) {
+  SEHC_CHECK(lo <= hi, "Rng::uniform: lo must be <= hi");
+  return lo + (hi - lo) * uniform();
+}
+
+std::uint64_t Rng::below(std::uint64_t n) {
+  SEHC_CHECK(n > 0, "Rng::below: n must be positive");
+  // Lemire-style rejection to avoid modulo bias.
+  const std::uint64_t threshold = (0 - n) % n;
+  for (;;) {
+    std::uint64_t r = gen_.next();
+    if (r >= threshold) return r % n;
+  }
+}
+
+std::int64_t Rng::range(std::int64_t lo, std::int64_t hi) {
+  SEHC_CHECK(lo <= hi, "Rng::range: lo must be <= hi");
+  const std::uint64_t span =
+      static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  return lo + static_cast<std::int64_t>(below(span));
+}
+
+double Rng::normal() {
+  // Box-Muller; discard the second variate to keep the state trajectory
+  // independent of call sites.
+  double u1 = uniform();
+  double u2 = uniform();
+  if (u1 <= 0.0) u1 = 0x1.0p-53;
+  return std::sqrt(-2.0 * std::log(u1)) *
+         std::cos(2.0 * std::numbers::pi * u2);
+}
+
+double Rng::normal(double mean, double stddev) {
+  SEHC_CHECK(stddev >= 0.0, "Rng::normal: stddev must be non-negative");
+  return mean + stddev * normal();
+}
+
+bool Rng::chance(double p) { return uniform() < p; }
+
+std::size_t Rng::index(std::size_t size) {
+  SEHC_CHECK(size > 0, "Rng::index: empty range");
+  return static_cast<std::size_t>(below(size));
+}
+
+Rng Rng::split(std::uint64_t tag) const {
+  std::uint64_t mixer = seed_ ^ (tag * 0xD1B54A32D192ED03ULL) ^
+                        0x8CB92BA72F3D8DD7ULL;
+  return Rng(splitmix64(mixer));
+}
+
+}  // namespace sehc

@@ -1,0 +1,61 @@
+// Structural DAG analysis: connectivity metrics, critical path with task
+// weights, ancestor/descendant reachability.
+//
+// Connectivity is one of the three workload axes in the paper's evaluation
+// (§5): it "defines the number of data items to be transferred between the
+// subtasks". We report it as the edge density relative to the maximal DAG on
+// the same topological order, k*(k-1)/2 edges.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dag/task_graph.h"
+
+namespace sehc {
+
+/// Edge density in [0, 1]: edges / (k*(k-1)/2). 0 for k < 2.
+double edge_density(const TaskGraph& g);
+
+/// Average out-degree (= edges / tasks); the paper's "connectivity" knob.
+double average_degree(const TaskGraph& g);
+
+/// Longest weighted path through the DAG where node t costs `node_cost[t]`
+/// and every edge costs `edge_cost[item]` (pass empty to ignore edges).
+/// This is the classic makespan lower bound when node costs are the
+/// per-task minimum execution times and edge costs are zero.
+double critical_path_length(const TaskGraph& g,
+                            std::span<const double> node_cost,
+                            std::span<const double> edge_cost = {});
+
+/// Task ids on one critical path (ties broken deterministically), in
+/// topological order.
+std::vector<TaskId> critical_path(const TaskGraph& g,
+                                  std::span<const double> node_cost,
+                                  std::span<const double> edge_cost = {});
+
+/// Reachability bitsets. reach[t] has bit u set iff there is a directed path
+/// t -> u (t itself excluded). Word-parallel over 64-bit blocks; fine for the
+/// problem sizes in the paper (hundreds of tasks).
+class Reachability {
+ public:
+  explicit Reachability(const TaskGraph& g);
+
+  /// True iff a directed path from `from` to `to` exists (from != to).
+  bool reaches(TaskId from, TaskId to) const;
+
+  /// All descendants of t (tasks reachable from t).
+  std::vector<TaskId> descendants(TaskId t) const;
+
+  /// All ancestors of t (tasks that reach t).
+  std::vector<TaskId> ancestors(TaskId t) const;
+
+ private:
+  std::size_t words_per_task_;
+  std::size_t num_tasks_;
+  std::vector<std::uint64_t> bits_;  // num_tasks_ * words_per_task_
+
+  bool bit(TaskId from, TaskId to) const;
+};
+
+}  // namespace sehc

@@ -1,0 +1,35 @@
+#include "dag/dot.h"
+
+#include <array>
+
+#include "core/error.h"
+
+namespace sehc {
+
+void write_dot(std::ostream& os, const TaskGraph& g,
+               std::span<const MachineId> assignment,
+               const std::string& graph_name) {
+  SEHC_CHECK(assignment.empty() || assignment.size() == g.num_tasks(),
+             "write_dot: assignment size mismatch");
+  static constexpr std::array<const char*, 10> palette = {
+      "#a6cee3", "#b2df8a", "#fb9a99", "#fdbf6f", "#cab2d6",
+      "#ffff99", "#1f78b4", "#33a02c", "#e31a1c", "#ff7f00"};
+
+  os << "digraph " << graph_name << " {\n";
+  os << "  rankdir=TB;\n  node [shape=box, style=filled, fillcolor=white];\n";
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    os << "  t" << t << " [label=\"" << g.name(t);
+    if (!assignment.empty()) {
+      os << "@m" << assignment[t] << "\", fillcolor=\""
+         << palette[assignment[t] % palette.size()];
+    }
+    os << "\"];\n";
+  }
+  for (const DagEdge& e : g.edges()) {
+    os << "  t" << e.src << " -> t" << e.dst << " [label=\"d" << e.item
+       << "\"];\n";
+  }
+  os << "}\n";
+}
+
+}  // namespace sehc

@@ -1,0 +1,20 @@
+// Graphviz DOT export for task graphs, optionally annotated with machine
+// assignments (one color per machine) for eyeballing schedules.
+#pragma once
+
+#include <ostream>
+#include <span>
+#include <string>
+
+#include "dag/task_graph.h"
+
+namespace sehc {
+
+/// Writes `g` as a DOT digraph. If `assignment` is non-empty it must map each
+/// task to a machine id; nodes are then labelled "name@m<j>" and colored by
+/// machine.
+void write_dot(std::ostream& os, const TaskGraph& g,
+               std::span<const MachineId> assignment = {},
+               const std::string& graph_name = "dag");
+
+}  // namespace sehc

@@ -1,0 +1,59 @@
+#include "dag/levels.h"
+
+#include <algorithm>
+
+#include "dag/topo.h"
+
+namespace sehc {
+
+std::vector<int> task_levels(const TaskGraph& g) {
+  auto order = topological_order(g);
+  SEHC_CHECK(order.has_value(), "task_levels: graph has a cycle");
+  std::vector<int> level(g.num_tasks(), 0);
+  for (TaskId t : *order) {
+    for (DataId d : g.out_edges(t)) {
+      const TaskId succ = g.edge(d).dst;
+      level[succ] = std::max(level[succ], level[t] + 1);
+    }
+  }
+  return level;
+}
+
+std::vector<int> task_heights(const TaskGraph& g) {
+  auto order = topological_order(g);
+  SEHC_CHECK(order.has_value(), "task_heights: graph has a cycle");
+  std::vector<int> height(g.num_tasks(), 0);
+  for (auto it = order->rbegin(); it != order->rend(); ++it) {
+    for (DataId d : g.out_edges(*it)) {
+      const TaskId succ = g.edge(d).dst;
+      height[*it] = std::max(height[*it], height[succ] + 1);
+    }
+  }
+  return height;
+}
+
+int num_levels(const TaskGraph& g) {
+  if (g.num_tasks() == 0) return 0;
+  const auto levels = task_levels(g);
+  return 1 + *std::max_element(levels.begin(), levels.end());
+}
+
+std::vector<std::vector<TaskId>> tasks_by_level(const TaskGraph& g) {
+  const auto levels = task_levels(g);
+  std::vector<std::vector<TaskId>> groups(
+      static_cast<std::size_t>(num_levels(g)));
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    groups[static_cast<std::size_t>(levels[t])].push_back(t);
+  }
+  return groups;
+}
+
+std::size_t level_width(const TaskGraph& g) {
+  std::size_t width = 0;
+  for (const auto& group : tasks_by_level(g)) {
+    width = std::max(width, group.size());
+  }
+  return width;
+}
+
+}  // namespace sehc

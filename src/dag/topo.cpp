@@ -1,0 +1,72 @@
+#include "dag/topo.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+
+namespace sehc {
+
+namespace {
+
+/// Kahn's algorithm parameterized over how the next ready task is chosen.
+/// `pick` receives the ready set and returns the index of the chosen task.
+template <typename Pick>
+std::optional<std::vector<TaskId>> kahn(const TaskGraph& g, Pick pick) {
+  const std::size_t k = g.num_tasks();
+  std::vector<std::size_t> indegree(k);
+  std::vector<TaskId> ready;
+  for (TaskId t = 0; t < k; ++t) {
+    indegree[t] = g.in_degree(t);
+    if (indegree[t] == 0) ready.push_back(t);
+  }
+  std::vector<TaskId> order;
+  order.reserve(k);
+  while (!ready.empty()) {
+    const std::size_t i = pick(ready);
+    const TaskId t = ready[i];
+    ready[i] = ready.back();
+    ready.pop_back();
+    order.push_back(t);
+    for (DataId d : g.out_edges(t)) {
+      const TaskId succ = g.edge(d).dst;
+      if (--indegree[succ] == 0) ready.push_back(succ);
+    }
+  }
+  if (order.size() != k) return std::nullopt;  // cycle
+  return order;
+}
+
+}  // namespace
+
+std::optional<std::vector<TaskId>> topological_order(const TaskGraph& g) {
+  return kahn(g, [](const std::vector<TaskId>& ready) {
+    return static_cast<std::size_t>(
+        std::min_element(ready.begin(), ready.end()) - ready.begin());
+  });
+}
+
+std::optional<std::vector<TaskId>> random_topological_order(const TaskGraph& g,
+                                                            Rng& rng) {
+  return kahn(g, [&rng](const std::vector<TaskId>& ready) {
+    return rng.index(ready.size());
+  });
+}
+
+bool is_acyclic(const TaskGraph& g) { return topological_order(g).has_value(); }
+
+bool is_topological_order(const TaskGraph& g, std::span<const TaskId> order) {
+  const std::size_t k = g.num_tasks();
+  if (order.size() != k) return false;
+  std::vector<std::size_t> pos(k, k);
+  for (std::size_t i = 0; i < order.size(); ++i) {
+    if (order[i] >= k) return false;
+    if (pos[order[i]] != k) return false;  // duplicate
+    pos[order[i]] = i;
+  }
+  for (const DagEdge& e : g.edges()) {
+    if (pos[e.src] >= pos[e.dst]) return false;
+  }
+  return true;
+}
+
+}  // namespace sehc

@@ -1,0 +1,67 @@
+#include "exp/anytime.h"
+
+#include <limits>
+
+#include "core/error.h"
+
+namespace sehc {
+
+std::vector<AnytimePoint> run_se_anytime(const Workload& w, SeParams params,
+                                         double time_budget_seconds) {
+  SEHC_CHECK(time_budget_seconds > 0.0, "run_se_anytime: bad budget");
+  params.time_limit_seconds = time_budget_seconds;
+  params.max_iterations = std::numeric_limits<std::size_t>::max();
+  params.record_trace = false;
+
+  std::vector<AnytimePoint> curve;
+  SeEngine engine(w, params);
+  engine.set_observer([&curve](const SeIterationStats& stats) {
+    if (curve.empty() || stats.best_makespan < curve.back().best) {
+      curve.push_back({stats.elapsed_seconds, stats.best_makespan});
+    }
+    return true;
+  });
+  const SeResult result = engine.run();
+  curve.push_back({result.seconds, result.best_makespan});
+  return curve;
+}
+
+std::vector<AnytimePoint> run_ga_anytime(const Workload& w, GaParams params,
+                                         double time_budget_seconds) {
+  SEHC_CHECK(time_budget_seconds > 0.0, "run_ga_anytime: bad budget");
+  params.time_limit_seconds = time_budget_seconds;
+  params.max_generations = std::numeric_limits<std::size_t>::max();
+  params.record_trace = false;
+
+  std::vector<AnytimePoint> curve;
+  GaEngine engine(w, params);
+  engine.set_observer([&curve](const GaIterationStats& stats) {
+    if (curve.empty() || stats.best_makespan < curve.back().best) {
+      curve.push_back({stats.elapsed_seconds, stats.best_makespan});
+    }
+    return true;
+  });
+  const GaResult result = engine.run();
+  curve.push_back({result.seconds, result.best_makespan});
+  return curve;
+}
+
+double value_at(const std::vector<AnytimePoint>& curve, double seconds) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const AnytimePoint& p : curve) {
+    if (p.seconds <= seconds) best = std::min(best, p.best);
+  }
+  return best;
+}
+
+std::vector<double> time_grid(double budget_seconds, std::size_t points) {
+  SEHC_CHECK(points > 0 && budget_seconds > 0.0, "time_grid: bad arguments");
+  std::vector<double> grid(points);
+  for (std::size_t i = 0; i < points; ++i) {
+    grid[i] = budget_seconds * static_cast<double>(i + 1) /
+              static_cast<double>(points);
+  }
+  return grid;
+}
+
+}  // namespace sehc

@@ -1,0 +1,37 @@
+// Anytime-curve capture: best schedule length as a function of real time,
+// the quantity plotted in the paper's Figures 5-7 (SE vs GA under equal
+// wall-clock budgets).
+#pragma once
+
+#include <vector>
+
+#include "ga/ga.h"
+#include "hc/workload.h"
+#include "se/se.h"
+
+namespace sehc {
+
+/// One point of an anytime curve: the best makespan known at `seconds`.
+struct AnytimePoint {
+  double seconds = 0.0;
+  double best = 0.0;
+};
+
+/// Runs SE with a wall-clock budget, recording a point whenever the best
+/// makespan improves (plus the final point at the budget).
+std::vector<AnytimePoint> run_se_anytime(const Workload& w, SeParams params,
+                                         double time_budget_seconds);
+
+/// Same for the GA baseline.
+std::vector<AnytimePoint> run_ga_anytime(const Workload& w, GaParams params,
+                                         double time_budget_seconds);
+
+/// Step-function sample: the best value achieved at or before `seconds`
+/// (infinity if the curve has no point yet).
+double value_at(const std::vector<AnytimePoint>& curve, double seconds);
+
+/// Uniform checkpoint grid [step, 2*step, ..., budget] for tabulating
+/// curves side by side.
+std::vector<double> time_grid(double budget_seconds, std::size_t points);
+
+}  // namespace sehc

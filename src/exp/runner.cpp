@@ -1,0 +1,60 @@
+#include "exp/runner.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+
+#include "core/timer.h"
+#include "sched/bounds.h"
+#include "sched/validate.h"
+
+namespace sehc {
+
+std::vector<RunRecord> run_suite(
+    const Workload& w, const std::string& workload_name,
+    const std::vector<std::unique_ptr<Scheduler>>& schedulers) {
+  std::vector<RunRecord> records;
+  const double lb = makespan_lower_bound(w);
+  for (const auto& scheduler : schedulers) {
+    WallTimer timer;
+    Schedule s = scheduler->schedule(w);
+    const double seconds = timer.seconds();
+    const auto violations = validate_schedule(w, s);
+    SEHC_CHECK(violations.empty(),
+               scheduler->name() + " produced an invalid schedule: " +
+                   violations.front());
+    records.push_back(RunRecord{scheduler->name(), workload_name, s.makespan,
+                                seconds, lb});
+  }
+  return records;
+}
+
+Table records_to_table(const std::vector<RunRecord>& records) {
+  // Best makespan per workload for normalization.
+  std::map<std::string, double> best;
+  for (const RunRecord& r : records) {
+    auto [it, inserted] = best.emplace(r.workload, r.makespan);
+    if (!inserted) it->second = std::min(it->second, r.makespan);
+  }
+
+  Table table({"workload", "scheduler", "makespan", "vs_best", "vs_lb",
+               "seconds"});
+  for (const RunRecord& r : records) {
+    const double vs_best = best[r.workload] > 0.0
+                               ? r.makespan / best[r.workload]
+                               : std::numeric_limits<double>::quiet_NaN();
+    const double vs_lb =
+        r.lower_bound > 0.0 ? r.makespan / r.lower_bound
+                            : std::numeric_limits<double>::quiet_NaN();
+    table.begin_row()
+        .add(r.workload)
+        .add(r.scheduler)
+        .add(r.makespan, 1)
+        .add(vs_best, 3)
+        .add(vs_lb, 3)
+        .add(r.seconds, 3);
+  }
+  return table;
+}
+
+}  // namespace sehc

@@ -1,0 +1,34 @@
+// Scheduler-comparison runner: executes a suite of schedulers over one or
+// more workloads (optionally repeated across seeds in parallel) and emits a
+// result table with makespans, normalized quality and wall time.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "heuristics/scheduler.h"
+#include "hc/workload.h"
+
+namespace sehc {
+
+struct RunRecord {
+  std::string scheduler;
+  std::string workload;
+  double makespan = 0.0;
+  double seconds = 0.0;
+  double lower_bound = 0.0;  // makespan_lower_bound of the workload
+};
+
+/// Runs every scheduler on one workload (sequentially; the schedulers
+/// themselves are single-threaded and timed).
+std::vector<RunRecord> run_suite(
+    const Workload& w, const std::string& workload_name,
+    const std::vector<std::unique_ptr<Scheduler>>& schedulers);
+
+/// Formats records as a table: scheduler, makespan, ratio to the best
+/// scheduler of that workload, ratio to lower bound, seconds.
+Table records_to_table(const std::vector<RunRecord>& records);
+
+}  // namespace sehc

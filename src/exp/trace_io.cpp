@@ -1,0 +1,41 @@
+#include "exp/trace_io.h"
+
+#include "core/table.h"
+
+namespace sehc {
+
+void write_full_se_trace(std::ostream& os,
+                         const std::vector<SeIterationStats>& trace) {
+  os << "iteration,selected,moved,current_makespan,best_makespan,elapsed_s\n";
+  for (const SeIterationStats& r : trace) {
+    os << r.iteration << ',' << r.num_selected << ',' << r.tasks_moved << ','
+       << format_fixed(r.current_makespan, 4) << ','
+       << format_fixed(r.best_makespan, 4) << ','
+       << format_fixed(r.elapsed_seconds, 6) << '\n';
+  }
+}
+
+void write_full_ga_trace(std::ostream& os,
+                         const std::vector<GaIterationStats>& trace) {
+  os << "generation,gen_best,gen_mean,best_makespan,elapsed_s\n";
+  for (const GaIterationStats& r : trace) {
+    os << r.generation << ',' << format_fixed(r.gen_best_makespan, 4) << ','
+       << format_fixed(r.gen_mean_makespan, 4) << ','
+       << format_fixed(r.best_makespan, 4) << ','
+       << format_fixed(r.elapsed_seconds, 6) << '\n';
+  }
+}
+
+void write_schedule_csv(std::ostream& os, const Workload& w,
+                        const Schedule& s) {
+  SEHC_CHECK(s.num_tasks() == w.num_tasks(),
+             "write_schedule_csv: schedule/workload mismatch");
+  os << "task,name,machine,start,finish\n";
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    os << t << ',' << w.graph().name(t) << ',' << s.assignment[t] << ','
+       << format_fixed(s.start[t], 4) << ',' << format_fixed(s.finish[t], 4)
+       << '\n';
+  }
+}
+
+}  // namespace sehc

@@ -1,0 +1,28 @@
+// Persistent outputs: full (non-downsampled) trace CSVs for offline
+// plotting and a per-task schedule CSV. The figure benches print
+// downsampled series for the terminal; these writers dump everything.
+#pragma once
+
+#include <ostream>
+#include <vector>
+
+#include "ga/ga.h"
+#include "hc/workload.h"
+#include "sched/schedule.h"
+#include "se/se.h"
+
+namespace sehc {
+
+/// iteration,selected,moved,current_makespan,best_makespan,elapsed_s
+void write_full_se_trace(std::ostream& os,
+                         const std::vector<SeIterationStats>& trace);
+
+/// generation,gen_best,gen_mean,best_makespan,elapsed_s
+void write_full_ga_trace(std::ostream& os,
+                         const std::vector<GaIterationStats>& trace);
+
+/// task,name,machine,start,finish
+void write_schedule_csv(std::ostream& os, const Workload& w,
+                        const Schedule& s);
+
+}  // namespace sehc

@@ -1,0 +1,163 @@
+#include "ga/ga.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/rng.h"
+#include "core/timer.h"
+#include "dag/topo.h"
+#include "ga/operators.h"
+#include "sched/evaluator.h"
+
+namespace sehc {
+
+GaEngine::GaEngine(const Workload& workload, GaParams params)
+    : workload_(&workload), params_(params) {
+  SEHC_CHECK(params_.population >= 2, "GaEngine: population must be >= 2");
+  SEHC_CHECK(params_.elite < params_.population,
+             "GaEngine: elite must be < population");
+  SEHC_CHECK(params_.crossover_prob >= 0.0 && params_.crossover_prob <= 1.0,
+             "GaEngine: crossover_prob in [0,1]");
+  SEHC_CHECK(params_.mutation_prob >= 0.0 && params_.mutation_prob <= 1.0,
+             "GaEngine: mutation_prob in [0,1]");
+}
+
+namespace {
+
+/// Roulette-wheel pick: probability proportional to (worst - len) + eps.
+std::size_t roulette(const std::vector<double>& lengths, double worst,
+                     Rng& rng) {
+  // eps keeps even the worst chromosome selectable (Wang et al. require a
+  // strictly positive fitness for every individual).
+  const double eps = worst > 0.0 ? 1e-3 * worst : 1e-9;
+  double total = 0.0;
+  for (double len : lengths) total += (worst - len) + eps;
+  double spin = rng.uniform() * total;
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    spin -= (worst - lengths[i]) + eps;
+    if (spin <= 0.0) return i;
+  }
+  return lengths.size() - 1;
+}
+
+}  // namespace
+
+GaResult GaEngine::run() {
+  const Workload& w = *workload_;
+  const TaskGraph& g = w.graph();
+  Rng rng(params_.seed);
+  Evaluator eval(w);
+  WallTimer timer;
+
+  // Initial population: random assignment + random topological order.
+  std::vector<SolutionString> pop;
+  pop.reserve(params_.population);
+  for (std::size_t i = 0; i < params_.population; ++i) {
+    std::vector<MachineId> assignment(w.num_tasks());
+    for (auto& m : assignment)
+      m = static_cast<MachineId>(rng.below(w.num_machines()));
+    auto order = random_topological_order(g, rng);
+    SEHC_CHECK(order.has_value(), "GaEngine: cyclic graph");
+    pop.emplace_back(*order, assignment);
+  }
+
+  std::vector<double> lengths(pop.size());
+  auto evaluate_all = [&] {
+    for (std::size_t i = 0; i < pop.size(); ++i)
+      lengths[i] = eval.makespan(pop[i]);
+  };
+  evaluate_all();
+
+  GaResult result;
+  {
+    const auto best_it = std::min_element(lengths.begin(), lengths.end());
+    result.best_makespan = *best_it;
+    result.best_solution =
+        pop[static_cast<std::size_t>(best_it - lengths.begin())];
+  }
+
+  std::size_t stall = 0;
+  std::size_t generation = 0;
+  for (; generation < params_.max_generations; ++generation) {
+    if (timer.seconds() >= params_.time_limit_seconds) break;
+
+    // Rank indices by length for elitism.
+    std::vector<std::size_t> rank(pop.size());
+    std::iota(rank.begin(), rank.end(), 0);
+    std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+      return lengths[a] < lengths[b];
+    });
+    const double worst = lengths[rank.back()];
+
+    std::vector<SolutionString> next;
+    next.reserve(pop.size());
+    for (std::size_t e = 0; e < params_.elite; ++e) next.push_back(pop[rank[e]]);
+
+    while (next.size() < pop.size()) {
+      const SolutionString& pa = pop[roulette(lengths, worst, rng)];
+      const SolutionString& pb = pop[roulette(lengths, worst, rng)];
+      SolutionString ca = pa;
+      SolutionString cb = pb;
+      if (rng.chance(params_.crossover_prob)) {
+        std::tie(ca, cb) = scheduling_crossover(pa, pb, rng);
+        std::tie(ca, cb) = matching_crossover(ca, cb, rng);
+      }
+      if (rng.chance(params_.mutation_prob)) {
+        matching_mutation(ca, w.num_machines(), rng);
+        scheduling_mutation(ca, g, rng);
+      }
+      if (rng.chance(params_.mutation_prob)) {
+        matching_mutation(cb, w.num_machines(), rng);
+        scheduling_mutation(cb, g, rng);
+      }
+      next.push_back(std::move(ca));
+      if (next.size() < pop.size()) next.push_back(std::move(cb));
+    }
+    pop = std::move(next);
+
+    if (params_.verify_invariants) {
+      for (const auto& chrom : pop) {
+        SEHC_ASSERT_MSG(chrom.is_valid(g),
+                        "GA generation produced an invalid chromosome");
+      }
+    }
+
+    evaluate_all();
+    const auto best_it = std::min_element(lengths.begin(), lengths.end());
+    const double gen_best = *best_it;
+    const double gen_mean =
+        std::accumulate(lengths.begin(), lengths.end(), 0.0) /
+        static_cast<double>(lengths.size());
+    if (gen_best < result.best_makespan) {
+      result.best_makespan = gen_best;
+      result.best_solution =
+          pop[static_cast<std::size_t>(best_it - lengths.begin())];
+      stall = 0;
+    } else {
+      ++stall;
+    }
+
+    GaIterationStats stats;
+    stats.generation = generation;
+    stats.best_makespan = result.best_makespan;
+    stats.gen_best_makespan = gen_best;
+    stats.gen_mean_makespan = gen_mean;
+    stats.elapsed_seconds = timer.seconds();
+    if (params_.record_trace) result.trace.push_back(stats);
+    if (observer_ && !observer_(stats)) {
+      ++generation;
+      break;
+    }
+    if (params_.stall_generations > 0 && stall >= params_.stall_generations) {
+      ++generation;
+      break;
+    }
+  }
+
+  result.generations = generation;
+  result.seconds = timer.seconds();
+  result.schedule = Schedule::from_solution(w, result.best_solution);
+  return result;
+}
+
+}  // namespace sehc

@@ -1,0 +1,41 @@
+// Genetic operators for the GA baseline, following Wang, Siegel,
+// Roychowdhury & Maciejewski (JPDC 1997) — reference [3] of the paper.
+//
+// Wang et al. encode a chromosome as two strings (a matching string and a
+// scheduling string). Our SolutionString carries the same information in
+// one string of (task, machine) segments — the representation the SE paper
+// itself adopts (§4.1, "we combine both strings in only one string") — so
+// the operators below act on the corresponding component:
+//
+//   * matching crossover  — single cut over task ids; machine assignments
+//     of tasks above the cut are swapped between the two children.
+//   * scheduling crossover — single cut over string positions; the child
+//     keeps parent A's prefix and reorders the remaining tasks in parent
+//     B's relative order. Both parents being topological orders, the result
+//     is one too (standard order-crossover-on-DAG argument).
+//   * matching mutation   — one task is reassigned to a random machine.
+//   * scheduling mutation — one task is moved to a random position inside
+//     its valid range (precedence-preserving by construction).
+#pragma once
+
+#include "core/rng.h"
+#include "hc/workload.h"
+#include "sched/encoding.h"
+
+namespace sehc {
+
+/// Matching crossover. Returns the two children of `a` and `b`.
+std::pair<SolutionString, SolutionString> matching_crossover(
+    const SolutionString& a, const SolutionString& b, Rng& rng);
+
+/// Scheduling (order) crossover; preserves topological validity.
+std::pair<SolutionString, SolutionString> scheduling_crossover(
+    const SolutionString& a, const SolutionString& b, Rng& rng);
+
+/// Reassigns one uniformly chosen task to a uniformly chosen machine.
+void matching_mutation(SolutionString& s, std::size_t num_machines, Rng& rng);
+
+/// Moves one uniformly chosen task to a uniform position in its valid range.
+void scheduling_mutation(SolutionString& s, const TaskGraph& g, Rng& rng);
+
+}  // namespace sehc

@@ -1,0 +1,45 @@
+#include "hc/machine.h"
+
+#include <algorithm>
+
+namespace sehc {
+
+const char* to_string(MachineArch arch) {
+  switch (arch) {
+    case MachineArch::kMimd: return "MIMD";
+    case MachineArch::kSimd: return "SIMD";
+    case MachineArch::kVector: return "vector";
+    case MachineArch::kDataflow: return "dataflow";
+    case MachineArch::kSpecialPurpose: return "special-purpose";
+  }
+  return "unknown";
+}
+
+MachineSet::MachineSet(std::size_t count) {
+  machines_.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    machines_.push_back(Machine{"m" + std::to_string(i), MachineArch::kMimd});
+  }
+}
+
+MachineId MachineSet::add(Machine machine) {
+  const MachineId id = static_cast<MachineId>(machines_.size());
+  if (machine.name.empty()) machine.name = "m" + std::to_string(id);
+  machines_.push_back(std::move(machine));
+  return id;
+}
+
+MachineId MachineSet::add(std::string name, MachineArch arch) {
+  return add(Machine{std::move(name), arch});
+}
+
+std::size_t pair_index(std::size_t num_machines, MachineId a, MachineId b) {
+  SEHC_CHECK(a < num_machines && b < num_machines && a != b,
+             "pair_index: invalid machine pair");
+  const std::size_t lo = std::min(a, b);
+  const std::size_t hi = std::max(a, b);
+  // Row-major upper triangle: rows of decreasing length l-1, l-2, ...
+  return lo * num_machines - lo * (lo + 1) / 2 + (hi - lo - 1);
+}
+
+}  // namespace sehc

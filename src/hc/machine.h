@@ -1,0 +1,68 @@
+// Heterogeneous machine suite model (paper §2).
+//
+// Machines are identified by dense MachineId 0..l-1 and carry an architecture
+// tag (SIMD, MIMD, special-purpose, ...) that is purely descriptive: all
+// performance information lives in the execution-time matrix E produced by
+// "code profiling and analytical benchmarking" (which we model with the
+// workload generator). Machines are fully connected, as the paper assumes.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "dag/task_graph.h"  // MachineId
+
+namespace sehc {
+
+/// Descriptive architecture classes from the HC literature.
+enum class MachineArch {
+  kMimd,
+  kSimd,
+  kVector,
+  kDataflow,
+  kSpecialPurpose,
+};
+
+/// Human-readable name of an architecture class.
+const char* to_string(MachineArch arch);
+
+/// One machine in the suite.
+struct Machine {
+  std::string name;
+  MachineArch arch = MachineArch::kMimd;
+};
+
+/// The machine suite M = {m_0 .. m_{l-1}}.
+class MachineSet {
+ public:
+  MachineSet() = default;
+
+  /// `count` MIMD machines named "m0".."m{count-1}".
+  explicit MachineSet(std::size_t count);
+
+  MachineId add(Machine machine);
+  MachineId add(std::string name, MachineArch arch = MachineArch::kMimd);
+
+  std::size_t size() const { return machines_.size(); }
+  bool empty() const { return machines_.empty(); }
+
+  const Machine& operator[](MachineId m) const {
+    SEHC_CHECK(m < machines_.size(), "MachineSet: bad machine id");
+    return machines_[m];
+  }
+
+  /// Number of unordered machine pairs, l*(l-1)/2 — the row count of Tr.
+  std::size_t num_pairs() const {
+    return machines_.size() * (machines_.size() - 1) / 2;
+  }
+
+ private:
+  std::vector<Machine> machines_;
+};
+
+/// Maps an unordered machine pair {a, b}, a != b, to its row in Tr using
+/// upper-triangular indexing. Symmetric: pair_index(a,b) == pair_index(b,a).
+std::size_t pair_index(std::size_t num_machines, MachineId a, MachineId b);
+
+}  // namespace sehc

@@ -1,0 +1,51 @@
+#include "hc/metrics.h"
+
+#include "core/stats.h"
+#include "dag/analysis.h"
+
+namespace sehc {
+
+double measure_heterogeneity(const Workload& w) {
+  Accumulator per_task_cv;
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    Accumulator row;
+    for (MachineId m = 0; m < w.num_machines(); ++m) row.add(w.exec(m, t));
+    per_task_cv.add(row.cv());
+  }
+  return per_task_cv.mean();
+}
+
+double measure_ccr(const Workload& w) {
+  if (w.num_items() == 0) return 0.0;
+  const Accumulator exec = summarize(w.exec_matrix().flat());
+  const Accumulator transfer = summarize(w.transfer_matrix().flat());
+  if (exec.mean() == 0.0) return 0.0;
+  return transfer.mean() / exec.mean();
+}
+
+WorkloadMetrics measure(const Workload& w) {
+  WorkloadMetrics m;
+  m.tasks = w.num_tasks();
+  m.machines = w.num_machines();
+  m.items = w.num_items();
+  m.connectivity = edge_density(w.graph());
+  m.avg_degree = average_degree(w.graph());
+  m.heterogeneity = measure_heterogeneity(w);
+  m.ccr = measure_ccr(w);
+  m.mean_exec = summarize(w.exec_matrix().flat()).mean();
+  m.mean_transfer = w.num_items() == 0
+                        ? 0.0
+                        : summarize(w.transfer_matrix().flat()).mean();
+
+  std::vector<double> best(w.num_tasks());
+  double serial = 0.0;
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    best[t] = w.best_exec(t);
+    serial += best[t];
+  }
+  m.cp_best_exec = critical_path_length(w.graph(), best);
+  m.serial_best_exec = serial;
+  return m;
+}
+
+}  // namespace sehc

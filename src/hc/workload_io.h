@@ -1,0 +1,32 @@
+// Plain-text (de)serialization of complete workloads.
+//
+// Format ("sehc-workload v1"):
+//
+//   sehc-workload v1
+//   machines 2
+//   arch 1 SIMD                  # optional, default MIMD
+//   <embedded sehc-dag v1 block, terminated by 'end-dag'>
+//   exec                          # l rows of k numbers
+//   10 20 30 ...
+//   ...
+//   transfer                      # l(l-1)/2 rows of p numbers (omit if p==0)
+//   5 5 5 ...
+//
+// Numbers are written with enough precision to round-trip doubles.
+#pragma once
+
+#include <istream>
+#include <ostream>
+#include <string>
+
+#include "hc/workload.h"
+
+namespace sehc {
+
+void write_workload(std::ostream& os, const Workload& w);
+Workload read_workload(std::istream& is);
+
+std::string workload_to_string(const Workload& w);
+Workload workload_from_string(const std::string& text);
+
+}  // namespace sehc

@@ -1,0 +1,106 @@
+#include "heuristics/annealing.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+#include "sched/encoding.h"
+#include "sched/evaluator.h"
+
+namespace sehc {
+
+namespace {
+
+/// Applies one random neighborhood move; returns enough to undo it.
+struct Move {
+  TaskId task;
+  std::size_t old_pos;
+  MachineId old_machine;
+};
+
+Move random_move(SolutionString& s, const TaskGraph& g,
+                 std::size_t num_machines, Rng& rng) {
+  const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+  Move undo{t, s.position_of(t), s.machine_of(t)};
+  const ValidRange range = s.valid_range(g, t);
+  const std::size_t pos =
+      range.lo + static_cast<std::size_t>(rng.below(range.size()));
+  s.move_task(t, pos);
+  if (rng.chance(0.5)) {
+    s.set_machine(t, static_cast<MachineId>(rng.below(num_machines)));
+  }
+  return undo;
+}
+
+void undo_move(SolutionString& s, const Move& m) {
+  s.move_task(m.task, m.old_pos);
+  s.set_machine(m.task, m.old_machine);
+}
+
+}  // namespace
+
+SaResult anneal_schedule(const Workload& w, const SaParams& params) {
+  SEHC_CHECK(params.cooling > 0.0 && params.cooling < 1.0,
+             "anneal_schedule: cooling must be in (0,1)");
+  Rng rng(params.seed);
+  Evaluator eval(w);
+  SolutionString current =
+      random_initial_solution(w.graph(), w.num_machines(), rng);
+  double current_len = eval.makespan(current);
+
+  SolutionString best = current;
+  double best_len = current_len;
+
+  // Calibrate T0 so an average uphill move is accepted with p ~ 0.8.
+  double mean_uphill = 0.0;
+  std::size_t uphill_count = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const Move undo = random_move(current, w.graph(), w.num_machines(), rng);
+    const double len = eval.makespan(current);
+    if (len > current_len) {
+      mean_uphill += len - current_len;
+      ++uphill_count;
+    }
+    undo_move(current, undo);
+  }
+  if (uphill_count > 0) mean_uphill /= static_cast<double>(uphill_count);
+  double temperature =
+      mean_uphill > 0.0 ? -mean_uphill / std::log(0.8) : 1.0;
+
+  const std::size_t steps_per_temp =
+      params.steps_per_temp > 0
+          ? params.steps_per_temp
+          : std::max<std::size_t>(1, params.iterations / 200);
+
+  std::size_t iteration = 0;
+  std::size_t since_cool = 0;
+  for (; iteration < params.iterations; ++iteration) {
+    const Move undo = random_move(current, w.graph(), w.num_machines(), rng);
+    const double len = eval.makespan(current);
+    const double delta = len - current_len;
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature));
+    if (accept) {
+      current_len = len;
+      if (len < best_len) {
+        best_len = len;
+        best = current;
+      }
+    } else {
+      undo_move(current, undo);
+    }
+    if (++since_cool >= steps_per_temp) {
+      since_cool = 0;
+      temperature *= params.cooling;
+    }
+  }
+
+  SaResult result;
+  result.schedule = Schedule::from_solution(w, best);
+  result.best_makespan = best_len;
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace sehc

@@ -1,0 +1,37 @@
+// Simulated annealing on the combined string encoding — an extra iterative
+// baseline (the paper's reference [8] explores the genetic/annealing family
+// for the same problem).
+//
+// Neighborhood: move a random task within its valid range and/or reassign
+// it to a random machine. Acceptance: Metropolis. Cooling: geometric, with
+// the initial temperature calibrated from the mean uphill delta of a short
+// random walk.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hc/workload.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+struct SaParams {
+  std::size_t iterations = 20000;
+  double cooling = 0.95;           // geometric factor per temperature step
+  /// Moves between cooling steps. 0 = auto: iterations / 200, so the
+  /// schedule always sweeps ~200 temperature levels (T0 -> ~3e-5 * T0)
+  /// regardless of the iteration budget.
+  std::size_t steps_per_temp = 0;
+  std::uint64_t seed = 1;
+};
+
+struct SaResult {
+  Schedule schedule;
+  double best_makespan = 0.0;
+  std::size_t iterations = 0;
+};
+
+SaResult anneal_schedule(const Workload& w, const SaParams& params);
+
+}  // namespace sehc

@@ -1,0 +1,114 @@
+#include "heuristics/cpop.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <queue>
+
+#include "heuristics/heft.h"
+
+namespace sehc {
+
+Schedule cpop_schedule(const Workload& w) {
+  const TaskGraph& g = w.graph();
+  const auto rank_u = heft_upward_ranks(w);
+  const auto rank_d = heft_downward_ranks(w);
+
+  std::vector<double> priority(w.num_tasks());
+  double cp_priority = 0.0;
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    priority[t] = rank_u[t] + rank_d[t];
+    cp_priority = std::max(cp_priority, priority[t]);
+  }
+
+  // Critical-path set: priority equal to the maximum (relative tolerance).
+  const double tol = 1e-9 * std::max(cp_priority, 1.0);
+  std::vector<bool> on_cp(w.num_tasks(), false);
+  for (TaskId t = 0; t < w.num_tasks(); ++t)
+    on_cp[t] = priority[t] >= cp_priority - tol;
+
+  // Pin the critical path to the machine with minimal total CP time.
+  MachineId cp_machine = 0;
+  double best_total = std::numeric_limits<double>::infinity();
+  for (MachineId m = 0; m < w.num_machines(); ++m) {
+    double total = 0.0;
+    for (TaskId t = 0; t < w.num_tasks(); ++t)
+      if (on_cp[t]) total += w.exec(m, t);
+    if (total < best_total) {
+      best_total = total;
+      cp_machine = m;
+    }
+  }
+
+  Schedule s;
+  s.assignment.assign(w.num_tasks(), 0);
+  s.start.assign(w.num_tasks(), 0.0);
+  s.finish.assign(w.num_tasks(), 0.0);
+  InsertionTimeline timeline(w.num_machines());
+
+  // Ready-list scheduling by descending priority.
+  auto cmp = [&](TaskId a, TaskId b) {
+    if (priority[a] != priority[b]) return priority[a] < priority[b];
+    return a > b;
+  };
+  std::priority_queue<TaskId, std::vector<TaskId>, decltype(cmp)> ready(cmp);
+  std::vector<std::size_t> pending(w.num_tasks());
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    pending[t] = g.in_degree(t);
+    if (pending[t] == 0) ready.push(t);
+  }
+
+  std::size_t scheduled = 0;
+  while (!ready.empty()) {
+    const TaskId t = ready.top();
+    ready.pop();
+    ++scheduled;
+
+    auto eft_on = [&](MachineId m, double& start_out) {
+      double ready_time = 0.0;
+      for (DataId d : g.in_edges(t)) {
+        const DagEdge& e = g.edge(d);
+        ready_time = std::max(
+            ready_time, s.finish[e.src] + w.transfer(s.assignment[e.src], m, d));
+      }
+      const double duration = w.exec(m, t);
+      start_out = timeline.earliest_start(m, ready_time, duration);
+      return start_out + duration;
+    };
+
+    MachineId chosen;
+    double start = 0.0;
+    if (on_cp[t]) {
+      chosen = cp_machine;
+      eft_on(chosen, start);
+    } else {
+      double best_finish = std::numeric_limits<double>::infinity();
+      chosen = 0;
+      for (MachineId m = 0; m < w.num_machines(); ++m) {
+        double trial_start = 0.0;
+        const double finish = eft_on(m, trial_start);
+        if (finish < best_finish) {
+          best_finish = finish;
+          chosen = m;
+          start = trial_start;
+        }
+      }
+    }
+
+    const double duration = w.exec(chosen, t);
+    s.assignment[t] = chosen;
+    s.start[t] = start;
+    s.finish[t] = start + duration;
+    timeline.place(chosen, start, duration);
+    s.makespan = std::max(s.makespan, s.finish[t]);
+
+    for (DataId d : g.out_edges(t)) {
+      const TaskId succ = g.edge(d).dst;
+      if (--pending[succ] == 0) ready.push(succ);
+    }
+  }
+  SEHC_CHECK(scheduled == w.num_tasks(), "cpop_schedule: cyclic graph");
+  return s;
+}
+
+}  // namespace sehc

@@ -1,0 +1,24 @@
+// DLS — Dynamic Level Scheduling (Sih & Lee, IEEE TPDS 1993), a classic
+// heterogeneous list scheduler contemporary with the paper's baselines.
+//
+// At each step, over all (ready task, machine) pairs, pick the pair with
+// the maximum dynamic level
+//
+//   DL(t, m) = SL(t) - max(data_ready(t, m), machine_avail(m)) + delta(t, m)
+//
+// where SL is the static level (mean-execution upward rank without
+// communication) and delta(t, m) = mean_exec(t) - E[m][t] rewards machines
+// that run t faster than average. Non-insertion semantics.
+#pragma once
+
+#include "hc/workload.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+/// Static levels: SL(t) = mean_exec(t) + max over successors SL(succ).
+std::vector<double> dls_static_levels(const Workload& w);
+
+Schedule dls_schedule(const Workload& w);
+
+}  // namespace sehc

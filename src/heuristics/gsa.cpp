@@ -1,0 +1,131 @@
+#include "heuristics/gsa.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/stats.h"
+#include "core/timer.h"
+#include "dag/topo.h"
+#include "ga/operators.h"
+#include "sched/evaluator.h"
+
+namespace sehc {
+
+GsaEngine::GsaEngine(const Workload& workload, GsaParams params)
+    : workload_(&workload), params_(params) {
+  SEHC_CHECK(params_.population >= 2, "GsaEngine: population must be >= 2");
+  SEHC_CHECK(params_.cooling > 0.0 && params_.cooling < 1.0,
+             "GsaEngine: cooling must be in (0,1)");
+  SEHC_CHECK(params_.initial_acceptance > 0.0 &&
+                 params_.initial_acceptance < 1.0,
+             "GsaEngine: initial_acceptance must be in (0,1)");
+}
+
+GsaResult GsaEngine::run() {
+  const Workload& w = *workload_;
+  const TaskGraph& g = w.graph();
+  Rng rng(params_.seed);
+  Evaluator eval(w);
+  WallTimer timer;
+
+  std::vector<SolutionString> pop;
+  std::vector<double> lengths;
+  pop.reserve(params_.population);
+  lengths.reserve(params_.population);
+  for (std::size_t i = 0; i < params_.population; ++i) {
+    std::vector<MachineId> assignment(w.num_tasks());
+    for (auto& m : assignment)
+      m = static_cast<MachineId>(rng.below(w.num_machines()));
+    auto order = random_topological_order(g, rng);
+    SEHC_CHECK(order.has_value(), "GsaEngine: cyclic graph");
+    pop.emplace_back(*order, assignment);
+    lengths.push_back(eval.makespan(pop.back()));
+  }
+
+  GsaResult result;
+  {
+    const auto best_it = std::min_element(lengths.begin(), lengths.end());
+    result.best_makespan = *best_it;
+    result.best_solution =
+        pop[static_cast<std::size_t>(best_it - lengths.begin())];
+  }
+
+  // Calibrate T0 so a typical population-spread delta is accepted with the
+  // configured probability.
+  const Accumulator spread = summarize(lengths);
+  const double typical_delta = std::max(spread.stddev(), 1e-9);
+  double temperature = -typical_delta / std::log(params_.initial_acceptance);
+
+  std::size_t generation = 0;
+  for (; generation < params_.max_generations; ++generation) {
+    if (timer.seconds() >= params_.time_limit_seconds) break;
+
+    std::size_t accepted = 0;
+    std::size_t offspring = 0;
+    // One Metropolis-mediated mating per pair slot per generation.
+    for (std::size_t slot = 0; slot + 1 < pop.size(); slot += 2) {
+      const std::size_t ia = rng.index(pop.size());
+      const std::size_t ib = rng.index(pop.size());
+      SolutionString ca = pop[ia];
+      SolutionString cb = pop[ib];
+      if (rng.chance(params_.crossover_prob)) {
+        std::tie(ca, cb) = scheduling_crossover(pop[ia], pop[ib], rng);
+        std::tie(ca, cb) = matching_crossover(ca, cb, rng);
+      }
+      if (rng.chance(params_.mutation_prob)) {
+        matching_mutation(ca, w.num_machines(), rng);
+        scheduling_mutation(ca, g, rng);
+      }
+      if (rng.chance(params_.mutation_prob)) {
+        matching_mutation(cb, w.num_machines(), rng);
+        scheduling_mutation(cb, g, rng);
+      }
+
+      // Metropolis survivor test: child vs the parent in its slot.
+      auto metropolis = [&](SolutionString&& child, std::size_t parent_idx) {
+        ++offspring;
+        const double child_len = eval.makespan(child);
+        const double delta = child_len - lengths[parent_idx];
+        const bool accept =
+            delta <= 0.0 ||
+            (temperature > 0.0 &&
+             rng.uniform() < std::exp(-delta / temperature));
+        if (!accept) return;
+        ++accepted;
+        pop[parent_idx] = std::move(child);
+        lengths[parent_idx] = child_len;
+        if (child_len < result.best_makespan) {
+          result.best_makespan = child_len;
+          result.best_solution = pop[parent_idx];
+        }
+      };
+      metropolis(std::move(ca), ia);
+      metropolis(std::move(cb), ib);
+    }
+
+    temperature *= params_.cooling;
+
+    GsaIterationStats stats;
+    stats.generation = generation;
+    stats.best_makespan = result.best_makespan;
+    stats.temperature = temperature;
+    stats.accept_rate =
+        offspring == 0 ? 0.0
+                       : static_cast<double>(accepted) /
+                             static_cast<double>(offspring);
+    stats.elapsed_seconds = timer.seconds();
+    if (params_.record_trace) result.trace.push_back(stats);
+    if (observer_ && !observer_(stats)) {
+      ++generation;
+      break;
+    }
+  }
+
+  result.generations = generation;
+  result.seconds = timer.seconds();
+  result.schedule = Schedule::from_solution(w, result.best_solution);
+  return result;
+}
+
+}  // namespace sehc

@@ -1,0 +1,70 @@
+// GSA — Genetic Simulated Annealing, after Shroff, Watson, Flann & Freund
+// (HCW 1996), reference [8] of the paper ("Genetic Simulated Annealing for
+// Scheduling Data-Dependent Tasks in Heterogeneous Environments").
+//
+// A generational GA whose survivor selection is a Metropolis test instead
+// of fitness-proportional reproduction: each child competes against a
+// parent and replaces it if better, or with probability exp(-delta / T)
+// if worse; T follows a geometric cooling schedule. This hybrid keeps the
+// GA's recombination while inheriting SA's controllable uphill acceptance.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "hc/workload.h"
+#include "sched/encoding.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+struct GsaParams {
+  std::size_t population = 32;
+  double crossover_prob = 0.8;
+  double mutation_prob = 0.3;
+  std::size_t max_generations = 1000;
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  /// Geometric cooling factor applied once per generation.
+  double cooling = 0.97;
+  /// Initial acceptance probability used to calibrate T0 from the spread of
+  /// the initial population.
+  double initial_acceptance = 0.5;
+  std::uint64_t seed = 1;
+  bool record_trace = true;
+};
+
+struct GsaIterationStats {
+  std::size_t generation = 0;
+  double best_makespan = 0.0;
+  double temperature = 0.0;
+  double accept_rate = 0.0;  // fraction of children accepted this generation
+  double elapsed_seconds = 0.0;
+};
+
+struct GsaResult {
+  SolutionString best_solution;
+  double best_makespan = 0.0;
+  Schedule schedule;
+  std::vector<GsaIterationStats> trace;
+  std::size_t generations = 0;
+  double seconds = 0.0;
+};
+
+class GsaEngine {
+ public:
+  GsaEngine(const Workload& workload, GsaParams params);
+
+  using Observer = std::function<bool(const GsaIterationStats&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  GsaResult run();
+
+ private:
+  const Workload* workload_;
+  GsaParams params_;
+  Observer observer_;
+};
+
+}  // namespace sehc

@@ -1,0 +1,31 @@
+// Levelized meta-task mappers adapted from Braun et al.'s comparison study
+// (ref [4] of the paper): Min-min, Max-min, MCT and OLB.
+//
+// The original heuristics map independent meta-tasks; the standard DAG
+// adaptation processes the graph level by level, treating each level as an
+// independent meta-task set whose ready times include communication from
+// already-placed predecessors.
+#pragma once
+
+#include "hc/workload.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+/// Min-min: repeatedly commit the (task, machine) pair with the smallest
+/// completion time among unscheduled tasks of the current level.
+Schedule minmin_schedule(const Workload& w);
+
+/// Max-min: like Min-min, but commits the task whose *best* completion time
+/// is largest (big tasks first).
+Schedule maxmin_schedule(const Workload& w);
+
+/// MCT (Minimum Completion Time): tasks in level order, each to the machine
+/// completing it earliest.
+Schedule mct_schedule(const Workload& w);
+
+/// OLB (Opportunistic Load Balancing): tasks in level order, each to the
+/// machine that becomes available earliest, ignoring execution times.
+Schedule olb_schedule(const Workload& w);
+
+}  // namespace sehc

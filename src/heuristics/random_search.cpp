@@ -1,0 +1,31 @@
+#include "heuristics/random_search.h"
+
+#include <limits>
+
+#include "core/rng.h"
+#include "sched/encoding.h"
+#include "sched/evaluator.h"
+
+namespace sehc {
+
+Schedule random_search_schedule(const Workload& w, std::size_t evaluations,
+                                std::uint64_t seed) {
+  SEHC_CHECK(evaluations > 0, "random_search: need at least one evaluation");
+  Rng rng(seed);
+  Evaluator eval(w);
+
+  SolutionString best;
+  double best_len = std::numeric_limits<double>::infinity();
+  for (std::size_t i = 0; i < evaluations; ++i) {
+    SolutionString candidate =
+        random_initial_solution(w.graph(), w.num_machines(), rng);
+    const double len = eval.makespan(candidate);
+    if (len < best_len) {
+      best_len = len;
+      best = std::move(candidate);
+    }
+  }
+  return Schedule::from_solution(w, best);
+}
+
+}  // namespace sehc

@@ -1,0 +1,17 @@
+// Random search baseline: sample independent random valid solutions and
+// keep the best. The weakest sensible comparator; iterative heuristics must
+// beat it to justify their machinery.
+#pragma once
+
+#include <cstdint>
+
+#include "hc/workload.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+/// Draws `evaluations` random valid solutions; returns the best schedule.
+Schedule random_search_schedule(const Workload& w, std::size_t evaluations,
+                                std::uint64_t seed);
+
+}  // namespace sehc

@@ -1,0 +1,65 @@
+// Common interface for every matching-and-scheduling heuristic in the
+// library, plus a registry used by the comparison benches and examples.
+//
+// The paper's survey references ([4] Braun et al., [5] Topcuoglu et al.)
+// motivate the baseline set: list schedulers (HEFT, CPOP), levelized
+// meta-task mappers (min-min, max-min, MCT, OLB) and generic iterative
+// search (simulated annealing, random search) alongside SE and GA.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "hc/workload.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Stable identifier used in tables ("SE", "GA", "HEFT", ...).
+  virtual std::string name() const = 0;
+
+  /// Produces a complete valid schedule for the workload.
+  virtual Schedule schedule(const Workload& w) const = 0;
+};
+
+/// Deterministic list schedulers (no seed needed).
+std::unique_ptr<Scheduler> make_heft();
+std::unique_ptr<Scheduler> make_cpop();
+
+/// Levelized meta-task mappers.
+enum class LevelMapperKind { kMinMin, kMaxMin, kMct, kOlb };
+std::unique_ptr<Scheduler> make_level_mapper(LevelMapperKind kind);
+
+/// Deterministic heterogeneous list scheduler of Sih & Lee.
+std::unique_ptr<Scheduler> make_dls();
+
+/// Iterative searchers with a fixed evaluation budget.
+std::unique_ptr<Scheduler> make_random_search(std::size_t evaluations,
+                                              std::uint64_t seed);
+std::unique_ptr<Scheduler> make_simulated_annealing(std::size_t iterations,
+                                                    std::uint64_t seed);
+std::unique_ptr<Scheduler> make_tabu_search(std::size_t iterations,
+                                            std::uint64_t seed);
+
+/// SE and GA wrapped behind the common interface with iteration budgets.
+std::unique_ptr<Scheduler> make_se_scheduler(std::size_t iterations,
+                                             std::uint64_t seed,
+                                             std::size_t y_limit = 0);
+std::unique_ptr<Scheduler> make_ga_scheduler(std::size_t generations,
+                                             std::uint64_t seed);
+
+/// Genetic simulated annealing (paper ref [8]) with a generation budget.
+std::unique_ptr<Scheduler> make_gsa_scheduler(std::size_t generations,
+                                              std::uint64_t seed);
+
+/// The full comparison suite used by bench/table_baselines and the
+/// compare_heuristics example. `budget` scales the iterative methods.
+std::vector<std::unique_ptr<Scheduler>> make_all_schedulers(
+    std::size_t budget, std::uint64_t seed);
+
+}  // namespace sehc

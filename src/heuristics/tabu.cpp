@@ -1,0 +1,109 @@
+#include "heuristics/tabu.h"
+
+#include <limits>
+#include <vector>
+
+#include "core/rng.h"
+#include "sched/encoding.h"
+#include "sched/evaluator.h"
+
+namespace sehc {
+
+namespace {
+
+struct Move {
+  TaskId task = kInvalidTask;
+  std::size_t pos = 0;
+  MachineId machine = 0;
+};
+
+/// Attribute-based tabu memory: expiry iteration per (task, pos, machine).
+class TabuList {
+ public:
+  TabuList(std::size_t tasks, std::size_t positions, std::size_t machines)
+      : positions_(positions), machines_(machines),
+        expiry_(tasks * positions * machines, 0) {}
+
+  bool is_tabu(const Move& m, std::size_t now) const {
+    return expiry_[index(m)] > now;
+  }
+
+  void forbid(const Move& m, std::size_t until) { expiry_[index(m)] = until; }
+
+ private:
+  std::size_t index(const Move& m) const {
+    return (m.task * positions_ + m.pos) * machines_ + m.machine;
+  }
+
+  std::size_t positions_;
+  std::size_t machines_;
+  std::vector<std::size_t> expiry_;
+};
+
+}  // namespace
+
+TabuResult tabu_schedule(const Workload& w, const TabuParams& params) {
+  SEHC_CHECK(params.samples > 0, "tabu_schedule: samples must be positive");
+  Rng rng(params.seed);
+  Evaluator eval(w);
+  const TaskGraph& g = w.graph();
+
+  SolutionString current =
+      random_initial_solution(g, w.num_machines(), rng);
+  double current_len = eval.makespan(current);
+  SolutionString best = current;
+  double best_len = current_len;
+
+  TabuList tabu(w.num_tasks(), w.num_tasks(), w.num_machines());
+
+  std::size_t iteration = 0;
+  for (; iteration < params.iterations; ++iteration) {
+    Move chosen;
+    double chosen_len = std::numeric_limits<double>::infinity();
+    Move chosen_reverse;
+
+    for (std::size_t sample = 0; sample < params.samples; ++sample) {
+      const TaskId t = static_cast<TaskId>(rng.below(w.num_tasks()));
+      const ValidRange range = current.valid_range(g, t);
+      const Move reverse{t, current.position_of(t), current.machine_of(t)};
+      const Move move{
+          t, range.lo + static_cast<std::size_t>(rng.below(range.size())),
+          static_cast<MachineId>(rng.below(w.num_machines()))};
+
+      // Trial: apply, evaluate, undo.
+      current.move_task(move.task, move.pos);
+      current.set_machine(move.task, move.machine);
+      const double len = eval.makespan(current);
+      current.move_task(reverse.task, reverse.pos);
+      current.set_machine(reverse.task, reverse.machine);
+
+      const bool aspirates = len < best_len;
+      if (!aspirates && tabu.is_tabu(move, iteration)) continue;
+      if (len < chosen_len) {
+        chosen_len = len;
+        chosen = move;
+        chosen_reverse = reverse;
+      }
+    }
+
+    if (chosen.task == kInvalidTask) continue;  // everything sampled was tabu
+
+    current.move_task(chosen.task, chosen.pos);
+    current.set_machine(chosen.task, chosen.machine);
+    current_len = chosen_len;
+    tabu.forbid(chosen_reverse, iteration + params.tenure);
+
+    if (current_len < best_len) {
+      best_len = current_len;
+      best = current;
+    }
+  }
+
+  TabuResult result;
+  result.schedule = Schedule::from_solution(w, best);
+  result.best_makespan = best_len;
+  result.iterations = iteration;
+  return result;
+}
+
+}  // namespace sehc

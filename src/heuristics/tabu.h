@@ -1,0 +1,36 @@
+// Tabu search on the combined string encoding — a short-memory local
+// search baseline complementing SA (uphill via memory rather than via
+// temperature).
+//
+// Neighborhood: the best non-tabu single-task move among a sampled set of
+// (task, position, machine) candidates per iteration; a move is committed
+// even when uphill (classic tabu), the reverse attribute (task, old
+// position, old machine) becomes tabu for `tenure` iterations, and
+// aspiration overrides tabu when a move beats the best-known solution.
+#pragma once
+
+#include <cstdint>
+
+#include "hc/workload.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+struct TabuParams {
+  std::size_t iterations = 5000;
+  /// Iterations a reversed move stays forbidden.
+  std::size_t tenure = 25;
+  /// Candidate moves sampled per iteration.
+  std::size_t samples = 24;
+  std::uint64_t seed = 1;
+};
+
+struct TabuResult {
+  Schedule schedule;
+  double best_makespan = 0.0;
+  std::size_t iterations = 0;
+};
+
+TabuResult tabu_schedule(const Workload& w, const TabuParams& params);
+
+}  // namespace sehc

@@ -1,0 +1,37 @@
+#include "sched/bounds.h"
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "dag/analysis.h"
+
+namespace sehc {
+
+double critical_path_lower_bound(const Workload& w) {
+  std::vector<double> best(w.num_tasks());
+  for (TaskId t = 0; t < w.num_tasks(); ++t) best[t] = w.best_exec(t);
+  return critical_path_length(w.graph(), best);
+}
+
+double work_lower_bound(const Workload& w) {
+  double total = 0.0;
+  for (TaskId t = 0; t < w.num_tasks(); ++t) total += w.best_exec(t);
+  return total / static_cast<double>(w.num_machines());
+}
+
+double makespan_lower_bound(const Workload& w) {
+  return std::max(critical_path_lower_bound(w), work_lower_bound(w));
+}
+
+double serial_upper_bound(const Workload& w) {
+  double best = std::numeric_limits<double>::infinity();
+  for (MachineId m = 0; m < w.num_machines(); ++m) {
+    double total = 0.0;
+    for (TaskId t = 0; t < w.num_tasks(); ++t) total += w.exec(m, t);
+    best = std::min(best, total);
+  }
+  return best;
+}
+
+}  // namespace sehc

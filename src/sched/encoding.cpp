@@ -1,0 +1,151 @@
+#include "sched/encoding.h"
+
+#include <algorithm>
+
+#include "core/rng.h"
+#include "dag/topo.h"
+
+namespace sehc {
+
+SolutionString::SolutionString(std::span<const TaskId> order,
+                               std::span<const MachineId> assignment) {
+  SEHC_CHECK(order.size() == assignment.size(),
+             "SolutionString: order/assignment size mismatch");
+  const std::size_t k = order.size();
+  segments_.resize(k);
+  pos_.assign(k, k);
+  for (std::size_t i = 0; i < k; ++i) {
+    const TaskId t = order[i];
+    SEHC_CHECK(t < k, "SolutionString: task id out of range");
+    SEHC_CHECK(pos_[t] == k, "SolutionString: duplicate task in order");
+    segments_[i] = Segment{t, assignment[t]};
+    pos_[t] = i;
+  }
+}
+
+const Segment& SolutionString::segment(std::size_t pos) const {
+  SEHC_CHECK(pos < segments_.size(), "SolutionString::segment: out of range");
+  return segments_[pos];
+}
+
+std::size_t SolutionString::position_of(TaskId t) const {
+  SEHC_CHECK(t < pos_.size(), "SolutionString::position_of: bad task");
+  return pos_[t];
+}
+
+MachineId SolutionString::machine_of(TaskId t) const {
+  return segments_[position_of(t)].machine;
+}
+
+std::vector<TaskId> SolutionString::order() const {
+  std::vector<TaskId> out(segments_.size());
+  for (std::size_t i = 0; i < segments_.size(); ++i) out[i] = segments_[i].task;
+  return out;
+}
+
+std::vector<MachineId> SolutionString::assignment() const {
+  std::vector<MachineId> out(segments_.size());
+  for (const Segment& s : segments_) out[s.task] = s.machine;
+  return out;
+}
+
+std::vector<std::vector<TaskId>> SolutionString::machine_sequences(
+    std::size_t num_machines) const {
+  std::vector<std::vector<TaskId>> seq(num_machines);
+  for (const Segment& s : segments_) {
+    SEHC_CHECK(s.machine < num_machines,
+               "machine_sequences: machine id out of range");
+    seq[s.machine].push_back(s.task);
+  }
+  return seq;
+}
+
+void SolutionString::set_machine(TaskId t, MachineId m) {
+  segments_[position_of(t)].machine = m;
+}
+
+void SolutionString::move_task(TaskId t, std::size_t new_pos) {
+  const std::size_t old_pos = position_of(t);
+  SEHC_CHECK(new_pos < segments_.size(), "move_task: position out of range");
+  if (new_pos == old_pos) return;
+  const Segment moving = segments_[old_pos];
+  auto begin = segments_.begin();
+  if (new_pos > old_pos) {
+    // Shift (old, new] left by one.
+    std::rotate(begin + static_cast<std::ptrdiff_t>(old_pos),
+                begin + static_cast<std::ptrdiff_t>(old_pos) + 1,
+                begin + static_cast<std::ptrdiff_t>(new_pos) + 1);
+    for (std::size_t i = old_pos; i < new_pos; ++i) pos_[segments_[i].task] = i;
+  } else {
+    // Shift [new, old) right by one.
+    std::rotate(begin + static_cast<std::ptrdiff_t>(new_pos),
+                begin + static_cast<std::ptrdiff_t>(old_pos),
+                begin + static_cast<std::ptrdiff_t>(old_pos) + 1);
+    for (std::size_t i = new_pos + 1; i <= old_pos; ++i)
+      pos_[segments_[i].task] = i;
+  }
+  segments_[new_pos] = moving;
+  pos_[t] = new_pos;
+}
+
+ValidRange SolutionString::valid_range(const TaskGraph& g, TaskId t) const {
+  SEHC_CHECK(g.num_tasks() == segments_.size(),
+             "valid_range: graph/string size mismatch");
+  const std::size_t k = segments_.size();
+  const std::size_t p = position_of(t);
+
+  // Latest predecessor / earliest successor positions in the current string.
+  std::ptrdiff_t last_pred = -1;
+  std::size_t first_succ = k;
+  for (DataId d : g.in_edges(t)) {
+    last_pred = std::max(last_pred,
+                         static_cast<std::ptrdiff_t>(pos_[g.edge(d).src]));
+  }
+  for (DataId d : g.out_edges(t)) {
+    first_succ = std::min(first_succ, pos_[g.edge(d).dst]);
+  }
+
+  // Convert to final positions after removing t: indices above p shift down
+  // by one, and reinsertion at removed-index q lands at final position q.
+  const std::size_t lo =
+      last_pred < 0 ? 0
+                    : (static_cast<std::size_t>(last_pred) < p
+                           ? static_cast<std::size_t>(last_pred) + 1
+                           : static_cast<std::size_t>(last_pred));
+  const std::size_t hi =
+      first_succ == k ? k - 1 : (first_succ < p ? first_succ : first_succ - 1);
+  SEHC_ASSERT_MSG(lo <= hi, "valid_range: empty range implies invalid string");
+  return ValidRange{lo, hi};
+}
+
+bool SolutionString::is_valid(const TaskGraph& g) const {
+  if (segments_.size() != g.num_tasks()) return false;
+  return is_topological_order(g, order());
+}
+
+SolutionString random_initial_solution(const TaskGraph& g,
+                                       std::size_t num_machines, Rng& rng) {
+  SEHC_CHECK(num_machines > 0, "random_initial_solution: no machines");
+  const std::size_t k = g.num_tasks();
+
+  // Random machine assignment, then a (deterministic) topological sort.
+  std::vector<MachineId> assignment(k);
+  for (auto& m : assignment)
+    m = static_cast<MachineId>(rng.below(num_machines));
+  auto order = topological_order(g);
+  SEHC_CHECK(order.has_value(), "random_initial_solution: cyclic graph");
+  SolutionString s(*order, assignment);
+
+  // Perturb with a random number of random valid-range moves (paper §4.2).
+  const std::size_t moves = k == 0 ? 0 : rng.below(2 * k + 1);
+  for (std::size_t i = 0; i < moves; ++i) {
+    const TaskId t = static_cast<TaskId>(rng.below(k));
+    const ValidRange range = s.valid_range(g, t);
+    const std::size_t target =
+        range.lo + static_cast<std::size_t>(rng.below(range.size()));
+    s.move_task(t, target);
+  }
+  return s;
+}
+
+}  // namespace sehc

@@ -1,0 +1,100 @@
+// The combined matching + scheduling encoding of the paper (§4.1).
+//
+// A solution is a string of k segments, each pairing a subtask with a
+// machine. The string order must be a topological order of the DAG; the
+// subsequence of tasks paired with machine m is the execution order on m.
+//
+// SolutionString maintains the segment vector plus a task -> position index
+// so that valid-range computation and moves are O(k) worst case. The class
+// does not store the DAG; operations that depend on precedence take it as a
+// parameter, which keeps the type a cheap value (copied per trial move in
+// the allocation step).
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "dag/task_graph.h"
+
+namespace sehc {
+
+class Rng;
+
+/// One segment of the encoding: subtask s assigned to machine m.
+struct Segment {
+  TaskId task = kInvalidTask;
+  MachineId machine = 0;
+
+  friend bool operator==(const Segment&, const Segment&) = default;
+};
+
+/// Inclusive range [lo, hi] of string positions a task may occupy without
+/// violating any precedence constraint (the paper's "valid moving range").
+struct ValidRange {
+  std::size_t lo = 0;
+  std::size_t hi = 0;
+
+  std::size_t size() const { return hi - lo + 1; }
+  bool contains(std::size_t p) const { return p >= lo && p <= hi; }
+
+  friend bool operator==(const ValidRange&, const ValidRange&) = default;
+};
+
+class SolutionString {
+ public:
+  SolutionString() = default;
+
+  /// Builds from an explicit task order + per-task machine assignment.
+  /// `order` must be a permutation of 0..k-1 (topological validity is the
+  /// caller's contract; check with is_valid()).
+  SolutionString(std::span<const TaskId> order,
+                 std::span<const MachineId> assignment);
+
+  std::size_t size() const { return segments_.size(); }
+  bool empty() const { return segments_.empty(); }
+
+  const Segment& segment(std::size_t pos) const;
+  std::span<const Segment> segments() const { return segments_; }
+
+  std::size_t position_of(TaskId t) const;
+  MachineId machine_of(TaskId t) const;
+
+  /// Task order as a flat vector (for interop with topo utilities).
+  std::vector<TaskId> order() const;
+
+  /// Machine assignment indexed by task id.
+  std::vector<MachineId> assignment() const;
+
+  /// Per-machine execution order implied by the string.
+  std::vector<std::vector<TaskId>> machine_sequences(std::size_t num_machines) const;
+
+  /// Reassigns `t` to `m` without moving it.
+  void set_machine(TaskId t, MachineId m);
+
+  /// Moves `t` so that its final position is `new_pos`, shifting the
+  /// segments in between. `new_pos` must be within the task's valid range
+  /// for the move to preserve topological validity (not checked here).
+  void move_task(TaskId t, std::size_t new_pos);
+
+  /// The paper's valid moving range for `t`: every position between its
+  /// latest-placed predecessor and earliest-placed successor. Positions are
+  /// final positions as used by move_task.
+  ValidRange valid_range(const TaskGraph& g, TaskId t) const;
+
+  /// True iff the string is a permutation of g's tasks in topological order.
+  bool is_valid(const TaskGraph& g) const;
+
+  friend bool operator==(const SolutionString&, const SolutionString&) = default;
+
+ private:
+  std::vector<Segment> segments_;
+  std::vector<std::size_t> pos_;  // task id -> position in segments_
+};
+
+/// Random valid initial solution per the paper (§4.2): random machine
+/// assignment, topological sort, then a random number of random valid-range
+/// moves (and fresh machine draws for the moved tasks).
+SolutionString random_initial_solution(const TaskGraph& g,
+                                       std::size_t num_machines, Rng& rng);
+
+}  // namespace sehc

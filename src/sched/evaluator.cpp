@@ -1,0 +1,131 @@
+#include "sched/evaluator.h"
+
+#include <algorithm>
+
+namespace sehc {
+
+Evaluator::Evaluator(const Workload& w)
+    : workload_(&w),
+      finish_(w.num_tasks(), 0.0),
+      machine_avail_(w.num_machines(), 0.0) {}
+
+ScheduleTimes Evaluator::evaluate(const SolutionString& s) const {
+  const Workload& w = *workload_;
+  SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
+  ScheduleTimes out;
+  out.start.assign(w.num_tasks(), 0.0);
+  out.finish.assign(w.num_tasks(), 0.0);
+  std::fill(machine_avail_.begin(), machine_avail_.end(), 0.0);
+
+  const TaskGraph& g = w.graph();
+  for (const Segment& seg : s.segments()) {
+    const TaskId t = seg.task;
+    const MachineId m = seg.machine;
+    double ready = 0.0;
+    for (DataId d : g.in_edges(t)) {
+      const DagEdge& e = g.edge(d);
+      const MachineId pm = s.machine_of(e.src);
+      ready = std::max(ready, out.finish[e.src] + w.transfer(pm, m, d));
+    }
+    const double start = std::max(ready, machine_avail_[m]);
+    const double finish = start + w.exec(m, t);
+    out.start[t] = start;
+    out.finish[t] = finish;
+    machine_avail_[m] = finish;
+    out.makespan = std::max(out.makespan, finish);
+  }
+  return out;
+}
+
+double Evaluator::makespan(const SolutionString& s) const {
+  const Workload& w = *workload_;
+  SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
+  std::fill(machine_avail_.begin(), machine_avail_.end(), 0.0);
+
+  const TaskGraph& g = w.graph();
+  double makespan = 0.0;
+  for (const Segment& seg : s.segments()) {
+    const TaskId t = seg.task;
+    const MachineId m = seg.machine;
+    double ready = 0.0;
+    for (DataId d : g.in_edges(t)) {
+      const DagEdge& e = g.edge(d);
+      const MachineId pm = s.machine_of(e.src);
+      ready = std::max(ready, finish_[e.src] + w.transfer(pm, m, d));
+    }
+    const double start = std::max(ready, machine_avail_[m]);
+    const double finish = start + w.exec(m, t);
+    finish_[t] = finish;
+    machine_avail_[m] = finish;
+    makespan = std::max(makespan, finish);
+  }
+  return makespan;
+}
+
+void Evaluator::begin_trials(const SolutionString& s,
+                             std::size_t prefix) const {
+  const Workload& w = *workload_;
+  SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
+  SEHC_CHECK(prefix <= s.size(), "Evaluator: prefix out of range");
+  std::fill(machine_avail_.begin(), machine_avail_.end(), 0.0);
+
+  const TaskGraph& g = w.graph();
+  double makespan = 0.0;
+  for (std::size_t i = 0; i < prefix; ++i) {
+    const Segment& seg = s.segment(i);
+    const TaskId t = seg.task;
+    const MachineId m = seg.machine;
+    double ready = 0.0;
+    for (DataId d : g.in_edges(t)) {
+      const DagEdge& e = g.edge(d);
+      const MachineId pm = s.machine_of(e.src);
+      ready = std::max(ready, finish_[e.src] + w.transfer(pm, m, d));
+    }
+    const double start = std::max(ready, machine_avail_[m]);
+    const double finish = start + w.exec(m, t);
+    finish_[t] = finish;
+    machine_avail_[m] = finish;
+    makespan = std::max(makespan, finish);
+  }
+  cp_avail_ = machine_avail_;
+  cp_makespan_ = makespan;
+  cp_prefix_ = prefix;
+}
+
+double Evaluator::trial_makespan(const SolutionString& s) const {
+  const Workload& w = *workload_;
+  SEHC_ASSERT_MSG(s.size() == w.num_tasks(),
+                  "Evaluator::trial_makespan: string size mismatch");
+  std::copy(cp_avail_.begin(), cp_avail_.end(), machine_avail_.begin());
+
+  const TaskGraph& g = w.graph();
+  double makespan = cp_makespan_;
+  const std::size_t k = s.size();
+  for (std::size_t i = cp_prefix_; i < k; ++i) {
+    const Segment& seg = s.segment(i);
+    const TaskId t = seg.task;
+    const MachineId m = seg.machine;
+    double ready = 0.0;
+    for (DataId d : g.in_edges(t)) {
+      const DagEdge& e = g.edge(d);
+      const MachineId pm = s.machine_of(e.src);
+      ready = std::max(ready, finish_[e.src] + w.transfer(pm, m, d));
+    }
+    const double start = std::max(ready, machine_avail_[m]);
+    const double finish = start + w.exec(m, t);
+    finish_[t] = finish;
+    machine_avail_[m] = finish;
+    makespan = std::max(makespan, finish);
+  }
+  return makespan;
+}
+
+ScheduleTimes evaluate_schedule(const Workload& w, const SolutionString& s) {
+  return Evaluator(w).evaluate(s);
+}
+
+double schedule_makespan(const Workload& w, const SolutionString& s) {
+  return Evaluator(w).makespan(s);
+}
+
+}  // namespace sehc

@@ -1,0 +1,72 @@
+// Schedule-length evaluation (the cost function both SE and GA minimize).
+//
+// Semantics (paper §2 model): tasks run in string order; machine m executes
+// its tasks in the order they appear in the string; a task starts at
+//
+//   start(t) = max( machine_available(m(t)),
+//                   max over preds p of finish(p) + Tr(m(p), m(t), item) )
+//
+// with Tr == 0 when producer and consumer share a machine. This is
+// non-insertion list scheduling: the string fully determines the schedule.
+//
+// Evaluator pre-sizes its scratch buffers once per workload so the hot loop
+// (called tens of thousands of times per SE run) performs no allocation.
+#pragma once
+
+#include <vector>
+
+#include "hc/workload.h"
+#include "sched/encoding.h"
+
+namespace sehc {
+
+/// Computed start/finish times for one solution.
+struct ScheduleTimes {
+  std::vector<double> start;   // indexed by task
+  std::vector<double> finish;  // indexed by task
+  double makespan = 0.0;
+};
+
+/// Reusable evaluator bound to one workload.
+class Evaluator {
+ public:
+  explicit Evaluator(const Workload& w);
+
+  /// Full evaluation; returns per-task times. O(k + e).
+  ScheduleTimes evaluate(const SolutionString& s) const;
+
+  /// Makespan only; same cost but avoids constructing the result arrays.
+  double makespan(const SolutionString& s) const;
+
+  /// Trial mode for the SE allocation inner loop. All trial strings for one
+  /// task share an unchanged prefix [0, prefix): begin_trials() evaluates
+  /// that prefix once and snapshots the machine state; trial_makespan()
+  /// then costs only O(k - prefix + suffix edges) per candidate string.
+  ///
+  /// Contract: every subsequent trial string must (a) contain exactly the
+  /// same segments in [0, prefix) as the string passed to begin_trials and
+  /// (b) permute only tasks at positions >= prefix. Calling evaluate() /
+  /// makespan() invalidates the checkpoint.
+  void begin_trials(const SolutionString& s, std::size_t prefix) const;
+  double trial_makespan(const SolutionString& s) const;
+
+  const Workload& workload() const { return *workload_; }
+
+ private:
+  const Workload* workload_;  // non-owning; workload outlives evaluator
+  // Scratch reused across calls (single-threaded use, like the algorithms).
+  mutable std::vector<double> finish_;
+  mutable std::vector<double> machine_avail_;
+  // Trial-mode checkpoint.
+  mutable std::vector<double> cp_avail_;
+  mutable double cp_makespan_ = 0.0;
+  mutable std::size_t cp_prefix_ = 0;
+};
+
+/// One-shot convenience wrapper.
+ScheduleTimes evaluate_schedule(const Workload& w, const SolutionString& s);
+
+/// One-shot makespan.
+double schedule_makespan(const Workload& w, const SolutionString& s);
+
+}  // namespace sehc

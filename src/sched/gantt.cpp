@@ -1,0 +1,41 @@
+#include "sched/gantt.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+
+namespace sehc {
+
+void write_gantt(std::ostream& os, const Workload& w, const Schedule& s,
+                 const GanttOptions& options) {
+  SEHC_CHECK(options.width >= 10, "write_gantt: width too small");
+  const double span = std::max(s.makespan, 1e-12);
+  const double scale = static_cast<double>(options.width) / span;
+  const auto seqs = s.machine_sequences(w.num_machines());
+
+  for (MachineId m = 0; m < w.num_machines(); ++m) {
+    std::string row(options.width, ' ');
+    for (TaskId t : seqs[m]) {
+      auto c0 = static_cast<std::size_t>(s.start[t] * scale);
+      auto c1 = static_cast<std::size_t>(s.finish[t] * scale);
+      c0 = std::min(c0, options.width - 1);
+      c1 = std::clamp(c1, c0 + 1, options.width);
+      row[c0] = '[';
+      for (std::size_t c = c0 + 1; c < c1; ++c) row[c] = '=';
+      row[c1 - 1] = ']';
+      if (options.labels) {
+        const std::string& name = w.graph().name(t);
+        if (c1 - c0 >= name.size() + 2) {
+          for (std::size_t i = 0; i < name.size(); ++i) row[c0 + 1 + i] = name[i];
+        }
+      }
+    }
+    os << w.machines()[m].name << " |" << row << "|";
+    if (m == 0) os << " makespan=" << format_fixed(s.makespan, 1);
+    os << "\n";
+  }
+}
+
+}  // namespace sehc

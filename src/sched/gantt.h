@@ -1,0 +1,26 @@
+// ASCII Gantt-chart rendering of schedules for the examples and for eyeball
+// debugging of small instances.
+#pragma once
+
+#include <ostream>
+
+#include "hc/workload.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+struct GanttOptions {
+  /// Total character columns for the time axis.
+  std::size_t width = 72;
+  /// Show task names inside bars when they fit.
+  bool labels = true;
+};
+
+/// Renders one row per machine, bars proportional to task durations:
+///
+///   m0 |[s0   ][s3       ][s4            ]          | 2100.0
+///   m1 |[s1    ][s2   ][s5 ][s6]                    |
+void write_gantt(std::ostream& os, const Workload& w, const Schedule& s,
+                 const GanttOptions& options = {});
+
+}  // namespace sehc

@@ -1,0 +1,24 @@
+// Independent schedule validation.
+//
+// Re-checks a Schedule against the workload model from first principles,
+// without trusting any evaluator: non-negative times, correct durations,
+// machine exclusivity, and precedence with inter-machine communication
+// delays. Tests run every scheduler's output through this.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "hc/workload.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+/// Returns a list of human-readable violations; empty means valid.
+std::vector<std::string> validate_schedule(const Workload& w,
+                                           const Schedule& s);
+
+/// Convenience: true iff validate_schedule reports nothing.
+bool is_valid_schedule(const Workload& w, const Schedule& s);
+
+}  // namespace sehc

@@ -1,0 +1,83 @@
+#include "se/allocation.h"
+
+#include <limits>
+
+namespace sehc {
+
+std::vector<std::vector<MachineId>> machine_candidates(const Workload& w,
+                                                       std::size_t y_limit) {
+  const std::size_t l = w.num_machines();
+  const std::size_t y = (y_limit == 0 || y_limit > l) ? l : y_limit;
+  std::vector<std::vector<MachineId>> out(w.num_tasks());
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    auto sorted = w.machines_by_speed(t);
+    sorted.resize(y);
+    out[t] = std::move(sorted);
+  }
+  return out;
+}
+
+AllocationStats allocate_tasks(
+    const Workload& w, const Evaluator& eval,
+    const std::vector<std::vector<MachineId>>& candidates,
+    const std::vector<TaskId>& selected, SolutionString& s, Rng& rng) {
+  AllocationStats stats;
+  const TaskGraph& g = w.graph();
+
+  for (TaskId t : selected) {
+    const std::size_t original_pos = s.position_of(t);
+    const MachineId original_machine = s.machine_of(t);
+
+    // Paper semantics: the subtask is placed at the best combination among
+    // those TRIED (positions in the valid range x its Y best-matching
+    // machines). The current configuration is only one of the combinations
+    // when the current machine is inside the top-Y set; otherwise the task
+    // is forcibly re-matched, which can move the schedule uphill — this is
+    // the algorithm's escape from single-move local minima when Y < l.
+    double best_len = std::numeric_limits<double>::infinity();
+    std::size_t best_pos = original_pos;
+    MachineId best_machine = original_machine;
+    std::size_t ties = 0;  // reservoir size for uniform tie sampling
+
+    const ValidRange range = s.valid_range(g, t);
+    // Every trial permutes only positions >= range.lo (the task's current
+    // position is inside its own valid range), so the prefix below it is
+    // evaluated once and shared by all |range| x Y trials.
+    eval.begin_trials(s, range.lo);
+    for (std::size_t pos = range.lo; pos <= range.hi; ++pos) {
+      s.move_task(t, pos);
+      for (MachineId m : candidates[t]) {
+        s.set_machine(t, m);
+        const double len = eval.trial_makespan(s);
+        ++stats.combinations_tried;
+        if (len < best_len) {
+          best_len = len;
+          best_pos = pos;
+          best_machine = m;
+          ties = 1;
+        } else if (len == best_len) {
+          // Reservoir sampling: each of the n tied optima survives with
+          // probability 1/n, giving a uniform choice without storing them.
+          ++ties;
+          if (rng.below(ties) == 0) {
+            best_pos = pos;
+            best_machine = m;
+          }
+        }
+      }
+      // Restore the machine before shifting position again so the trial
+      // state stays a single-change delta.
+      s.set_machine(t, original_machine);
+    }
+
+    // Commit the winner (possibly the original placement).
+    s.move_task(t, best_pos);
+    s.set_machine(t, best_machine);
+    if (best_pos != original_pos || best_machine != original_machine) {
+      ++stats.tasks_moved;
+    }
+  }
+  return stats;
+}
+
+}  // namespace sehc

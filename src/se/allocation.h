@@ -1,0 +1,49 @@
+// SE allocation step (paper §4.5).
+//
+// Constructive strategy: for each selected subtask (in ascending DAG-level
+// order) enumerate every combination of (position within its valid moving
+// range) x (machine among its Y best-matching machines) and commit a
+// combination with the smallest overall schedule length. When several
+// combinations tie at the minimum (plateaus are common in makespan
+// landscapes), one of them is chosen uniformly at random — this is the
+// "without being too greedy" ingredient of the paper's allocation (§3):
+// tie moves never worsen the schedule but keep the search mobile instead of
+// freezing in the first single-move local minimum it reaches.
+//
+// Trials are done by mutating the working string in place and restoring it,
+// so allocation performs no memory allocation in the hot loop.
+//
+// The Y parameter (paper §4.5, studied in Fig. 4) limits machine candidates
+// per task to its Y fastest machines; Y = 0 or Y >= l means "all machines".
+#pragma once
+
+#include <vector>
+
+#include "core/rng.h"
+#include "hc/workload.h"
+#include "sched/encoding.h"
+#include "sched/evaluator.h"
+
+namespace sehc {
+
+/// Per-task machine candidate lists (each task's machines sorted by its
+/// execution time, truncated to Y entries). Computed once per run.
+std::vector<std::vector<MachineId>> machine_candidates(const Workload& w,
+                                                       std::size_t y_limit);
+
+/// Statistics for one allocation pass.
+struct AllocationStats {
+  std::size_t tasks_moved = 0;        // tasks whose placement changed
+  std::size_t combinations_tried = 0; // full-schedule evaluations performed
+};
+
+/// Re-places every task in `selected` (already level-ordered) at a best
+/// (position, machine) combination, breaking ties uniformly at random via
+/// `rng`. Mutates `s` in place; returns stats. Never increases the
+/// makespan.
+AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
+                               const std::vector<std::vector<MachineId>>& candidates,
+                               const std::vector<TaskId>& selected,
+                               SolutionString& s, Rng& rng);
+
+}  // namespace sehc

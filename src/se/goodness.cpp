@@ -1,0 +1,43 @@
+#include "se/goodness.h"
+
+#include <algorithm>
+
+#include "dag/topo.h"
+
+namespace sehc {
+
+std::vector<double> optimal_costs(const Workload& w) {
+  const TaskGraph& g = w.graph();
+  auto order = topological_order(g);
+  SEHC_CHECK(order.has_value(), "optimal_costs: cyclic graph");
+
+  // Best-matching machine per task (paper: minimum execution time).
+  std::vector<MachineId> best(w.num_tasks());
+  for (TaskId t = 0; t < w.num_tasks(); ++t) best[t] = w.best_machine(t);
+
+  std::vector<double> finish(w.num_tasks(), 0.0);
+  for (TaskId t : *order) {
+    double ready = 0.0;
+    for (DataId d : g.in_edges(t)) {
+      const DagEdge& e = g.edge(d);
+      ready = std::max(ready,
+                       finish[e.src] + w.transfer(best[e.src], best[t], d));
+    }
+    finish[t] = ready + w.exec(best[t], t);
+  }
+  return finish;
+}
+
+std::vector<double> goodness(const std::vector<double>& optimal,
+                             const ScheduleTimes& times) {
+  SEHC_CHECK(optimal.size() == times.finish.size(),
+             "goodness: size mismatch");
+  std::vector<double> g(optimal.size());
+  for (std::size_t i = 0; i < optimal.size(); ++i) {
+    const double ci = times.finish[i];
+    g[i] = ci <= 0.0 ? 1.0 : std::clamp(optimal[i] / ci, 0.0, 1.0);
+  }
+  return g;
+}
+
+}  // namespace sehc

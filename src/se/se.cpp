@@ -1,0 +1,98 @@
+#include "se/se.h"
+
+#include <cmath>
+
+#include "core/rng.h"
+#include "core/timer.h"
+#include "dag/levels.h"
+#include "se/allocation.h"
+#include "se/goodness.h"
+#include "se/selection.h"
+
+namespace sehc {
+
+SeEngine::SeEngine(const Workload& workload, SeParams params)
+    : workload_(&workload),
+      params_(params),
+      bias_(std::isnan(params.bias) ? default_bias(workload.num_tasks())
+                                    : params.bias),
+      evaluator_(workload),
+      optimal_(optimal_costs(workload)),
+      levels_(task_levels(workload.graph())),
+      candidates_(machine_candidates(workload, params.y_limit)) {}
+
+SeResult SeEngine::run() {
+  Rng rng(params_.seed);
+  SolutionString initial =
+      random_initial_solution(workload_->graph(), workload_->num_machines(), rng);
+  return run_from(std::move(initial));
+}
+
+SeResult SeEngine::run_from(SolutionString current) {
+  SEHC_CHECK(current.is_valid(workload_->graph()),
+             "SeEngine: initial solution is not a valid topological string");
+  // The selection stream continues from a distinct sub-seed so that run()
+  // and run_from() behave identically given the same initial solution.
+  Rng rng = Rng(params_.seed).split(0xA110C);
+  WallTimer timer;
+
+  SeResult result;
+  result.best_solution = current;
+  result.best_makespan = evaluator_.makespan(current);
+
+  std::size_t stall = 0;
+  std::size_t iteration = 0;
+  for (; iteration < params_.max_iterations; ++iteration) {
+    if (timer.seconds() >= params_.time_limit_seconds) break;
+
+    // Evaluation: goodness of every individual in the current solution.
+    const ScheduleTimes times = evaluator_.evaluate(current);
+    const std::vector<double> g = goodness(optimal_, times);
+
+    // Selection: biased, level-ordered.
+    const std::vector<TaskId> selected = select_tasks(g, bias_, levels_, rng);
+
+    // Allocation: constructive best-fit re-placement of selected tasks
+    // (ties among best placements broken randomly -> plateau mobility).
+    const AllocationStats alloc = allocate_tasks(
+        *workload_, evaluator_, candidates_, selected, current, rng);
+
+    if (params_.verify_invariants) {
+      SEHC_ASSERT_MSG(current.is_valid(workload_->graph()),
+                      "SE iteration produced an invalid string");
+    }
+
+    const double current_makespan = evaluator_.makespan(current);
+    if (current_makespan < result.best_makespan) {
+      result.best_makespan = current_makespan;
+      result.best_solution = current;
+      stall = 0;
+    } else {
+      ++stall;
+    }
+
+    SeIterationStats stats;
+    stats.iteration = iteration;
+    stats.num_selected = selected.size();
+    stats.tasks_moved = alloc.tasks_moved;
+    stats.current_makespan = current_makespan;
+    stats.best_makespan = result.best_makespan;
+    stats.elapsed_seconds = timer.seconds();
+    if (params_.record_trace) result.trace.push_back(stats);
+    if (observer_ && !observer_(stats)) {
+      ++iteration;
+      break;
+    }
+    if (params_.stall_iterations > 0 && stall >= params_.stall_iterations) {
+      ++iteration;
+      break;
+    }
+  }
+
+  result.iterations = iteration;
+  result.seconds = timer.seconds();
+  result.schedule = Schedule::from_solution(*workload_, result.best_solution);
+  return result;
+}
+
+}  // namespace sehc

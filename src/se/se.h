@@ -1,0 +1,90 @@
+// Simulated Evolution engine for matching & scheduling in HC (paper §3-4).
+//
+// Evaluation -> Selection -> Allocation, repeated until a stopping criterion
+// holds. The engine records a per-iteration trace (number of selected
+// subtasks, current and best schedule length, wall time) — exactly the
+// series plotted in the paper's Figures 3-7.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <vector>
+
+#include "hc/workload.h"
+#include "sched/encoding.h"
+#include "sched/evaluator.h"
+#include "sched/schedule.h"
+
+namespace sehc {
+
+struct SeParams {
+  /// Selection bias B (paper §4.4). NaN means "use default_bias(k)".
+  double bias = std::numeric_limits<double>::quiet_NaN();
+  /// Y parameter (paper §4.5): number of best-matching machines tried per
+  /// task during allocation. 0 = all machines.
+  std::size_t y_limit = 0;
+  /// Hard iteration cap.
+  std::size_t max_iterations = 1000;
+  /// Wall-clock budget in seconds (infinity = no limit).
+  double time_limit_seconds = std::numeric_limits<double>::infinity();
+  /// Stop after this many consecutive iterations without improving the best
+  /// makespan (0 = disabled).
+  std::size_t stall_iterations = 0;
+  std::uint64_t seed = 1;
+  /// Re-validate the string's topological validity every iteration (tests).
+  bool verify_invariants = false;
+  /// Record the per-iteration trace (disable for microbenchmarks).
+  bool record_trace = true;
+};
+
+/// One row of the convergence trace.
+struct SeIterationStats {
+  std::size_t iteration = 0;
+  std::size_t num_selected = 0;       // |S| after the selection step
+  std::size_t tasks_moved = 0;        // placements changed by allocation
+  double current_makespan = 0.0;      // schedule length of current solution
+  double best_makespan = 0.0;         // best seen so far
+  double elapsed_seconds = 0.0;
+};
+
+struct SeResult {
+  SolutionString best_solution;
+  double best_makespan = 0.0;
+  Schedule schedule;                   // materialized from best_solution
+  std::vector<SeIterationStats> trace; // empty if record_trace == false
+  std::size_t iterations = 0;
+  double seconds = 0.0;
+};
+
+class SeEngine {
+ public:
+  /// The workload must outlive the engine.
+  SeEngine(const Workload& workload, SeParams params);
+
+  /// Called after every iteration; return false to stop the run early.
+  /// Used by the anytime-comparison benches (Figs. 5-7).
+  using Observer = std::function<bool(const SeIterationStats&)>;
+  void set_observer(Observer observer) { observer_ = std::move(observer); }
+
+  /// Runs from a fresh random initial solution (paper §4.2).
+  SeResult run();
+
+  /// Runs from a caller-supplied initial solution (must be valid).
+  SeResult run_from(SolutionString initial);
+
+  /// Effective bias after resolving the NaN default.
+  double effective_bias() const { return bias_; }
+
+ private:
+  const Workload* workload_;
+  SeParams params_;
+  double bias_;
+  Evaluator evaluator_;
+  std::vector<double> optimal_;       // O_i, fixed for the whole run
+  std::vector<int> levels_;           // DAG levels for selection ordering
+  std::vector<std::vector<MachineId>> candidates_;  // Y-restricted machines
+  Observer observer_;
+};
+
+}  // namespace sehc

@@ -1,0 +1,99 @@
+#include "workload/gen_matrices.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace sehc {
+
+double heterogeneity_range(Level level) {
+  switch (level) {
+    case Level::kLow: return 1.25;
+    case Level::kMedium: return 4.0;
+    case Level::kHigh: return 12.0;
+  }
+  return 4.0;
+}
+
+Matrix<double> generate_exec_matrix(std::size_t machines, std::size_t tasks,
+                                    Level heterogeneity, double mean_exec,
+                                    Rng& rng, Consistency consistency) {
+  SEHC_CHECK(machines > 0 && tasks > 0, "generate_exec_matrix: empty problem");
+  SEHC_CHECK(mean_exec > 0.0, "generate_exec_matrix: mean_exec must be > 0");
+  const double r_het = heterogeneity_range(heterogeneity);
+  // Normalize so the expected value of E stays mean_exec regardless of the
+  // heterogeneity class: E[phi] = (1 + R) / 2.
+  const double norm = 2.0 / (1.0 + r_het);
+
+  Matrix<double> exec(machines, tasks);
+  for (TaskId t = 0; t < tasks; ++t) {
+    const double tau = mean_exec * rng.uniform(0.5, 1.5);
+    for (MachineId m = 0; m < machines; ++m) {
+      exec(m, t) = tau * rng.uniform(1.0, r_het) * norm;
+    }
+  }
+
+  // Impose consistency structure by sorting each task's column across the
+  // affected machines (the classic post-processing of the range-based
+  // method): ascending by machine id means machine 0 is globally fastest.
+  auto sort_column_subset = [&](TaskId t, std::size_t stride) {
+    std::vector<double> values;
+    for (MachineId m = 0; m < machines; m += stride) values.push_back(exec(m, t));
+    std::sort(values.begin(), values.end());
+    std::size_t i = 0;
+    for (MachineId m = 0; m < machines; m += stride) exec(m, t) = values[i++];
+  };
+  if (consistency == Consistency::kConsistent) {
+    for (TaskId t = 0; t < tasks; ++t) sort_column_subset(t, 1);
+  } else if (consistency == Consistency::kSemiConsistent) {
+    for (TaskId t = 0; t < tasks; ++t) sort_column_subset(t, 2);
+  }
+  return exec;
+}
+
+double measure_consistency(const Matrix<double>& exec) {
+  const std::size_t machines = exec.rows();
+  const std::size_t tasks = exec.cols();
+  SEHC_CHECK(machines > 0 && tasks > 0, "measure_consistency: empty matrix");
+  if (machines < 2) return 1.0;
+  double total = 0.0;
+  std::size_t pairs = 0;
+  for (MachineId a = 0; a < machines; ++a) {
+    for (MachineId b = a + 1; b < machines; ++b) {
+      std::size_t a_faster = 0;
+      for (TaskId t = 0; t < tasks; ++t) a_faster += exec(a, t) < exec(b, t);
+      const double p = static_cast<double>(a_faster) / static_cast<double>(tasks);
+      // max(p, 1-p) in [0.5, 1] -> rescale to [0, 1].
+      total += 2.0 * std::max(p, 1.0 - p) - 1.0;
+      ++pairs;
+    }
+  }
+  return total / static_cast<double>(pairs);
+}
+
+Matrix<double> generate_transfer_matrix(const TaskGraph& graph,
+                                        const Matrix<double>& exec, double ccr,
+                                        Rng& rng) {
+  SEHC_CHECK(ccr >= 0.0, "generate_transfer_matrix: ccr must be >= 0");
+  const std::size_t machines = exec.rows();
+  SEHC_CHECK(exec.cols() == graph.num_tasks(),
+             "generate_transfer_matrix: exec/graph mismatch");
+  const std::size_t pairs = machines * (machines - 1) / 2;
+  Matrix<double> tr(pairs, graph.num_edges(), 0.0);
+  if (pairs == 0 || graph.num_edges() == 0) return tr;
+
+  std::vector<double> link(pairs);
+  for (auto& f : link) f = rng.uniform(0.6, 1.4);
+
+  for (const DagEdge& e : graph.edges()) {
+    double mean_src_exec = 0.0;
+    for (MachineId m = 0; m < machines; ++m) mean_src_exec += exec(m, e.src);
+    mean_src_exec /= static_cast<double>(machines);
+    const double size = ccr * mean_src_exec * rng.uniform(0.7, 1.3);
+    for (std::size_t p = 0; p < pairs; ++p) {
+      tr(p, e.item) = size * link[p];
+    }
+  }
+  return tr;
+}
+
+}  // namespace sehc

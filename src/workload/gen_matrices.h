@@ -1,0 +1,50 @@
+// Generation of the execution-time matrix E and transfer-time matrix Tr.
+//
+// Execution times use the range-based ("inconsistent") heterogeneity model
+// standard in the HC literature (Braun et al., ref [4] of the paper):
+//
+//   E[m][t] = tau_t * phi_{m,t}
+//
+// where tau_t ~ U[0.5, 1.5] * mean_exec captures task size and
+// phi_{m,t} ~ U[1, R_het] captures machine affinity. The heterogeneity class
+// sets R_het: low -> 1.25 (near-homogeneous suite), medium -> 4, high -> 12.
+// "Inconsistent" means a machine fast for one task may be slow for another,
+// which is what makes *matching* (not just scheduling) matter.
+//
+// Transfer times follow the paper's CCR definition ("ratio of size of data
+// item over execution time of the subtask generating this item"):
+//
+//   size_d   = ccr * mean_m E[m][src(d)] * U[0.7, 1.3]
+//   Tr[p][d] = size_d * link_p
+//
+// with per-pair link factors link_p ~ U[0.6, 1.4] modelling a non-uniform
+// but fully connected network. In expectation, mean(Tr) / mean(E) == ccr.
+#pragma once
+
+#include "core/matrix.h"
+#include "core/rng.h"
+#include "dag/task_graph.h"
+#include "workload/params.h"
+
+namespace sehc {
+
+/// Machine-affinity range R_het for a heterogeneity class.
+double heterogeneity_range(Level level);
+
+/// Generates E (machines x tasks).
+Matrix<double> generate_exec_matrix(std::size_t machines, std::size_t tasks,
+                                    Level heterogeneity, double mean_exec,
+                                    Rng& rng,
+                                    Consistency consistency = Consistency::kInconsistent);
+
+/// Consistency index in [0, 1]: mean over machine pairs of how lopsided the
+/// per-task "which machine is faster" vote is (0 = perfectly inconsistent
+/// coin-flip, 1 = fully consistent total order).
+double measure_consistency(const Matrix<double>& exec);
+
+/// Generates Tr (machine pairs x data items) for `graph` against `exec`.
+Matrix<double> generate_transfer_matrix(const TaskGraph& graph,
+                                        const Matrix<double>& exec, double ccr,
+                                        Rng& rng);
+
+}  // namespace sehc

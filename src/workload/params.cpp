@@ -1,0 +1,111 @@
+#include "workload/params.h"
+
+#include <sstream>
+
+namespace sehc {
+
+const char* to_string(Level level) {
+  switch (level) {
+    case Level::kLow: return "low";
+    case Level::kMedium: return "medium";
+    case Level::kHigh: return "high";
+  }
+  return "unknown";
+}
+
+const char* to_string(Consistency consistency) {
+  switch (consistency) {
+    case Consistency::kInconsistent: return "inconsistent";
+    case Consistency::kConsistent: return "consistent";
+    case Consistency::kSemiConsistent: return "semi-consistent";
+  }
+  return "unknown";
+}
+
+std::string WorkloadParams::describe() const {
+  std::ostringstream os;
+  os << "k" << tasks << " l" << machines << " conn=" << to_string(connectivity)
+     << " het=" << to_string(heterogeneity) << " ccr=" << ccr;
+  if (consistency != Consistency::kInconsistent) {
+    os << " " << to_string(consistency);
+  }
+  return os.str();
+}
+
+// The paper's "large" experiments use 100 tasks on 20 machines (§5.3); the
+// Y study (Fig. 4) sweeps Y up to 12, implying at least 12 machines, so the
+// same 100x20 configuration is used there too.
+
+WorkloadParams paper_large_high_connectivity(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 100;
+  p.machines = 20;
+  p.connectivity = Level::kHigh;
+  p.heterogeneity = Level::kMedium;
+  p.ccr = 0.5;
+  p.seed = seed;
+  return p;
+}
+
+WorkloadParams paper_large_low_heterogeneity(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 100;
+  p.machines = 20;
+  p.connectivity = Level::kMedium;
+  p.heterogeneity = Level::kLow;
+  p.ccr = 0.5;
+  p.seed = seed;
+  return p;
+}
+
+WorkloadParams paper_large_high_heterogeneity(std::uint64_t seed) {
+  WorkloadParams p = paper_large_low_heterogeneity(seed);
+  p.heterogeneity = Level::kHigh;
+  return p;
+}
+
+WorkloadParams paper_fig5_high_connectivity(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 100;
+  p.machines = 20;
+  p.connectivity = Level::kHigh;
+  p.heterogeneity = Level::kMedium;
+  p.ccr = 0.5;
+  p.seed = seed;
+  return p;
+}
+
+WorkloadParams paper_fig6_ccr1(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 100;
+  p.machines = 20;
+  p.connectivity = Level::kMedium;
+  p.heterogeneity = Level::kMedium;
+  p.ccr = 1.0;
+  p.seed = seed;
+  return p;
+}
+
+WorkloadParams paper_fig7_low_everything(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 100;
+  p.machines = 20;
+  p.connectivity = Level::kLow;
+  p.heterogeneity = Level::kLow;
+  p.ccr = 0.1;
+  p.seed = seed;
+  return p;
+}
+
+WorkloadParams paper_small(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 20;
+  p.machines = 4;
+  p.connectivity = Level::kMedium;
+  p.heterogeneity = Level::kMedium;
+  p.ccr = 0.5;
+  p.seed = seed;
+  return p;
+}
+
+}  // namespace sehc

@@ -1,0 +1,55 @@
+// Generator parameters mirroring the paper's workload classification axes
+// (§5): size (tasks x machines), connectivity, heterogeneity, and CCR.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace sehc {
+
+/// Three-way class used by the paper for connectivity and heterogeneity.
+enum class Level { kLow, kMedium, kHigh };
+
+const char* to_string(Level level);
+
+/// Machine-consistency structure of E (Braun et al., ref [4]):
+///   * inconsistent    -- a machine fast for one task may be slow for
+///                        another (default; this is what makes matching
+///                        non-trivial and is the paper's implicit model);
+///   * consistent      -- machines are totally ordered: if m_a beats m_b on
+///                        one task it beats it on all tasks;
+///   * semi-consistent -- the even-indexed machines form a consistent
+///                        sub-suite, the rest stay inconsistent.
+enum class Consistency { kInconsistent, kConsistent, kSemiConsistent };
+
+const char* to_string(Consistency consistency);
+
+struct WorkloadParams {
+  std::size_t tasks = 100;
+  std::size_t machines = 20;
+  Level connectivity = Level::kMedium;
+  Level heterogeneity = Level::kMedium;
+  Consistency consistency = Consistency::kInconsistent;
+  /// Communication-to-cost ratio target: mean transfer time over mean
+  /// execution time. Paper uses 0.1 (light) and 1.0 (heavy).
+  double ccr = 0.5;
+  /// Mean execution time scale (arbitrary units; the paper's figures are in
+  /// the thousands, so default 1000).
+  double mean_exec = 1000.0;
+  std::uint64_t seed = 1;
+
+  /// Compact description like "k100 l20 conn=high het=low ccr=0.1".
+  std::string describe() const;
+};
+
+/// The paper's named experiment classes ("large size and high connectivity",
+/// etc.), used by the figure benches so every figure documents its workload.
+WorkloadParams paper_large_high_connectivity(std::uint64_t seed);
+WorkloadParams paper_large_low_heterogeneity(std::uint64_t seed);
+WorkloadParams paper_large_high_heterogeneity(std::uint64_t seed);
+WorkloadParams paper_fig5_high_connectivity(std::uint64_t seed);
+WorkloadParams paper_fig6_ccr1(std::uint64_t seed);
+WorkloadParams paper_fig7_low_everything(std::uint64_t seed);
+WorkloadParams paper_small(std::uint64_t seed);
+
+}  // namespace sehc

@@ -1,0 +1,101 @@
+#include "workload/random_dag.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace sehc {
+
+RandomDagParams dag_params_for(std::size_t tasks, Level connectivity) {
+  RandomDagParams p;
+  p.tasks = tasks;
+  // Wider graphs expose more parallelism; connectivity raises the number of
+  // data items per task (paper §5: connectivity "defines the number of data
+  // items to be transferred").
+  const double sqrt_k = std::sqrt(static_cast<double>(std::max<std::size_t>(tasks, 1)));
+  switch (connectivity) {
+    case Level::kLow:
+      p.width = sqrt_k * 1.5;
+      p.extra_edge_prob = 0.08;
+      p.max_extra_edges = 1;
+      break;
+    case Level::kMedium:
+      p.width = sqrt_k;
+      p.extra_edge_prob = 0.35;
+      p.max_extra_edges = 3;
+      break;
+    case Level::kHigh:
+      p.width = sqrt_k;
+      p.extra_edge_prob = 0.75;
+      p.max_extra_edges = 6;
+      break;
+  }
+  return p;
+}
+
+TaskGraph random_layered_dag(const RandomDagParams& params, Rng& rng) {
+  SEHC_CHECK(params.tasks > 0, "random_layered_dag: need at least one task");
+  SEHC_CHECK(params.width > 0.0, "random_layered_dag: width must be positive");
+  const std::size_t k = params.tasks;
+  TaskGraph g(k);
+  if (k == 1) return g;
+
+  // Split tasks into contiguous levels of random size centered on `width`.
+  std::vector<std::vector<TaskId>> levels;
+  TaskId next = 0;
+  while (next < k) {
+    const double target = params.width;
+    // Level size in [1, 2*width), mildly randomized.
+    auto size = static_cast<std::size_t>(
+        std::max(1.0, std::round(rng.uniform(0.5, 1.5) * target)));
+    size = std::min<std::size_t>(size, k - next);
+    std::vector<TaskId> level(size);
+    for (auto& t : level) t = next++;
+    levels.push_back(std::move(level));
+  }
+  if (levels.size() == 1) {
+    // Degenerate: force at least two levels so the DAG has depth.
+    auto& only = levels.front();
+    if (only.size() > 1) {
+      std::vector<TaskId> second(only.begin() + static_cast<std::ptrdiff_t>(only.size() / 2),
+                                 only.end());
+      only.resize(only.size() / 2);
+      levels.push_back(std::move(second));
+    }
+  }
+
+  // Mandatory parent from the previous level keeps the level structure real.
+  for (std::size_t li = 1; li < levels.size(); ++li) {
+    for (TaskId t : levels[li]) {
+      const auto& prev = levels[li - 1];
+      g.add_edge(prev[rng.index(prev.size())], t);
+    }
+  }
+
+  // Extra forward edges from any strictly earlier level.
+  for (std::size_t li = 1; li < levels.size(); ++li) {
+    for (TaskId t : levels[li]) {
+      for (std::size_t a = 0; a < params.max_extra_edges; ++a) {
+        if (!rng.chance(params.extra_edge_prob)) continue;
+        const std::size_t src_level = rng.index(li);
+        const auto& candidates = levels[src_level];
+        const TaskId src = candidates[rng.index(candidates.size())];
+        if (!g.has_edge(src, t)) g.add_edge(src, t);
+      }
+    }
+  }
+  return g;
+}
+
+TaskGraph random_ordered_dag(std::size_t tasks, double p, Rng& rng) {
+  SEHC_CHECK(tasks > 0, "random_ordered_dag: need at least one task");
+  SEHC_CHECK(p >= 0.0 && p <= 1.0, "random_ordered_dag: p must be in [0,1]");
+  TaskGraph g(tasks);
+  for (TaskId i = 0; i < tasks; ++i) {
+    for (TaskId j = i + 1; j < tasks; ++j) {
+      if (rng.chance(p)) g.add_edge(i, j);
+    }
+  }
+  return g;
+}
+
+}  // namespace sehc

@@ -1,0 +1,39 @@
+// Random layered DAG generation with a connectivity knob.
+//
+// The generator follows the standard layered construction used across the
+// DAG-scheduling literature (and consistent with the paper's description of
+// randomly generated workloads): tasks are split into levels; every
+// non-entry task receives at least one parent from the immediately preceding
+// level (so the level structure is tight and the graph is connected
+// top-down); additional forward edges are added with a probability set by
+// the connectivity class.
+#pragma once
+
+#include "core/rng.h"
+#include "dag/task_graph.h"
+#include "workload/params.h"
+
+namespace sehc {
+
+struct RandomDagParams {
+  std::size_t tasks = 100;
+  /// Average tasks per level; levels = max(2, tasks / width).
+  double width = 5.0;
+  /// Probability of each extra forward edge being considered per task.
+  double extra_edge_prob = 0.2;
+  /// Max extra edges attempted per task.
+  std::size_t max_extra_edges = 4;
+};
+
+/// Maps the paper's low/medium/high connectivity class to edge parameters.
+RandomDagParams dag_params_for(std::size_t tasks, Level connectivity);
+
+/// Generates a random layered DAG. Deterministic in `rng`.
+TaskGraph random_layered_dag(const RandomDagParams& params, Rng& rng);
+
+/// Erdos-Renyi-style DAG: fixes a random task order, adds each forward pair
+/// (i, j), i < j, independently with probability p. Used by property tests
+/// for unstructured coverage.
+TaskGraph random_ordered_dag(std::size_t tasks, double p, Rng& rng);
+
+}  // namespace sehc

@@ -1,0 +1,149 @@
+#include "workload/structured.h"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+
+namespace sehc {
+
+TaskGraph chain_dag(std::size_t length) {
+  SEHC_CHECK(length > 0, "chain_dag: need at least one task");
+  TaskGraph g(length);
+  for (TaskId t = 0; t + 1 < length; ++t) g.add_edge(t, t + 1);
+  return g;
+}
+
+TaskGraph fork_join_dag(std::size_t width, std::size_t stages) {
+  SEHC_CHECK(width > 0 && stages > 0, "fork_join_dag: width/stages > 0");
+  TaskGraph g;
+  TaskId source = g.add_task("src");
+  for (std::size_t s = 0; s < stages; ++s) {
+    std::vector<TaskId> mids(width);
+    for (std::size_t w = 0; w < width; ++w) {
+      mids[w] = g.add_task("f" + std::to_string(s) + "_" + std::to_string(w));
+      g.add_edge(source, mids[w]);
+    }
+    const TaskId join = g.add_task("join" + std::to_string(s));
+    for (TaskId m : mids) g.add_edge(m, join);
+    source = join;  // next stage fans out from this join
+  }
+  return g;
+}
+
+TaskGraph out_tree_dag(std::size_t depth, std::size_t branching) {
+  SEHC_CHECK(depth > 0 && branching > 0, "out_tree_dag: depth/branching > 0");
+  TaskGraph g;
+  std::vector<TaskId> frontier{g.add_task("root")};
+  for (std::size_t d = 1; d < depth; ++d) {
+    std::vector<TaskId> next;
+    next.reserve(frontier.size() * branching);
+    for (TaskId parent : frontier) {
+      for (std::size_t b = 0; b < branching; ++b) {
+        const TaskId child = g.add_task();
+        g.add_edge(parent, child);
+        next.push_back(child);
+      }
+    }
+    frontier = std::move(next);
+  }
+  return g;
+}
+
+TaskGraph in_tree_dag(std::size_t depth, std::size_t branching) {
+  SEHC_CHECK(depth > 0 && branching > 0, "in_tree_dag: depth/branching > 0");
+  // Build the out-tree shape, then reverse every edge by reconstructing.
+  TaskGraph tree = out_tree_dag(depth, branching);
+  TaskGraph g(tree.num_tasks());
+  for (const DagEdge& e : tree.edges()) g.add_edge(e.dst, e.src);
+  return g;
+}
+
+TaskGraph gaussian_elimination_dag(std::size_t n) {
+  SEHC_CHECK(n >= 2, "gaussian_elimination_dag: n >= 2");
+  TaskGraph g;
+  // pivot[k] and update[k][j] for k = 1..n-1, j = k+1..n (1-based math,
+  // 0-based storage). Classic structure from the HEFT evaluation.
+  std::vector<TaskId> pivot(n, kInvalidTask);
+  // update[k][j]; store in a flat map indexed by (k, j).
+  std::vector<std::vector<TaskId>> update(n, std::vector<TaskId>(n + 1, kInvalidTask));
+
+  for (std::size_t k = 1; k < n; ++k) {
+    pivot[k] = g.add_task("piv" + std::to_string(k));
+    if (k > 1) {
+      // pivot(k) needs the (k-1, k) update.
+      g.add_edge(update[k - 1][k], pivot[k]);
+    }
+    for (std::size_t j = k + 1; j <= n; ++j) {
+      update[k][j] = g.add_task("upd" + std::to_string(k) + "_" + std::to_string(j));
+      g.add_edge(pivot[k], update[k][j]);
+      if (k > 1) g.add_edge(update[k - 1][j], update[k][j]);
+    }
+  }
+  return g;
+}
+
+TaskGraph fft_dag(std::size_t points) {
+  SEHC_CHECK(points >= 2 && (points & (points - 1)) == 0,
+             "fft_dag: points must be a power of two >= 2");
+  const auto log2p = static_cast<std::size_t>(std::log2(static_cast<double>(points)));
+  TaskGraph g;
+  // Layer 0: input tasks; layers 1..log2p: butterfly tasks. Butterfly task
+  // (layer, i) consumes (layer-1, i) and (layer-1, i ^ stride).
+  std::vector<TaskId> prev(points);
+  for (std::size_t i = 0; i < points; ++i)
+    prev[i] = g.add_task("in" + std::to_string(i));
+  for (std::size_t layer = 1; layer <= log2p; ++layer) {
+    const std::size_t stride = points >> layer;  // decimation-in-frequency order
+    std::vector<TaskId> cur(points);
+    for (std::size_t i = 0; i < points; ++i) {
+      cur[i] = g.add_task("b" + std::to_string(layer) + "_" + std::to_string(i));
+      g.add_edge(prev[i], cur[i]);
+      g.add_edge(prev[i ^ stride], cur[i]);
+    }
+    prev = std::move(cur);
+  }
+  return g;
+}
+
+TaskGraph diamond_dag(std::size_t width, std::size_t height) {
+  SEHC_CHECK(width > 0 && height > 0, "diamond_dag: width/height > 0");
+  TaskGraph g;
+  std::vector<std::vector<TaskId>> grid(height, std::vector<TaskId>(width));
+  for (std::size_t i = 0; i < height; ++i) {
+    for (std::size_t j = 0; j < width; ++j) {
+      grid[i][j] = g.add_task("g" + std::to_string(i) + "_" + std::to_string(j));
+      if (i > 0) g.add_edge(grid[i - 1][j], grid[i][j]);
+      if (j > 0) g.add_edge(grid[i][j - 1], grid[i][j]);
+    }
+  }
+  return g;
+}
+
+TaskGraph laplace_dag(std::size_t width) {
+  SEHC_CHECK(width > 0, "laplace_dag: width > 0");
+  TaskGraph g;
+  // Expanding rows 1, 2, ..., width then contracting width-1, ..., 1.
+  std::vector<TaskId> prev{g.add_task("top")};
+  auto add_row = [&](std::size_t size, std::size_t row) {
+    std::vector<TaskId> cur(size);
+    for (std::size_t j = 0; j < size; ++j) {
+      cur[j] = g.add_task("l" + std::to_string(row) + "_" + std::to_string(j));
+      if (size > prev.size()) {  // expanding: parents are j-1 and j
+        if (j > 0) g.add_edge(prev[j - 1], cur[j]);
+        if (j < prev.size()) g.add_edge(prev[j], cur[j]);
+      } else {  // contracting: parents are j and j+1
+        g.add_edge(prev[j], cur[j]);
+        g.add_edge(prev[j + 1], cur[j]);
+      }
+    }
+    prev = std::move(cur);
+  };
+  std::size_t row = 1;
+  for (std::size_t size = 2; size <= width; ++size) add_row(size, row++);
+  for (std::size_t size = width; size-- > 1;) add_row(size, row++);
+  return g;
+}
+
+}  // namespace sehc

@@ -1,0 +1,45 @@
+// Structured application DAGs from the heterogeneous-scheduling literature.
+//
+// These model the kinds of coarse-grained scientific applications the
+// paper's introduction motivates (signal processing pipelines, linear
+// algebra, FFT). They are used by the examples and by tests that need known
+// shapes; the random generator covers the paper's evaluation.
+#pragma once
+
+#include <cstddef>
+
+#include "dag/task_graph.h"
+
+namespace sehc {
+
+/// A linear chain s0 -> s1 -> ... -> s{n-1}.
+TaskGraph chain_dag(std::size_t length);
+
+/// Fork-join: one source fans out to `width` parallel tasks which join into
+/// one sink; repeated for `stages` stages (source/sink shared between
+/// consecutive stages).
+TaskGraph fork_join_dag(std::size_t width, std::size_t stages);
+
+/// Out-tree (task spawns `branching` children, depth levels).
+TaskGraph out_tree_dag(std::size_t depth, std::size_t branching);
+
+/// In-tree (reduction): mirror image of the out-tree.
+TaskGraph in_tree_dag(std::size_t depth, std::size_t branching);
+
+/// Gaussian elimination DAG for an n x n matrix: the classic pivot/update
+/// dependence structure with n-1 pivot columns; (n^2 + n - 2) / 2 tasks.
+TaskGraph gaussian_elimination_dag(std::size_t n);
+
+/// FFT butterfly DAG for `points` (power of two) inputs: a binary recursion
+/// tree feeding log2(points) butterfly layers of `points` tasks each.
+TaskGraph fft_dag(std::size_t points);
+
+/// Diamond / stencil lattice of the given width and height: task (i, j)
+/// depends on (i-1, j) and (i, j-1).
+TaskGraph diamond_dag(std::size_t width, std::size_t height);
+
+/// Laplace / successive-over-relaxation style DAG used in scheduling papers:
+/// a diamond expanding to `width` and contracting back.
+TaskGraph laplace_dag(std::size_t width);
+
+}  // namespace sehc

@@ -1,0 +1,101 @@
+#include "dag/analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "dag/topo.h"
+#include "workload/random_dag.h"
+#include "workload/structured.h"
+
+namespace sehc {
+namespace {
+
+TEST(Analysis, EdgeDensity) {
+  TaskGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(2, 3);
+  // 2 of 6 possible forward pairs.
+  EXPECT_DOUBLE_EQ(edge_density(g), 2.0 / 6.0);
+}
+
+TEST(Analysis, EdgeDensityDegenerate) {
+  EXPECT_DOUBLE_EQ(edge_density(TaskGraph(1)), 0.0);
+}
+
+TEST(Analysis, AverageDegree) {
+  TaskGraph g = chain_dag(5);  // 4 edges / 5 tasks
+  EXPECT_DOUBLE_EQ(average_degree(g), 0.8);
+}
+
+TEST(Analysis, CriticalPathNodeCostsOnly) {
+  // 0 -> 1 -> 3, 0 -> 2 -> 3 with heavy task 2.
+  TaskGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(0, 2);
+  g.add_edge(1, 3);
+  g.add_edge(2, 3);
+  const std::vector<double> cost{1.0, 1.0, 10.0, 1.0};
+  EXPECT_DOUBLE_EQ(critical_path_length(g, cost), 12.0);
+  EXPECT_EQ(critical_path(g, cost), (std::vector<TaskId>{0, 2, 3}));
+}
+
+TEST(Analysis, CriticalPathWithEdgeCosts) {
+  TaskGraph g(3);
+  const DataId d01 = g.add_edge(0, 1);
+  const DataId d12 = g.add_edge(1, 2);
+  std::vector<double> node{1.0, 1.0, 1.0};
+  std::vector<double> edge(2, 0.0);
+  edge[d01] = 5.0;
+  edge[d12] = 2.0;
+  EXPECT_DOUBLE_EQ(critical_path_length(g, node, edge), 10.0);
+}
+
+TEST(Analysis, CriticalPathSizeMismatchThrows) {
+  TaskGraph g(2);
+  std::vector<double> bad{1.0};
+  EXPECT_THROW(critical_path_length(g, bad), Error);
+}
+
+TEST(Analysis, ReachabilityOnChain) {
+  const TaskGraph g = chain_dag(4);
+  Reachability r(g);
+  EXPECT_TRUE(r.reaches(0, 3));
+  EXPECT_TRUE(r.reaches(1, 2));
+  EXPECT_FALSE(r.reaches(3, 0));
+  EXPECT_FALSE(r.reaches(2, 1));
+  EXPECT_EQ(r.descendants(1), (std::vector<TaskId>{2, 3}));
+  EXPECT_EQ(r.ancestors(2), (std::vector<TaskId>{0, 1}));
+}
+
+TEST(Analysis, ReachabilityMatchesBruteForceOnRandomDag) {
+  Rng rng(99);
+  const TaskGraph g = random_ordered_dag(70, 0.07, rng);  // > 64: two words
+  Reachability r(g);
+  // Brute force via DFS from each node.
+  for (TaskId s = 0; s < g.num_tasks(); ++s) {
+    std::vector<bool> seen(g.num_tasks(), false);
+    std::vector<TaskId> stack{s};
+    while (!stack.empty()) {
+      const TaskId u = stack.back();
+      stack.pop_back();
+      for (TaskId v : g.successors(u)) {
+        if (!seen[v]) {
+          seen[v] = true;
+          stack.push_back(v);
+        }
+      }
+    }
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      if (t == s) continue;
+      EXPECT_EQ(r.reaches(s, t), seen[t]) << "s=" << s << " t=" << t;
+    }
+  }
+}
+
+TEST(Analysis, ReachabilityBadIdThrows) {
+  Reachability r(chain_dag(2));
+  EXPECT_THROW(r.reaches(0, 7), Error);
+}
+
+}  // namespace
+}  // namespace sehc

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "workload/gen_matrices.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+Matrix<double> gen(Consistency c, std::uint64_t seed = 3,
+                   std::size_t machines = 8, std::size_t tasks = 60) {
+  Rng rng(seed);
+  return generate_exec_matrix(machines, tasks, Level::kHigh, 100.0, rng, c);
+}
+
+TEST(Consistency, ConsistentMatrixIsTotallyOrdered) {
+  const auto exec = gen(Consistency::kConsistent);
+  for (TaskId t = 0; t < exec.cols(); ++t) {
+    for (MachineId m = 1; m < exec.rows(); ++m) {
+      EXPECT_LE(exec(m - 1, t), exec(m, t)) << "task " << t;
+    }
+  }
+  EXPECT_DOUBLE_EQ(measure_consistency(exec), 1.0);
+}
+
+TEST(Consistency, SemiConsistentOrdersEvenMachines) {
+  const auto exec = gen(Consistency::kSemiConsistent);
+  for (TaskId t = 0; t < exec.cols(); ++t) {
+    for (MachineId m = 2; m < exec.rows(); m += 2) {
+      EXPECT_LE(exec(m - 2, t), exec(m, t)) << "task " << t;
+    }
+  }
+  const double idx = measure_consistency(exec);
+  EXPECT_GT(idx, measure_consistency(gen(Consistency::kInconsistent)));
+  EXPECT_LT(idx, 1.0);
+}
+
+TEST(Consistency, InconsistentIndexIsLow) {
+  EXPECT_LT(measure_consistency(gen(Consistency::kInconsistent)), 0.4);
+}
+
+TEST(Consistency, SortingPreservesValueMultiset) {
+  // Consistent generation is a per-column permutation of the inconsistent
+  // draw with the same RNG stream: column sums must match.
+  const auto incons = gen(Consistency::kInconsistent, 11);
+  const auto cons = gen(Consistency::kConsistent, 11);
+  ASSERT_EQ(incons.rows(), cons.rows());
+  for (TaskId t = 0; t < incons.cols(); ++t) {
+    double a = 0.0, b = 0.0;
+    for (MachineId m = 0; m < incons.rows(); ++m) {
+      a += incons(m, t);
+      b += cons(m, t);
+    }
+    EXPECT_NEAR(a, b, 1e-9) << "task " << t;
+  }
+}
+
+TEST(Consistency, SingleMachineIsTriviallyConsistent) {
+  Rng rng(1);
+  const auto exec =
+      generate_exec_matrix(1, 10, Level::kLow, 50.0, rng);
+  EXPECT_DOUBLE_EQ(measure_consistency(exec), 1.0);
+}
+
+TEST(Consistency, WorkloadParamsPlumbsThrough) {
+  WorkloadParams p;
+  p.tasks = 40;
+  p.machines = 6;
+  p.heterogeneity = Level::kHigh;
+  p.seed = 7;
+  p.consistency = Consistency::kConsistent;
+  const Workload w = make_workload(p);
+  EXPECT_DOUBLE_EQ(measure_consistency(w.exec_matrix()), 1.0);
+  EXPECT_NE(p.describe().find("consistent"), std::string::npos);
+}
+
+TEST(Consistency, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(Consistency::kInconsistent), "inconsistent");
+  EXPECT_STREQ(to_string(Consistency::kConsistent), "consistent");
+  EXPECT_STREQ(to_string(Consistency::kSemiConsistent), "semi-consistent");
+}
+
+}  // namespace
+}  // namespace sehc

@@ -1,0 +1,128 @@
+#include "sched/contention.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "sched/evaluator.h"
+#include "sched/validate.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+SolutionString figure2_string() {
+  const std::vector<TaskId> order{0, 1, 2, 5, 6, 3, 4};
+  const std::vector<MachineId> assignment{0, 1, 1, 0, 0, 1, 1};
+  return SolutionString(order, assignment);
+}
+
+TEST(Contention, NeverFasterThanContentionFreeModel) {
+  WorkloadParams p;
+  p.tasks = 40;
+  p.machines = 5;
+  p.ccr = 1.0;
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    p.seed = seed;
+    const Workload w = make_workload(p);
+    Rng rng(seed);
+    for (int i = 0; i < 5; ++i) {
+      const SolutionString s =
+          random_initial_solution(w.graph(), w.num_machines(), rng);
+      EXPECT_GE(contention_makespan(w, s),
+                schedule_makespan(w, s) - 1e-9)
+          << "seed " << seed;
+    }
+  }
+}
+
+TEST(Contention, MatchesBaseModelWhenNoSharedLinks) {
+  // Figure 2 string on the 2-machine fixture: the single m0-m1 link never
+  // carries two overlapping transfers (d0 arrives before d3 is needed and
+  // they never queue), so the contention model reproduces the base times.
+  const Workload w = figure1_workload();
+  const SolutionString s = figure2_string();
+  const ContentionTimes t = evaluate_with_contention(w, s);
+  EXPECT_DOUBLE_EQ(t.makespan, 2100.0);
+  EXPECT_DOUBLE_EQ(t.total_transfer_delay, 0.0);
+}
+
+TEST(Contention, SerializesCompetingTransfers) {
+  // Two producers on m0 finish simultaneously and both feed a consumer
+  // chain on m1: the second transfer must queue behind the first.
+  TaskGraph g(4);
+  g.add_edge(0, 2);  // d0
+  g.add_edge(1, 3);  // d1
+  Matrix<double> exec(2, 4);
+  // t0, t1 on m0 take 10 each... but machine serializes them anyway; use
+  // separate machines? Simpler: one producer each on m0 with finish 10 via
+  // parallel machines is impossible with 2 machines, so give t0, t1 exec 10
+  // and 0-length gap: t0 finishes at 10, t1 at 20; transfers of 100 each.
+  exec(0, 0) = 10; exec(0, 1) = 10; exec(0, 2) = 1; exec(0, 3) = 1;
+  exec(1, 0) = 10; exec(1, 1) = 10; exec(1, 2) = 1; exec(1, 3) = 1;
+  Matrix<double> tr(1, 2, 100.0);
+  const Workload w(std::move(g), MachineSet(2), std::move(exec), std::move(tr));
+
+  const SolutionString s(std::vector<TaskId>{0, 1, 2, 3},
+                         std::vector<MachineId>{0, 0, 1, 1});
+  // Base model: d0 arrives 10+100=110, d1 arrives 20+100=120.
+  const ScheduleTimes base = evaluate_schedule(w, s);
+  EXPECT_DOUBLE_EQ(base.start[2], 110.0);
+  EXPECT_DOUBLE_EQ(base.start[3], 120.0);
+
+  // Contention model: d0 occupies the link [10,110); d1 queues [110,210).
+  const ContentionTimes ct = evaluate_with_contention(w, s);
+  EXPECT_DOUBLE_EQ(ct.start[2], 110.0);
+  EXPECT_DOUBLE_EQ(ct.start[3], 210.0);
+  EXPECT_DOUBLE_EQ(ct.total_transfer_delay, 90.0);  // d1 waited 110-20
+  EXPECT_DOUBLE_EQ(ct.link_busy[0], 200.0);
+}
+
+TEST(Contention, LocalCommunicationBypassesLinks) {
+  const Workload w = figure1_workload();
+  // Everything on one machine: no link traffic at all.
+  const SolutionString s(std::vector<TaskId>{0, 1, 2, 3, 4, 5, 6},
+                         std::vector<MachineId>(7, 0));
+  const ContentionTimes t = evaluate_with_contention(w, s);
+  EXPECT_DOUBLE_EQ(t.makespan, 3700.0);
+  EXPECT_DOUBLE_EQ(t.link_busy[0], 0.0);
+}
+
+TEST(Contention, ScheduleRecordIsValid) {
+  // The contention schedule delays starts but keeps durations, so the
+  // standard validator (which checks starts are late enough) accepts it.
+  WorkloadParams p;
+  p.tasks = 30;
+  p.machines = 4;
+  p.ccr = 1.0;
+  p.seed = 9;
+  const Workload w = make_workload(p);
+  Rng rng(2);
+  const SolutionString s =
+      random_initial_solution(w.graph(), w.num_machines(), rng);
+  const Schedule sched = contention_schedule(w, s);
+  EXPECT_TRUE(is_valid_schedule(w, sched));
+}
+
+TEST(Contention, GapGrowsWithCcr) {
+  WorkloadParams p;
+  p.tasks = 60;
+  p.machines = 6;
+  p.connectivity = Level::kHigh;
+  p.seed = 4;
+  auto mean_gap = [&](double ccr) {
+    p.ccr = ccr;
+    const Workload w = make_workload(p);
+    Rng rng(1);
+    double gap = 0.0;
+    for (int i = 0; i < 5; ++i) {
+      const SolutionString s =
+          random_initial_solution(w.graph(), w.num_machines(), rng);
+      gap += contention_makespan(w, s) / schedule_makespan(w, s);
+    }
+    return gap / 5.0;
+  };
+  EXPECT_LE(mean_gap(0.1), mean_gap(2.0));
+}
+
+}  // namespace
+}  // namespace sehc

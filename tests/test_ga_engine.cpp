@@ -1,0 +1,134 @@
+#include "ga/ga.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/bounds.h"
+#include "sched/evaluator.h"
+#include "sched/validate.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+GaParams quick_params(std::uint64_t seed, std::size_t generations = 30) {
+  GaParams p;
+  p.seed = seed;
+  p.max_generations = generations;
+  p.population = 20;
+  p.verify_invariants = true;
+  return p;
+}
+
+TEST(GaEngine, ProducesValidSchedule) {
+  WorkloadParams wp;
+  wp.tasks = 30;
+  wp.machines = 4;
+  wp.seed = 1;
+  const Workload w = make_workload(wp);
+  const GaResult r = GaEngine(w, quick_params(1)).run();
+  EXPECT_TRUE(r.best_solution.is_valid(w.graph()));
+  EXPECT_TRUE(is_valid_schedule(w, r.schedule));
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, r.best_makespan);
+  EXPECT_GE(r.best_makespan, makespan_lower_bound(w) - 1e-9);
+}
+
+TEST(GaEngine, DeterministicPerSeed) {
+  WorkloadParams wp;
+  wp.tasks = 25;
+  wp.machines = 4;
+  wp.seed = 2;
+  const Workload w = make_workload(wp);
+  const GaResult a = GaEngine(w, quick_params(5)).run();
+  const GaResult b = GaEngine(w, quick_params(5)).run();
+  EXPECT_DOUBLE_EQ(a.best_makespan, b.best_makespan);
+  EXPECT_EQ(a.best_solution, b.best_solution);
+}
+
+TEST(GaEngine, BestIsMonotoneAcrossGenerations) {
+  WorkloadParams wp;
+  wp.tasks = 40;
+  wp.machines = 6;
+  wp.seed = 3;
+  const Workload w = make_workload(wp);
+  const GaResult r = GaEngine(w, quick_params(3, 50)).run();
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i].best_makespan, r.trace[i - 1].best_makespan);
+  }
+}
+
+TEST(GaEngine, ElitismKeepsGenBestAtMostBestEver) {
+  WorkloadParams wp;
+  wp.tasks = 30;
+  wp.machines = 5;
+  wp.seed = 4;
+  const Workload w = make_workload(wp);
+  const GaResult r = GaEngine(w, quick_params(4, 40)).run();
+  for (const auto& g : r.trace) {
+    EXPECT_GE(g.gen_best_makespan, r.best_makespan - 1e-9);
+    EXPECT_GE(g.gen_mean_makespan, g.gen_best_makespan - 1e-9);
+  }
+  // With elite=1 the generation best should track the best-ever closely:
+  // the elite individual is carried over unchanged.
+  EXPECT_DOUBLE_EQ(r.trace.back().gen_best_makespan, r.best_makespan);
+}
+
+TEST(GaEngine, ImprovesOverFirstGeneration) {
+  WorkloadParams wp;
+  wp.tasks = 50;
+  wp.machines = 8;
+  wp.seed = 5;
+  const Workload w = make_workload(wp);
+  const GaResult r = GaEngine(w, quick_params(5, 60)).run();
+  ASSERT_GE(r.trace.size(), 2u);
+  EXPECT_LT(r.best_makespan, r.trace.front().gen_mean_makespan);
+}
+
+TEST(GaEngine, ObserverCanStopEarly) {
+  const Workload w = figure1_workload();
+  GaEngine engine(w, quick_params(1, 100));
+  std::size_t calls = 0;
+  engine.set_observer([&calls](const GaIterationStats&) {
+    ++calls;
+    return calls < 4;
+  });
+  const GaResult r = engine.run();
+  EXPECT_EQ(calls, 4u);
+  EXPECT_EQ(r.generations, 4u);
+}
+
+TEST(GaEngine, StallStopTriggers) {
+  const Workload w = figure1_workload();
+  GaParams p = quick_params(2, 100000);
+  p.stall_generations = 8;
+  const GaResult r = GaEngine(w, p).run();
+  EXPECT_LT(r.generations, 100000u);
+}
+
+TEST(GaEngine, ParameterValidation) {
+  const Workload w = figure1_workload();
+  GaParams p;
+  p.population = 1;
+  EXPECT_THROW(GaEngine(w, p), Error);
+  p = GaParams{};
+  p.elite = p.population;
+  EXPECT_THROW(GaEngine(w, p), Error);
+  p = GaParams{};
+  p.crossover_prob = 1.5;
+  EXPECT_THROW(GaEngine(w, p), Error);
+  p = GaParams{};
+  p.mutation_prob = -0.1;
+  EXPECT_THROW(GaEngine(w, p), Error);
+}
+
+TEST(GaEngine, ZeroCrossoverZeroMutationStillValid) {
+  // Degenerate GA = selection + elitism only; must still run and be valid.
+  const Workload w = figure1_workload();
+  GaParams p = quick_params(3, 10);
+  p.crossover_prob = 0.0;
+  p.mutation_prob = 0.0;
+  const GaResult r = GaEngine(w, p).run();
+  EXPECT_TRUE(is_valid_schedule(w, r.schedule));
+}
+
+}  // namespace
+}  // namespace sehc

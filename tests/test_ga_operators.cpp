@@ -1,0 +1,131 @@
+#include "ga/operators.h"
+
+#include <gtest/gtest.h>
+
+#include "dag/topo.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+SolutionString random_solution(const Workload& w, std::uint64_t seed) {
+  Rng rng(seed);
+  return random_initial_solution(w.graph(), w.num_machines(), rng);
+}
+
+Workload medium_workload(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 40;
+  p.machines = 6;
+  p.seed = seed;
+  return make_workload(p);
+}
+
+TEST(GaOperators, MatchingCrossoverSwapsSuffixAssignments) {
+  const Workload w = medium_workload(1);
+  const SolutionString a = random_solution(w, 1);
+  const SolutionString b = random_solution(w, 2);
+  Rng rng(3);
+  const auto [ca, cb] = matching_crossover(a, b, rng);
+
+  // Orders are inherited unchanged.
+  EXPECT_EQ(ca.order(), a.order());
+  EXPECT_EQ(cb.order(), b.order());
+
+  // Every task's machine comes from one parent in ca and the other in cb.
+  const auto asg_a = a.assignment();
+  const auto asg_b = b.assignment();
+  const auto asg_ca = ca.assignment();
+  const auto asg_cb = cb.assignment();
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    const bool from_a = asg_ca[t] == asg_a[t] && asg_cb[t] == asg_b[t];
+    const bool from_b = asg_ca[t] == asg_b[t] && asg_cb[t] == asg_a[t];
+    EXPECT_TRUE(from_a || from_b) << "task " << t;
+  }
+}
+
+TEST(GaOperators, MatchingCrossoverPreservesValidity) {
+  const Workload w = medium_workload(2);
+  Rng rng(4);
+  for (int i = 0; i < 20; ++i) {
+    const SolutionString a = random_solution(w, 10 + i);
+    const SolutionString b = random_solution(w, 50 + i);
+    const auto [ca, cb] = matching_crossover(a, b, rng);
+    EXPECT_TRUE(ca.is_valid(w.graph()));
+    EXPECT_TRUE(cb.is_valid(w.graph()));
+  }
+}
+
+TEST(GaOperators, SchedulingCrossoverPreservesTopologicalValidity) {
+  const Workload w = medium_workload(3);
+  Rng rng(5);
+  for (int i = 0; i < 50; ++i) {
+    const SolutionString a = random_solution(w, 100 + i);
+    const SolutionString b = random_solution(w, 200 + i);
+    const auto [ca, cb] = scheduling_crossover(a, b, rng);
+    EXPECT_TRUE(ca.is_valid(w.graph())) << "iteration " << i;
+    EXPECT_TRUE(cb.is_valid(w.graph())) << "iteration " << i;
+  }
+}
+
+TEST(GaOperators, SchedulingCrossoverKeepsAssignments) {
+  const Workload w = medium_workload(4);
+  const SolutionString a = random_solution(w, 7);
+  const SolutionString b = random_solution(w, 8);
+  Rng rng(9);
+  const auto [ca, cb] = scheduling_crossover(a, b, rng);
+  EXPECT_EQ(ca.assignment(), a.assignment());
+  EXPECT_EQ(cb.assignment(), b.assignment());
+}
+
+TEST(GaOperators, SchedulingCrossoverMixesParents) {
+  // With distinct parents, at least one child should differ from both
+  // parents for most cuts; verify it happens across attempts.
+  const Workload w = medium_workload(5);
+  Rng rng(11);
+  bool mixed = false;
+  for (int i = 0; i < 10 && !mixed; ++i) {
+    const SolutionString a = random_solution(w, 300 + i);
+    const SolutionString b = random_solution(w, 400 + i);
+    const auto [ca, cb] = scheduling_crossover(a, b, rng);
+    mixed = (ca.order() != a.order()) || (cb.order() != b.order());
+  }
+  EXPECT_TRUE(mixed);
+}
+
+TEST(GaOperators, MatchingMutationChangesOnlyOneAssignmentSlot) {
+  const Workload w = medium_workload(6);
+  const SolutionString before = random_solution(w, 12);
+  SolutionString after = before;
+  Rng rng(13);
+  matching_mutation(after, w.num_machines(), rng);
+  EXPECT_EQ(after.order(), before.order());
+  std::size_t diffs = 0;
+  const auto ba = before.assignment();
+  const auto aa = after.assignment();
+  for (TaskId t = 0; t < w.num_tasks(); ++t) diffs += (ba[t] != aa[t]);
+  EXPECT_LE(diffs, 1u);  // may be 0 if the same machine was redrawn
+}
+
+TEST(GaOperators, SchedulingMutationPreservesValidity) {
+  const Workload w = medium_workload(7);
+  Rng rng(14);
+  SolutionString s = random_solution(w, 15);
+  for (int i = 0; i < 100; ++i) {
+    scheduling_mutation(s, w.graph(), rng);
+    ASSERT_TRUE(s.is_valid(w.graph())) << "mutation " << i;
+  }
+}
+
+TEST(GaOperators, CrossoverSizeMismatchThrows) {
+  const Workload w = medium_workload(8);
+  const SolutionString a = random_solution(w, 1);
+  const SolutionString small(std::vector<TaskId>{0},
+                             std::vector<MachineId>{0});
+  Rng rng(1);
+  EXPECT_THROW(matching_crossover(a, small, rng), Error);
+  EXPECT_THROW(scheduling_crossover(a, small, rng), Error);
+}
+
+}  // namespace
+}  // namespace sehc

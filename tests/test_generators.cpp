@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "dag/topo.h"
+#include "hc/metrics.h"
+#include "workload/gen_matrices.h"
+#include "workload/generator.h"
+#include "workload/random_dag.h"
+
+namespace sehc {
+namespace {
+
+TEST(RandomDag, LayeredDagIsAcyclicAndConnectedDown) {
+  Rng rng(1);
+  const TaskGraph g = random_layered_dag(dag_params_for(60, Level::kMedium), rng);
+  EXPECT_EQ(g.num_tasks(), 60u);
+  EXPECT_TRUE(is_acyclic(g));
+  // Every non-source task has at least one parent.
+  std::size_t sources = 0;
+  for (TaskId t = 0; t < g.num_tasks(); ++t)
+    if (g.in_degree(t) == 0) ++sources;
+  EXPECT_LT(sources, 20u);
+}
+
+TEST(RandomDag, SingleTaskDegenerate) {
+  Rng rng(2);
+  RandomDagParams p;
+  p.tasks = 1;
+  const TaskGraph g = random_layered_dag(p, rng);
+  EXPECT_EQ(g.num_tasks(), 1u);
+  EXPECT_EQ(g.num_edges(), 0u);
+}
+
+TEST(RandomDag, DeterministicPerRngSeed) {
+  Rng a(9), b(9);
+  const auto params = dag_params_for(40, Level::kHigh);
+  EXPECT_EQ(random_layered_dag(params, a), random_layered_dag(params, b));
+}
+
+TEST(RandomDag, OrderedDagEdgeProbabilityExtremes) {
+  Rng rng(3);
+  const TaskGraph none = random_ordered_dag(10, 0.0, rng);
+  EXPECT_EQ(none.num_edges(), 0u);
+  const TaskGraph full = random_ordered_dag(10, 1.0, rng);
+  EXPECT_EQ(full.num_edges(), 45u);  // all forward pairs
+  EXPECT_TRUE(is_acyclic(full));
+}
+
+TEST(GenMatrices, ExecMatrixMeanNearTarget) {
+  Rng rng(4);
+  const auto exec = generate_exec_matrix(10, 200, Level::kMedium, 1000.0, rng);
+  double sum = 0.0;
+  for (double v : exec.flat()) sum += v;
+  const double mean = sum / static_cast<double>(exec.size());
+  EXPECT_NEAR(mean, 1000.0, 100.0);
+}
+
+TEST(GenMatrices, ExecTimesArePositive) {
+  Rng rng(5);
+  const auto exec = generate_exec_matrix(5, 50, Level::kHigh, 100.0, rng);
+  for (double v : exec.flat()) EXPECT_GT(v, 0.0);
+}
+
+TEST(GenMatrices, HeterogeneityRangeMonotone) {
+  EXPECT_LT(heterogeneity_range(Level::kLow), heterogeneity_range(Level::kMedium));
+  EXPECT_LT(heterogeneity_range(Level::kMedium), heterogeneity_range(Level::kHigh));
+}
+
+TEST(GenMatrices, TransferMatrixShapeAndZeroCcr) {
+  Rng rng(6);
+  TaskGraph g(4);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  g.add_edge(2, 3);
+  const auto exec = generate_exec_matrix(3, 4, Level::kLow, 100.0, rng);
+  const auto tr = generate_transfer_matrix(g, exec, 0.0, rng);
+  EXPECT_EQ(tr.rows(), 3u);  // 3*(3-1)/2
+  EXPECT_EQ(tr.cols(), 3u);
+  for (double v : tr.flat()) EXPECT_DOUBLE_EQ(v, 0.0);
+}
+
+TEST(MakeWorkload, DeterministicPerSeed) {
+  WorkloadParams p;
+  p.tasks = 30;
+  p.machines = 5;
+  p.seed = 123;
+  const Workload a = make_workload(p);
+  const Workload b = make_workload(p);
+  EXPECT_EQ(a.graph(), b.graph());
+  EXPECT_EQ(a.exec_matrix(), b.exec_matrix());
+  EXPECT_EQ(a.transfer_matrix(), b.transfer_matrix());
+}
+
+TEST(MakeWorkload, SeedsProduceDifferentInstances) {
+  WorkloadParams p;
+  p.tasks = 30;
+  p.machines = 5;
+  p.seed = 1;
+  const Workload a = make_workload(p);
+  p.seed = 2;
+  const Workload b = make_workload(p);
+  EXPECT_FALSE(a.exec_matrix() == b.exec_matrix());
+}
+
+TEST(MakeWorkloadForGraph, WrapsStructuredGraph) {
+  TaskGraph g(5);
+  g.add_edge(0, 1);
+  g.add_edge(1, 2);
+  const Workload w =
+      make_workload_for_graph(std::move(g), 4, Level::kMedium, 0.5, 100.0, 9);
+  EXPECT_EQ(w.num_tasks(), 5u);
+  EXPECT_EQ(w.num_machines(), 4u);
+  EXPECT_EQ(w.num_items(), 2u);
+}
+
+TEST(PaperParams, DescribeMentionsAxes) {
+  const WorkloadParams p = paper_fig7_low_everything(1);
+  const std::string d = p.describe();
+  EXPECT_NE(d.find("conn=low"), std::string::npos);
+  EXPECT_NE(d.find("het=low"), std::string::npos);
+  EXPECT_NE(d.find("ccr=0.1"), std::string::npos);
+  EXPECT_EQ(p.tasks, 100u);
+  EXPECT_EQ(p.machines, 20u);
+}
+
+}  // namespace
+}  // namespace sehc

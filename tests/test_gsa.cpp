@@ -1,0 +1,121 @@
+#include "heuristics/gsa.h"
+
+#include <gtest/gtest.h>
+
+#include "sched/bounds.h"
+#include "sched/validate.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+GsaParams quick_params(std::uint64_t seed, std::size_t generations = 40) {
+  GsaParams p;
+  p.seed = seed;
+  p.max_generations = generations;
+  p.population = 16;
+  return p;
+}
+
+TEST(GsaEngine, ProducesValidSchedule) {
+  WorkloadParams wp;
+  wp.tasks = 30;
+  wp.machines = 5;
+  wp.seed = 1;
+  const Workload w = make_workload(wp);
+  const GsaResult r = GsaEngine(w, quick_params(1)).run();
+  EXPECT_TRUE(r.best_solution.is_valid(w.graph()));
+  EXPECT_TRUE(is_valid_schedule(w, r.schedule));
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, r.best_makespan);
+  EXPECT_GE(r.best_makespan, makespan_lower_bound(w) - 1e-9);
+}
+
+TEST(GsaEngine, DeterministicPerSeed) {
+  WorkloadParams wp;
+  wp.tasks = 20;
+  wp.machines = 4;
+  wp.seed = 2;
+  const Workload w = make_workload(wp);
+  const GsaResult a = GsaEngine(w, quick_params(9)).run();
+  const GsaResult b = GsaEngine(w, quick_params(9)).run();
+  EXPECT_DOUBLE_EQ(a.best_makespan, b.best_makespan);
+  EXPECT_EQ(a.best_solution, b.best_solution);
+}
+
+TEST(GsaEngine, BestIsMonotone) {
+  WorkloadParams wp;
+  wp.tasks = 30;
+  wp.machines = 5;
+  wp.seed = 3;
+  const Workload w = make_workload(wp);
+  const GsaResult r = GsaEngine(w, quick_params(3, 60)).run();
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i].best_makespan, r.trace[i - 1].best_makespan + 1e-9);
+  }
+}
+
+TEST(GsaEngine, TemperatureCools) {
+  const Workload w = figure1_workload();
+  const GsaResult r = GsaEngine(w, quick_params(4, 30)).run();
+  ASSERT_GE(r.trace.size(), 2u);
+  EXPECT_LT(r.trace.back().temperature, r.trace.front().temperature);
+}
+
+TEST(GsaEngine, AcceptRateDeclinesWithTemperature) {
+  // Early hot generations accept most children; cold ones accept fewer.
+  WorkloadParams wp;
+  wp.tasks = 40;
+  wp.machines = 6;
+  wp.seed = 5;
+  const Workload w = make_workload(wp);
+  GsaParams p = quick_params(5, 200);
+  p.cooling = 0.95;
+  const GsaResult r = GsaEngine(w, p).run();
+  const std::size_t q = r.trace.size() / 4;
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 0; i < q; ++i) {
+    early += r.trace[i].accept_rate;
+    late += r.trace[r.trace.size() - 1 - i].accept_rate;
+  }
+  EXPECT_GT(early, late);
+}
+
+TEST(GsaEngine, ObserverCanStopEarly) {
+  const Workload w = figure1_workload();
+  GsaEngine engine(w, quick_params(1, 100));
+  std::size_t calls = 0;
+  engine.set_observer([&calls](const GsaIterationStats&) {
+    ++calls;
+    return calls < 5;
+  });
+  const GsaResult r = engine.run();
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(r.generations, 5u);
+}
+
+TEST(GsaEngine, ImprovesOverInitialBest) {
+  WorkloadParams wp;
+  wp.tasks = 40;
+  wp.machines = 6;
+  wp.seed = 6;
+  const Workload w = make_workload(wp);
+  const GsaResult r = GsaEngine(w, quick_params(6, 150)).run();
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_LT(r.best_makespan, r.trace.front().best_makespan * 1.001);
+}
+
+TEST(GsaEngine, ParameterValidation) {
+  const Workload w = figure1_workload();
+  GsaParams p;
+  p.population = 1;
+  EXPECT_THROW(GsaEngine(w, p), Error);
+  p = GsaParams{};
+  p.cooling = 1.0;
+  EXPECT_THROW(GsaEngine(w, p), Error);
+  p = GsaParams{};
+  p.initial_acceptance = 1.0;
+  EXPECT_THROW(GsaEngine(w, p), Error);
+}
+
+}  // namespace
+}  // namespace sehc

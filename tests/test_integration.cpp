@@ -1,0 +1,158 @@
+// Cross-module integration tests: the experiment harness driving SE/GA end
+// to end, anytime curves, and the comparison runner.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <sstream>
+
+#include "exp/anytime.h"
+#include "exp/figures.h"
+#include "exp/runner.h"
+#include "hc/metrics.h"
+#include "sched/validate.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+TEST(Anytime, SeCurveIsMonotoneNonIncreasing) {
+  WorkloadParams p;
+  p.tasks = 40;
+  p.machines = 6;
+  p.seed = 1;
+  const Workload w = make_workload(p);
+  SeParams sp;
+  sp.seed = 1;
+  const auto curve = run_se_anytime(w, sp, 0.3);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].best, curve[i - 1].best + 1e-9);
+    EXPECT_GE(curve[i].seconds, curve[i - 1].seconds - 1e-9);
+  }
+}
+
+TEST(Anytime, GaCurveIsMonotoneNonIncreasing) {
+  WorkloadParams p;
+  p.tasks = 40;
+  p.machines = 6;
+  p.seed = 2;
+  const Workload w = make_workload(p);
+  GaParams gp;
+  gp.seed = 2;
+  gp.population = 20;
+  const auto curve = run_ga_anytime(w, gp, 0.3);
+  ASSERT_FALSE(curve.empty());
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].best, curve[i - 1].best + 1e-9);
+  }
+}
+
+TEST(Anytime, ValueAtSamplesStepFunction) {
+  const std::vector<AnytimePoint> curve{{0.1, 100.0}, {0.5, 60.0}, {1.0, 50.0}};
+  EXPECT_TRUE(std::isinf(value_at(curve, 0.05)));
+  EXPECT_DOUBLE_EQ(value_at(curve, 0.1), 100.0);
+  EXPECT_DOUBLE_EQ(value_at(curve, 0.7), 60.0);
+  EXPECT_DOUBLE_EQ(value_at(curve, 2.0), 50.0);
+}
+
+TEST(Anytime, TimeGridCoversBudget) {
+  const auto grid = time_grid(2.0, 4);
+  ASSERT_EQ(grid.size(), 4u);
+  EXPECT_DOUBLE_EQ(grid.front(), 0.5);
+  EXPECT_DOUBLE_EQ(grid.back(), 2.0);
+}
+
+TEST(Runner, SuiteProducesOneRecordPerScheduler) {
+  WorkloadParams p;
+  p.tasks = 20;
+  p.machines = 4;
+  p.seed = 3;
+  const Workload w = make_workload(p);
+  const auto suite = make_all_schedulers(10, 1);
+  const auto records = run_suite(w, "test", suite);
+  EXPECT_EQ(records.size(), suite.size());
+  for (const auto& r : records) {
+    EXPECT_GT(r.makespan, 0.0);
+    EXPECT_GE(r.makespan, r.lower_bound - 1e-9);
+  }
+}
+
+TEST(Runner, TableNormalizesAgainstBest) {
+  std::vector<RunRecord> records{
+      {"A", "w", 100.0, 0.1, 50.0},
+      {"B", "w", 200.0, 0.2, 50.0},
+  };
+  const Table t = records_to_table(records);
+  EXPECT_EQ(t.rows(), 2u);
+  EXPECT_EQ(t.cell(0, 3), "1.000");  // A is best
+  EXPECT_EQ(t.cell(1, 3), "2.000");  // B is 2x best
+  EXPECT_EQ(t.cell(0, 4), "2.000");  // A vs lower bound
+}
+
+TEST(Figures, BannerMentionsWorkloadAxes) {
+  const Workload w = figure1_workload();
+  std::ostringstream os;
+  print_figure_banner(os, "Fig X", "test banner", w, "params-here");
+  const std::string out = os.str();
+  EXPECT_NE(out.find("Fig X"), std::string::npos);
+  EXPECT_NE(out.find("params-here"), std::string::npos);
+  EXPECT_NE(out.find("connectivity="), std::string::npos);
+  EXPECT_NE(out.find("heterogeneity="), std::string::npos);
+  EXPECT_NE(out.find("ccr="), std::string::npos);
+}
+
+TEST(Figures, DownsampleKeepsEndpoints) {
+  std::vector<SeIterationStats> trace(100);
+  for (std::size_t i = 0; i < trace.size(); ++i) trace[i].iteration = i;
+  const auto ds = downsample(trace, 10);
+  ASSERT_EQ(ds.size(), 10u);
+  EXPECT_EQ(ds.front().iteration, 0u);
+  EXPECT_EQ(ds.back().iteration, 99u);
+}
+
+TEST(Figures, DownsampleNoopWhenSmall) {
+  std::vector<SeIterationStats> trace(5);
+  EXPECT_EQ(downsample(trace, 10).size(), 5u);
+}
+
+TEST(Figures, SeTraceCsvShape) {
+  std::vector<SeIterationStats> trace(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    trace[i].iteration = i;
+    trace[i].num_selected = 10 - i;
+    trace[i].current_makespan = 100.0 - static_cast<double>(i);
+    trace[i].best_makespan = 100.0 - static_cast<double>(i);
+  }
+  std::ostringstream os;
+  write_se_trace_csv(os, trace, 100);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("iteration,selected,moved,current_makespan,best_makespan"),
+            std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);  // header + 3 rows
+}
+
+TEST(Figures, AnytimeCsvHandlesMissingEarlyValues) {
+  const std::vector<AnytimePoint> se{{0.5, 90.0}};
+  const std::vector<AnytimePoint> ga{{0.1, 120.0}};
+  std::ostringstream os;
+  write_anytime_csv(os, se, ga, {0.2, 1.0});
+  const std::string out = os.str();
+  // At t=0.2 SE has no value yet -> empty cell.
+  EXPECT_NE(out.find("0.200,,120.00"), std::string::npos);
+  EXPECT_NE(out.find("1.000,90.00,120.00"), std::string::npos);
+}
+
+TEST(EndToEnd, SeBeatsRandomInitOnPaperClassWorkload) {
+  const Workload w = make_workload(paper_fig5_high_connectivity(5));
+  SeParams p;
+  p.seed = 5;
+  p.max_iterations = 15;
+  const SeResult r = SeEngine(w, p).run();
+  EXPECT_TRUE(is_valid_schedule(w, r.schedule));
+  ASSERT_FALSE(r.trace.empty());
+  EXPECT_LE(r.best_makespan, r.trace.front().current_makespan);
+}
+
+}  // namespace
+}  // namespace sehc

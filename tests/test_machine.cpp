@@ -1,0 +1,78 @@
+#include "hc/machine.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace sehc {
+namespace {
+
+TEST(MachineSet, BulkConstruction) {
+  MachineSet m(3);
+  EXPECT_EQ(m.size(), 3u);
+  EXPECT_EQ(m[0].name, "m0");
+  EXPECT_EQ(m[2].name, "m2");
+  EXPECT_EQ(m[1].arch, MachineArch::kMimd);
+}
+
+TEST(MachineSet, AddWithArch) {
+  MachineSet m;
+  const MachineId id = m.add("fft-box", MachineArch::kSpecialPurpose);
+  EXPECT_EQ(id, 0u);
+  EXPECT_EQ(m[0].arch, MachineArch::kSpecialPurpose);
+}
+
+TEST(MachineSet, EmptyNameGetsDefault) {
+  MachineSet m;
+  m.add(Machine{});
+  EXPECT_EQ(m[0].name, "m0");
+}
+
+TEST(MachineSet, BadIdThrows) {
+  MachineSet m(1);
+  EXPECT_THROW(m[3], Error);
+}
+
+TEST(MachineSet, NumPairs) {
+  EXPECT_EQ(MachineSet(1).num_pairs(), 0u);
+  EXPECT_EQ(MachineSet(2).num_pairs(), 1u);
+  EXPECT_EQ(MachineSet(5).num_pairs(), 10u);
+}
+
+TEST(PairIndex, SymmetricAndDense) {
+  const std::size_t l = 6;
+  std::set<std::size_t> seen;
+  for (MachineId a = 0; a < l; ++a) {
+    for (MachineId b = a + 1; b < l; ++b) {
+      const std::size_t idx = pair_index(l, a, b);
+      EXPECT_EQ(idx, pair_index(l, b, a));
+      EXPECT_LT(idx, l * (l - 1) / 2);
+      seen.insert(idx);
+    }
+  }
+  EXPECT_EQ(seen.size(), l * (l - 1) / 2);  // bijective
+}
+
+TEST(PairIndex, KnownValues) {
+  // l=4 upper triangle: (0,1)=0 (0,2)=1 (0,3)=2 (1,2)=3 (1,3)=4 (2,3)=5.
+  EXPECT_EQ(pair_index(4, 0, 1), 0u);
+  EXPECT_EQ(pair_index(4, 0, 3), 2u);
+  EXPECT_EQ(pair_index(4, 1, 2), 3u);
+  EXPECT_EQ(pair_index(4, 2, 3), 5u);
+}
+
+TEST(PairIndex, RejectsInvalidPairs) {
+  EXPECT_THROW(pair_index(3, 1, 1), Error);
+  EXPECT_THROW(pair_index(3, 0, 5), Error);
+}
+
+TEST(MachineArch, ToStringCoversAll) {
+  EXPECT_STREQ(to_string(MachineArch::kMimd), "MIMD");
+  EXPECT_STREQ(to_string(MachineArch::kSimd), "SIMD");
+  EXPECT_STREQ(to_string(MachineArch::kVector), "vector");
+  EXPECT_STREQ(to_string(MachineArch::kDataflow), "dataflow");
+  EXPECT_STREQ(to_string(MachineArch::kSpecialPurpose), "special-purpose");
+}
+
+}  // namespace
+}  // namespace sehc

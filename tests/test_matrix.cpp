@@ -1,0 +1,94 @@
+#include "core/matrix.h"
+
+#include <gtest/gtest.h>
+
+namespace sehc {
+namespace {
+
+TEST(Matrix, ConstructionAndFill) {
+  Matrix<double> m(2, 3, 1.5);
+  EXPECT_EQ(m.rows(), 2u);
+  EXPECT_EQ(m.cols(), 3u);
+  EXPECT_EQ(m.size(), 6u);
+  for (double v : m.flat()) EXPECT_DOUBLE_EQ(v, 1.5);
+}
+
+TEST(Matrix, DefaultIsEmpty) {
+  Matrix<int> m;
+  EXPECT_TRUE(m.empty());
+  EXPECT_EQ(m.rows(), 0u);
+}
+
+TEST(Matrix, RowMajorLayout) {
+  Matrix<int> m(2, 2);
+  m(0, 0) = 1;
+  m(0, 1) = 2;
+  m(1, 0) = 3;
+  m(1, 1) = 4;
+  auto flat = m.flat();
+  EXPECT_EQ(flat[0], 1);
+  EXPECT_EQ(flat[1], 2);
+  EXPECT_EQ(flat[2], 3);
+  EXPECT_EQ(flat[3], 4);
+}
+
+TEST(Matrix, AtBoundsChecked) {
+  Matrix<int> m(2, 2);
+  EXPECT_THROW(m.at(2, 0), Error);
+  EXPECT_THROW(m.at(0, 2), Error);
+  EXPECT_NO_THROW(m.at(1, 1));
+}
+
+TEST(Matrix, RowView) {
+  Matrix<int> m(2, 3);
+  m(1, 0) = 7;
+  auto row = m.row(1);
+  EXPECT_EQ(row.size(), 3u);
+  EXPECT_EQ(row[0], 7);
+  row[2] = 9;
+  EXPECT_EQ(m(1, 2), 9);
+  EXPECT_THROW(m.row(2), Error);
+}
+
+TEST(Matrix, ColumnCopy) {
+  Matrix<int> m(3, 2);
+  m(0, 1) = 1;
+  m(1, 1) = 2;
+  m(2, 1) = 3;
+  const auto col = m.col(1);
+  EXPECT_EQ(col, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(Matrix, ColMinAndArgmin) {
+  Matrix<double> m(3, 2);
+  m(0, 0) = 5.0;
+  m(1, 0) = 2.0;
+  m(2, 0) = 8.0;
+  EXPECT_DOUBLE_EQ(m.col_min(0), 2.0);
+  EXPECT_EQ(m.col_argmin(0), 1u);
+}
+
+TEST(Matrix, ColArgminTieBreaksLow) {
+  Matrix<double> m(3, 1);
+  m(0, 0) = 2.0;
+  m(1, 0) = 2.0;
+  m(2, 0) = 3.0;
+  EXPECT_EQ(m.col_argmin(0), 0u);
+}
+
+TEST(Matrix, Equality) {
+  Matrix<int> a(2, 2, 1);
+  Matrix<int> b(2, 2, 1);
+  EXPECT_EQ(a, b);
+  b(1, 1) = 2;
+  EXPECT_FALSE(a == b);
+}
+
+TEST(Matrix, FillOverwrites) {
+  Matrix<int> m(2, 2, 1);
+  m.fill(9);
+  for (int v : m.flat()) EXPECT_EQ(v, 9);
+}
+
+}  // namespace
+}  // namespace sehc

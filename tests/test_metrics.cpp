@@ -1,0 +1,110 @@
+#include "hc/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+TEST(Metrics, HomogeneousSuiteHasZeroHeterogeneity) {
+  TaskGraph g(3);
+  g.add_edge(0, 1);
+  Matrix<double> exec(4, 3, 10.0);
+  Matrix<double> tr(6, 1, 1.0);
+  const Workload w(std::move(g), MachineSet(4), std::move(exec), std::move(tr));
+  EXPECT_DOUBLE_EQ(measure_heterogeneity(w), 0.0);
+}
+
+TEST(Metrics, HeterogeneityGrowsWithSpread) {
+  auto make = [](double hi) {
+    TaskGraph g(2);
+    Matrix<double> exec(2, 2);
+    exec(0, 0) = 10.0; exec(0, 1) = 10.0;
+    exec(1, 0) = hi;   exec(1, 1) = hi;
+    Matrix<double> tr(1, 0);
+    return Workload(std::move(g), MachineSet(2), std::move(exec), std::move(tr));
+  };
+  EXPECT_LT(measure_heterogeneity(make(12.0)),
+            measure_heterogeneity(make(100.0)));
+}
+
+TEST(Metrics, CcrMatchesMeanRatio) {
+  TaskGraph g(2);
+  g.add_edge(0, 1);
+  Matrix<double> exec(2, 2, 10.0);
+  Matrix<double> tr(1, 1, 5.0);
+  const Workload w(std::move(g), MachineSet(2), std::move(exec), std::move(tr));
+  EXPECT_DOUBLE_EQ(measure_ccr(w), 0.5);
+}
+
+TEST(Metrics, CcrZeroWithoutEdges) {
+  TaskGraph g(2);
+  Matrix<double> exec(2, 2, 10.0);
+  Matrix<double> tr(1, 0);
+  const Workload w(std::move(g), MachineSet(2), std::move(exec), std::move(tr));
+  EXPECT_DOUBLE_EQ(measure_ccr(w), 0.0);
+}
+
+TEST(Metrics, MeasureFillsEveryField) {
+  const Workload w = figure1_workload();
+  const WorkloadMetrics m = measure(w);
+  EXPECT_EQ(m.tasks, 7u);
+  EXPECT_EQ(m.machines, 2u);
+  EXPECT_EQ(m.items, 6u);
+  EXPECT_GT(m.connectivity, 0.0);
+  EXPECT_GT(m.avg_degree, 0.0);
+  EXPECT_GT(m.heterogeneity, 0.0);
+  EXPECT_GT(m.ccr, 0.0);
+  EXPECT_GT(m.mean_exec, 0.0);
+  EXPECT_GT(m.mean_transfer, 0.0);
+  EXPECT_GT(m.cp_best_exec, 0.0);
+  EXPECT_GE(m.serial_best_exec, m.cp_best_exec);
+}
+
+TEST(Metrics, GeneratorHitsHeterogeneityOrdering) {
+  // Same seed, increasing heterogeneity class -> increasing measured CV.
+  WorkloadParams p;
+  p.tasks = 60;
+  p.machines = 10;
+  p.seed = 11;
+  p.heterogeneity = Level::kLow;
+  const double low = measure_heterogeneity(make_workload(p));
+  p.heterogeneity = Level::kMedium;
+  const double mid = measure_heterogeneity(make_workload(p));
+  p.heterogeneity = Level::kHigh;
+  const double high = measure_heterogeneity(make_workload(p));
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+}
+
+TEST(Metrics, GeneratorHitsCcrTarget) {
+  WorkloadParams p;
+  p.tasks = 80;
+  p.machines = 8;
+  p.seed = 3;
+  for (double target : {0.1, 1.0}) {
+    p.ccr = target;
+    const double measured = measure_ccr(make_workload(p));
+    EXPECT_NEAR(measured, target, 0.25 * target)
+        << "target ccr " << target;
+  }
+}
+
+TEST(Metrics, GeneratorConnectivityOrdering) {
+  WorkloadParams p;
+  p.tasks = 80;
+  p.machines = 8;
+  p.seed = 5;
+  p.connectivity = Level::kLow;
+  const double low = measure(make_workload(p)).avg_degree;
+  p.connectivity = Level::kMedium;
+  const double mid = measure(make_workload(p)).avg_degree;
+  p.connectivity = Level::kHigh;
+  const double high = measure(make_workload(p)).avg_degree;
+  EXPECT_LT(low, mid);
+  EXPECT_LT(mid, high);
+}
+
+}  // namespace
+}  // namespace sehc

@@ -1,0 +1,192 @@
+#include "se/se.h"
+
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "sched/bounds.h"
+#include "sched/validate.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+SeParams quick_params(std::uint64_t seed, std::size_t iterations = 40) {
+  SeParams p;
+  p.seed = seed;
+  p.max_iterations = iterations;
+  p.verify_invariants = true;
+  return p;
+}
+
+TEST(SeEngine, ProducesValidSchedule) {
+  WorkloadParams wp;
+  wp.tasks = 30;
+  wp.machines = 4;
+  wp.seed = 1;
+  const Workload w = make_workload(wp);
+  const SeResult r = SeEngine(w, quick_params(1)).run();
+  EXPECT_TRUE(r.best_solution.is_valid(w.graph()));
+  EXPECT_TRUE(is_valid_schedule(w, r.schedule));
+  EXPECT_DOUBLE_EQ(r.schedule.makespan, r.best_makespan);
+  EXPECT_GE(r.best_makespan, makespan_lower_bound(w) - 1e-9);
+}
+
+TEST(SeEngine, DeterministicPerSeed) {
+  WorkloadParams wp;
+  wp.tasks = 25;
+  wp.machines = 4;
+  wp.seed = 2;
+  const Workload w = make_workload(wp);
+  const SeResult a = SeEngine(w, quick_params(7)).run();
+  const SeResult b = SeEngine(w, quick_params(7)).run();
+  EXPECT_DOUBLE_EQ(a.best_makespan, b.best_makespan);
+  EXPECT_EQ(a.best_solution, b.best_solution);
+  ASSERT_EQ(a.trace.size(), b.trace.size());
+  for (std::size_t i = 0; i < a.trace.size(); ++i) {
+    EXPECT_EQ(a.trace[i].num_selected, b.trace[i].num_selected);
+    EXPECT_DOUBLE_EQ(a.trace[i].current_makespan, b.trace[i].current_makespan);
+  }
+}
+
+TEST(SeEngine, BestMakespanIsMonotone) {
+  WorkloadParams wp;
+  wp.tasks = 40;
+  wp.machines = 6;
+  wp.seed = 3;
+  const Workload w = make_workload(wp);
+  const SeResult r = SeEngine(w, quick_params(3, 60)).run();
+  for (std::size_t i = 1; i < r.trace.size(); ++i) {
+    EXPECT_LE(r.trace[i].best_makespan, r.trace[i - 1].best_makespan);
+  }
+  EXPECT_DOUBLE_EQ(r.trace.back().best_makespan, r.best_makespan);
+}
+
+TEST(SeEngine, ImprovesOverInitialSolution) {
+  WorkloadParams wp;
+  wp.tasks = 50;
+  wp.machines = 8;
+  wp.seed = 4;
+  const Workload w = make_workload(wp);
+  SeParams p = quick_params(4, 80);
+  Rng rng(p.seed);
+  SolutionString initial =
+      random_initial_solution(w.graph(), w.num_machines(), rng);
+  const double initial_len = schedule_makespan(w, initial);
+  const SeResult r = SeEngine(w, p).run_from(std::move(initial));
+  EXPECT_LT(r.best_makespan, initial_len);
+}
+
+TEST(SeEngine, SelectedCountDecreasesAsSearchConverges) {
+  // Paper §5.1: many tasks selected early, few late. Compare the mean of
+  // the first and last quartiles of the selected-count series.
+  WorkloadParams wp;
+  wp.tasks = 60;
+  wp.machines = 8;
+  wp.connectivity = Level::kHigh;
+  wp.seed = 5;
+  const Workload w = make_workload(wp);
+  SeParams p = quick_params(5, 100);
+  p.bias = 0.0;
+  const SeResult r = SeEngine(w, p).run();
+  const std::size_t q = r.trace.size() / 4;
+  double early = 0.0, late = 0.0;
+  for (std::size_t i = 0; i < q; ++i) {
+    early += static_cast<double>(r.trace[i].num_selected);
+    late += static_cast<double>(r.trace[r.trace.size() - 1 - i].num_selected);
+  }
+  EXPECT_LT(late, early);
+}
+
+TEST(SeEngine, RespectsIterationCap) {
+  const Workload w = figure1_workload();
+  SeParams p = quick_params(1, 5);
+  const SeResult r = SeEngine(w, p).run();
+  EXPECT_EQ(r.iterations, 5u);
+  EXPECT_EQ(r.trace.size(), 5u);
+}
+
+TEST(SeEngine, ObserverCanStopEarly) {
+  const Workload w = figure1_workload();
+  SeParams p = quick_params(1, 100);
+  SeEngine engine(w, p);
+  std::size_t calls = 0;
+  engine.set_observer([&calls](const SeIterationStats&) {
+    ++calls;
+    return calls < 3;
+  });
+  const SeResult r = engine.run();
+  EXPECT_EQ(calls, 3u);
+  EXPECT_EQ(r.iterations, 3u);
+}
+
+TEST(SeEngine, StallStopTriggers) {
+  const Workload w = figure1_workload();
+  SeParams p = quick_params(2, 1000);
+  p.stall_iterations = 10;
+  const SeResult r = SeEngine(w, p).run();
+  EXPECT_LT(r.iterations, 1000u);
+}
+
+TEST(SeEngine, TraceDisabledLeavesTraceEmpty) {
+  const Workload w = figure1_workload();
+  SeParams p = quick_params(1, 5);
+  p.record_trace = false;
+  const SeResult r = SeEngine(w, p).run();
+  EXPECT_TRUE(r.trace.empty());
+  EXPECT_EQ(r.iterations, 5u);
+}
+
+TEST(SeEngine, DefaultBiasResolvedFromProblemSize) {
+  const Workload small = figure1_workload();
+  EXPECT_LT(SeEngine(small, SeParams{}).effective_bias(), 0.0);
+
+  WorkloadParams wp;
+  wp.tasks = 100;
+  wp.machines = 10;
+  wp.seed = 1;
+  const Workload large = make_workload(wp);
+  EXPECT_GT(SeEngine(large, SeParams{}).effective_bias(), 0.0);
+
+  SeParams p;
+  p.bias = -0.25;
+  EXPECT_DOUBLE_EQ(SeEngine(small, p).effective_bias(), -0.25);
+}
+
+TEST(SeEngine, YLimitAffectsRuntimeNotValidity) {
+  WorkloadParams wp;
+  wp.tasks = 40;
+  wp.machines = 10;
+  wp.seed = 6;
+  const Workload w = make_workload(wp);
+  for (std::size_t y : {2u, 5u, 10u}) {
+    SeParams p = quick_params(6, 20);
+    p.y_limit = y;
+    const SeResult r = SeEngine(w, p).run();
+    EXPECT_TRUE(is_valid_schedule(w, r.schedule)) << "Y=" << y;
+  }
+}
+
+TEST(SeEngine, RunFromRejectsInvalidString) {
+  const Workload w = figure1_workload();
+  // Invalid: s4 (needs s0, s1) first.
+  const std::vector<TaskId> order{4, 0, 1, 2, 3, 5, 6};
+  const std::vector<MachineId> asg(7, 0);
+  SeParams p = quick_params(1, 5);
+  EXPECT_THROW(SeEngine(w, p).run_from(SolutionString(order, asg)), Error);
+}
+
+TEST(SeEngine, TimeLimitStopsRun) {
+  WorkloadParams wp;
+  wp.tasks = 80;
+  wp.machines = 10;
+  wp.seed = 7;
+  const Workload w = make_workload(wp);
+  SeParams p = quick_params(7, 1000000);
+  p.time_limit_seconds = 0.05;
+  const SeResult r = SeEngine(w, p).run();
+  EXPECT_LT(r.seconds, 5.0);  // stopped well before the iteration cap
+  EXPECT_LT(r.iterations, 1000000u);
+}
+
+}  // namespace
+}  // namespace sehc

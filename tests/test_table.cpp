@@ -1,0 +1,71 @@
+#include "core/table.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/error.h"
+
+namespace sehc {
+namespace {
+
+TEST(Table, CsvRoundTripBasics) {
+  Table t({"a", "b"});
+  t.begin_row().add("x").add(1.5, 1);
+  t.begin_row().add("y").add(std::size_t{7});
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "a,b\nx,1.5\ny,7\n");
+}
+
+TEST(Table, CsvEscapesSpecialCharacters) {
+  Table t({"v"});
+  t.begin_row().add("has,comma");
+  t.begin_row().add("has\"quote");
+  std::ostringstream os;
+  t.write_csv(os);
+  EXPECT_EQ(os.str(), "v\n\"has,comma\"\n\"has\"\"quote\"\n");
+}
+
+TEST(Table, MarkdownAlignsColumns) {
+  Table t({"name", "x"});
+  t.begin_row().add("longer-name").add("1");
+  std::ostringstream os;
+  t.write_markdown(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| name        | x |"), std::string::npos);
+  EXPECT_NE(out.find("| longer-name | 1 |"), std::string::npos);
+  EXPECT_NE(out.find("|-"), std::string::npos);
+}
+
+TEST(Table, OverfilledRowThrows) {
+  Table t({"only"});
+  t.begin_row().add("1");
+  EXPECT_THROW(t.add("2"), Error);
+}
+
+TEST(Table, AddWithoutRowThrows) {
+  Table t({"only"});
+  EXPECT_THROW(t.add("1"), Error);
+}
+
+TEST(Table, AddRowWidthMismatchThrows) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"1"}), Error);
+}
+
+TEST(Table, CellAccess) {
+  Table t({"a"});
+  t.add_row({"v"});
+  EXPECT_EQ(t.cell(0, 0), "v");
+  EXPECT_THROW(t.cell(1, 0), Error);
+}
+
+TEST(FormatFixed, Precision) {
+  EXPECT_EQ(format_fixed(1.23456, 2), "1.23");
+  EXPECT_EQ(format_fixed(1.0, 0), "1");
+  EXPECT_EQ(format_fixed(-0.5, 1), "-0.5");
+}
+
+}  // namespace
+}  // namespace sehc

@@ -1,0 +1,68 @@
+#include "exp/trace_io.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+TEST(TraceIo, SeTraceFullDump) {
+  std::vector<SeIterationStats> trace(3);
+  for (std::size_t i = 0; i < 3; ++i) {
+    trace[i].iteration = i;
+    trace[i].num_selected = 7 - i;
+    trace[i].tasks_moved = i;
+    trace[i].current_makespan = 100.0 + static_cast<double>(i);
+    trace[i].best_makespan = 100.0;
+    trace[i].elapsed_seconds = 0.5 * static_cast<double>(i);
+  }
+  std::ostringstream os;
+  write_full_se_trace(os, trace);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("iteration,selected,moved"), std::string::npos);
+  EXPECT_NE(out.find("2,5,2,102.0000,100.0000,1.000000"), std::string::npos);
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TraceIo, GaTraceFullDump) {
+  std::vector<GaIterationStats> trace(2);
+  trace[0].generation = 0;
+  trace[0].gen_best_makespan = 90.0;
+  trace[0].gen_mean_makespan = 120.0;
+  trace[0].best_makespan = 90.0;
+  trace[1].generation = 1;
+  trace[1].gen_best_makespan = 85.0;
+  trace[1].gen_mean_makespan = 110.0;
+  trace[1].best_makespan = 85.0;
+  std::ostringstream os;
+  write_full_ga_trace(os, trace);
+  EXPECT_NE(os.str().find("1,85.0000,110.0000,85.0000"), std::string::npos);
+}
+
+TEST(TraceIo, ScheduleCsvListsEveryTask) {
+  const Workload w = figure1_workload();
+  const SolutionString s(std::vector<TaskId>{0, 1, 2, 5, 6, 3, 4},
+                         std::vector<MachineId>{0, 1, 1, 0, 0, 1, 1});
+  const Schedule sched = Schedule::from_solution(w, s);
+  std::ostringstream os;
+  write_schedule_csv(os, w, sched);
+  const std::string out = os.str();
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 8);  // header + 7
+  EXPECT_NE(out.find("4,s4,0,1100.0000,2100.0000"), std::string::npos);
+}
+
+TEST(TraceIo, ScheduleCsvRejectsMismatch) {
+  const Workload w = figure1_workload();
+  Schedule small;
+  small.assignment.assign(2, 0);
+  small.start.assign(2, 0.0);
+  small.finish.assign(2, 0.0);
+  std::ostringstream os;
+  EXPECT_THROW(write_schedule_csv(os, w, small), Error);
+}
+
+}  // namespace
+}  // namespace sehc

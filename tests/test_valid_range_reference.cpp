@@ -1,0 +1,75 @@
+// Brute-force cross-check of SolutionString::valid_range: for random
+// strings over random DAGs, the analytically computed range must equal the
+// set of final positions at which move_task keeps the string topologically
+// valid — tested by actually performing every move.
+#include <gtest/gtest.h>
+
+#include "core/rng.h"
+#include "dag/topo.h"
+#include "sched/encoding.h"
+#include "workload/random_dag.h"
+
+namespace sehc {
+namespace {
+
+class ValidRangeReferenceTest : public testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(ValidRangeReferenceTest, RangeEqualsBruteForceValidPositions) {
+  Rng rng(GetParam());
+  const TaskGraph g = random_ordered_dag(18, 0.18, rng);
+  for (int round = 0; round < 6; ++round) {
+    SolutionString base = random_initial_solution(g, 3, rng);
+    ASSERT_TRUE(base.is_valid(g));
+    for (TaskId t = 0; t < g.num_tasks(); ++t) {
+      const ValidRange range = base.valid_range(g, t);
+      for (std::size_t pos = 0; pos < g.num_tasks(); ++pos) {
+        SolutionString trial = base;
+        trial.move_task(t, pos);
+        EXPECT_EQ(trial.is_valid(g), range.contains(pos))
+            << "task " << t << " to position " << pos << " (range ["
+            << range.lo << ", " << range.hi << "])";
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ValidRangeReferenceTest,
+                         testing::Values(11u, 22u, 33u, 44u, 55u));
+
+TEST(ValidRangeReference, CurrentPositionAlwaysInRange) {
+  Rng rng(7);
+  const TaskGraph g = random_ordered_dag(30, 0.12, rng);
+  SolutionString s = random_initial_solution(g, 4, rng);
+  for (TaskId t = 0; t < g.num_tasks(); ++t) {
+    EXPECT_TRUE(s.valid_range(g, t).contains(s.position_of(t)));
+  }
+}
+
+TEST(ValidRangeReference, ChainTasksAreFullyPinned) {
+  // In a chain every task's valid range is exactly its current position.
+  TaskGraph g(6);
+  for (TaskId t = 0; t + 1 < 6; ++t) g.add_edge(t, t + 1);
+  const std::vector<TaskId> order{0, 1, 2, 3, 4, 5};
+  const std::vector<MachineId> asg(6, 0);
+  const SolutionString s(order, asg);
+  for (TaskId t = 0; t < 6; ++t) {
+    const ValidRange r = s.valid_range(g, t);
+    EXPECT_EQ(r.lo, t);
+    EXPECT_EQ(r.hi, t);
+  }
+}
+
+TEST(ValidRangeReference, IndependentTasksRangeOverWholeString) {
+  TaskGraph g(5);  // no edges
+  const std::vector<TaskId> order{3, 1, 4, 0, 2};
+  const std::vector<MachineId> asg(5, 0);
+  const SolutionString s(order, asg);
+  for (TaskId t = 0; t < 5; ++t) {
+    const ValidRange r = s.valid_range(g, t);
+    EXPECT_EQ(r.lo, 0u);
+    EXPECT_EQ(r.hi, 4u);
+  }
+}
+
+}  // namespace
+}  // namespace sehc

@@ -1,0 +1,73 @@
+#include "hc/workload_io.h"
+
+#include <gtest/gtest.h>
+
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+TEST(WorkloadIo, RoundTripFigure1) {
+  const Workload w = figure1_workload();
+  const Workload back = workload_from_string(workload_to_string(w));
+  EXPECT_EQ(w.graph(), back.graph());
+  EXPECT_EQ(w.exec_matrix(), back.exec_matrix());
+  EXPECT_EQ(w.transfer_matrix(), back.transfer_matrix());
+  EXPECT_EQ(back.machines()[1].arch, MachineArch::kSimd);
+}
+
+TEST(WorkloadIo, RoundTripGenerated) {
+  WorkloadParams p;
+  p.tasks = 40;
+  p.machines = 6;
+  p.seed = 77;
+  const Workload w = make_workload(p);
+  const Workload back = workload_from_string(workload_to_string(w));
+  EXPECT_EQ(w.graph(), back.graph());
+  EXPECT_EQ(w.exec_matrix(), back.exec_matrix());
+  EXPECT_EQ(w.transfer_matrix(), back.transfer_matrix());
+}
+
+TEST(WorkloadIo, RoundTripEdgelessGraph) {
+  TaskGraph g(3);
+  Matrix<double> exec(2, 3, 1.0);
+  Matrix<double> tr(1, 0);
+  const Workload w(std::move(g), MachineSet(2), std::move(exec), std::move(tr));
+  const Workload back = workload_from_string(workload_to_string(w));
+  EXPECT_EQ(back.num_items(), 0u);
+  EXPECT_EQ(back.num_tasks(), 3u);
+}
+
+TEST(WorkloadIo, MissingHeaderThrows) {
+  EXPECT_THROW(workload_from_string("machines 2\n"), Error);
+}
+
+TEST(WorkloadIo, TruncatedExecThrows) {
+  const std::string text =
+      "sehc-workload v1\n"
+      "machines 2\n"
+      "sehc-dag v1\n"
+      "tasks 2\n"
+      "edge 0 1\n"
+      "end-dag\n"
+      "exec\n"
+      "1 2\n";  // missing second row
+  EXPECT_THROW(workload_from_string(text), Error);
+}
+
+TEST(WorkloadIo, MissingTransferThrows) {
+  const std::string text =
+      "sehc-workload v1\n"
+      "machines 2\n"
+      "sehc-dag v1\n"
+      "tasks 2\n"
+      "edge 0 1\n"
+      "end-dag\n"
+      "exec\n"
+      "1 2\n"
+      "3 4\n";
+  EXPECT_THROW(workload_from_string(text), Error);
+}
+
+}  // namespace
+}  // namespace sehc
