@@ -9,16 +9,18 @@
 
 #include "core/options.h"
 #include "core/table.h"
+#include "exp/sweep.h"
 #include "heuristics/heft.h"
 #include "se/se.h"
 #include "workload/generator.h"
 
 int main(int argc, char** argv) {
   using namespace sehc;
-  const Options opts(argc, argv, {"iterations", "seed"});
+  const Options opts(argc, argv, {"iterations", "seed", "threads"});
   const auto iterations = static_cast<std::size_t>(
       opts.get_int("iterations", static_cast<std::int64_t>(scaled(100, 10))));
   const auto seed = opts.get_seed("seed", 42);
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 1));
 
   std::cout << "=== Ablation: initial solution x allocation breadth Y ===\n\n";
 
@@ -39,22 +41,30 @@ int main(int argc, char** argv) {
               << "), HEFT alone = " << format_fixed(heft.makespan, 1)
               << " ---\n";
 
+    // Y x init as a parallel sweep; rows come back in grid order.
+    const std::vector<std::size_t> y_values{2, 5, 0};  // 0 = all machines
+    const SweepGrid grid({{"Y", y_values.size()}, {"init", 2}});
+    SweepOptions sweep_opts;
+    sweep_opts.threads = threads;
+    const auto runs =
+        sweep_map(grid, sweep_opts, [&](const SweepCell& cell) -> SeResult {
+          SeParams p;
+          p.seed = seed;
+          p.y_limit = y_values[cell.at(0)];
+          p.max_iterations = iterations;
+          SeEngine engine(w, p);
+          return cell.at(1) == 1 ? engine.run_from(heft_seeded) : engine.run();
+        });
+
     Table table({"init", "Y", "best_makespan", "seconds"});
-    for (std::size_t y : {2u, 5u, 0u}) {  // 0 = all machines
-      for (bool seeded : {false, true}) {
-        SeParams p;
-        p.seed = seed;
-        p.y_limit = y;
-        p.max_iterations = iterations;
-        SeEngine engine(w, p);
-        const SeResult r =
-            seeded ? engine.run_from(heft_seeded) : engine.run();
-        table.begin_row()
-            .add(seeded ? "HEFT-seeded" : "random")
-            .add(y == 0 ? std::string("all") : std::to_string(y))
-            .add(r.best_makespan, 1)
-            .add(r.seconds, 2);
-      }
+    for (std::size_t i = 0; i < runs.size(); ++i) {
+      const auto coords = grid.coords(i);
+      const std::size_t y = y_values[coords[0]];
+      table.begin_row()
+          .add(coords[1] == 1 ? "HEFT-seeded" : "random")
+          .add(y == 0 ? std::string("all") : std::to_string(y))
+          .add(runs[i].best_makespan, 1)
+          .add(runs[i].seconds, 2);
     }
     table.write_markdown(std::cout);
     std::cout << "\n";

@@ -15,6 +15,7 @@
 #include "core/options.h"
 #include "core/table.h"
 #include "exp/figures.h"
+#include "exp/sweep.h"
 #include "se/se.h"
 #include "workload/generator.h"
 
@@ -56,10 +57,17 @@ void run_main_figure(std::size_t iterations, std::uint64_t seed) {
             << format_fixed(late / static_cast<double>(q), 1) << "\n";
 }
 
-void run_class_sweep(std::size_t iterations, std::uint64_t seed) {
+struct ClassRow {
+  std::size_t k = 0;
+  double early = 0.0;
+  double late = 0.0;
+  double initial_len = 0.0;
+  double final_best = 0.0;
+};
+
+void run_class_sweep(std::size_t iterations, std::uint64_t seed,
+                     std::size_t threads) {
   std::cout << "\n--- selected-count decay across workload classes (5.1) ---\n";
-  Table table({"class", "k", "early_selected", "late_selected", "initial_len",
-               "final_best"});
   struct ClassDef {
     const char* name;
     WorkloadParams params;
@@ -72,26 +80,44 @@ void run_class_sweep(std::size_t iterations, std::uint64_t seed) {
       {"fig7/low-all", paper_fig7_low_everything(seed)},
       {"small", paper_small(seed)},
   };
-  for (const ClassDef& c : classes) {
-    const Workload w = make_workload(c.params);
-    SeParams p;
-    p.seed = seed;
-    p.max_iterations = iterations;
-    p.bias = -0.1;
-    const SeResult r = SeEngine(w, p).run();
-    const std::size_t q = std::max<std::size_t>(1, r.trace.size() / 4);
-    double early = 0.0, late = 0.0;
-    for (std::size_t i = 0; i < q; ++i) {
-      early += static_cast<double>(r.trace[i].num_selected);
-      late += static_cast<double>(r.trace[r.trace.size() - 1 - i].num_selected);
-    }
+
+  const SweepGrid grid({{"class", classes.size()}});
+  SweepOptions sweep_opts;
+  sweep_opts.threads = threads;
+  const auto rows =
+      sweep_map(grid, sweep_opts, [&](const SweepCell& cell) -> ClassRow {
+        const ClassDef& c = classes[cell.at(0)];
+        const Workload w = make_workload(c.params);
+        SeParams p;
+        p.seed = seed;
+        p.max_iterations = iterations;
+        p.bias = -0.1;
+        const SeResult r = SeEngine(w, p).run();
+        const std::size_t q = std::max<std::size_t>(1, r.trace.size() / 4);
+        ClassRow row;
+        row.k = w.num_tasks();
+        for (std::size_t i = 0; i < q; ++i) {
+          row.early += static_cast<double>(r.trace[i].num_selected);
+          row.late +=
+              static_cast<double>(r.trace[r.trace.size() - 1 - i].num_selected);
+        }
+        row.early /= static_cast<double>(q);
+        row.late /= static_cast<double>(q);
+        row.initial_len = r.trace.front().current_makespan;
+        row.final_best = r.best_makespan;
+        return row;
+      });
+
+  Table table({"class", "k", "early_selected", "late_selected", "initial_len",
+               "final_best"});
+  for (std::size_t i = 0; i < classes.size(); ++i) {
     table.begin_row()
-        .add(std::string(c.name))
-        .add(w.num_tasks())
-        .add(early / static_cast<double>(q), 1)
-        .add(late / static_cast<double>(q), 1)
-        .add(r.trace.front().current_makespan, 1)
-        .add(r.best_makespan, 1);
+        .add(std::string(classes[i].name))
+        .add(rows[i].k)
+        .add(rows[i].early, 1)
+        .add(rows[i].late, 1)
+        .add(rows[i].initial_len, 1)
+        .add(rows[i].final_best, 1);
   }
   table.write_markdown(std::cout);
 }
@@ -100,13 +126,14 @@ void run_class_sweep(std::size_t iterations, std::uint64_t seed) {
 
 int main(int argc, char** argv) {
   using namespace sehc;
-  const Options opts(argc, argv, {"iterations", "seed"});
+  const Options opts(argc, argv, {"iterations", "seed", "threads"});
   const auto iterations = static_cast<std::size_t>(
       opts.get_int("iterations",
                    static_cast<std::int64_t>(scaled(300, 20))));
   const auto seed = opts.get_seed("seed", 42);
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 1));
 
   run_main_figure(iterations, seed);
-  run_class_sweep(std::max<std::size_t>(iterations / 3, 20), seed);
+  run_class_sweep(std::max<std::size_t>(iterations / 3, 20), seed, threads);
   return 0;
 }

@@ -14,6 +14,7 @@
 #include "core/options.h"
 #include "core/table.h"
 #include "exp/figures.h"
+#include "exp/sweep.h"
 #include "se/se.h"
 #include "workload/generator.h"
 
@@ -28,21 +29,26 @@ struct YRun {
 
 void run_panel(const char* figure_id, const WorkloadParams& wp,
                const std::vector<std::size_t>& y_values,
-               std::size_t iterations, std::uint64_t seed) {
+               std::size_t iterations, std::uint64_t seed,
+               std::size_t threads) {
   const Workload w = make_workload(wp);
   print_figure_banner(std::cout, figure_id,
                       "schedule length vs iteration for several Y", w,
                       wp.describe());
 
-  std::vector<YRun> runs;
-  for (std::size_t y : y_values) {
-    SeParams p;
-    p.seed = seed;
-    p.y_limit = y;
-    p.max_iterations = iterations;
-    p.bias = -0.1;  // uniform SE configuration across all figure benches
-    runs.push_back({y, SeEngine(w, p).run()});
-  }
+  const SweepGrid grid({{"Y", y_values.size()}});
+  SweepOptions sweep_opts;
+  sweep_opts.threads = threads;
+  const auto runs =
+      sweep_map(grid, sweep_opts, [&](const SweepCell& cell) -> YRun {
+        const std::size_t y = y_values[cell.at(0)];
+        SeParams p;
+        p.seed = seed;
+        p.y_limit = y;
+        p.max_iterations = iterations;
+        p.bias = -0.1;  // uniform SE configuration across all figure benches
+        return YRun{y, SeEngine(w, p).run()};
+      });
 
   // Iteration-indexed series, downsampled to ~30 rows.
   std::cout << "iteration";
@@ -74,7 +80,8 @@ void run_panel(const char* figure_id, const WorkloadParams& wp,
   std::cout << "\n";
   summary.write_markdown(std::cout);
 
-  // Shape check: time must increase with Y.
+  // Shape check: time must increase with Y. Only meaningful on a serial
+  // sweep (--threads 1); co-scheduled runs contend for cores.
   bool time_monotone = true;
   for (std::size_t i = 1; i < runs.size(); ++i) {
     if (runs[i].result.seconds < runs[i - 1].result.seconds) {
@@ -89,15 +96,18 @@ void run_panel(const char* figure_id, const WorkloadParams& wp,
 
 int main(int argc, char** argv) {
   using namespace sehc;
-  const Options opts(argc, argv, {"iterations", "seed"});
+  const Options opts(argc, argv, {"iterations", "seed", "threads"});
   const auto iterations = static_cast<std::size_t>(
       opts.get_int("iterations", static_cast<std::int64_t>(scaled(250, 15))));
   const auto seed = opts.get_seed("seed", 42);
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 1));
   const std::vector<std::size_t> y_values{5, 9, 12};
 
   run_panel("Figure 4a (low heterogeneity)",
-            paper_large_low_heterogeneity(seed), y_values, iterations, seed);
+            paper_large_low_heterogeneity(seed), y_values, iterations, seed,
+            threads);
   run_panel("Figure 4b (high heterogeneity)",
-            paper_large_high_heterogeneity(seed), y_values, iterations, seed);
+            paper_large_high_heterogeneity(seed), y_values, iterations, seed,
+            threads);
   return 0;
 }

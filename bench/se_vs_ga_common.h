@@ -1,15 +1,22 @@
 // Shared driver for the Figure 5/6/7 benches: run SE and GA on the same
 // workload under the same wall-clock budget and print the anytime
 // comparison (best schedule length vs real time), as the paper does.
+//
+// The two heuristics execute as a 2-cell sweep on the heuristic axis;
+// --threads 2 runs them concurrently. The default stays serial because
+// anytime curves measure wall time, and co-scheduling distorts both curves
+// whenever the machine lacks a spare core per heuristic.
 #pragma once
 
 #include <iostream>
 #include <string>
+#include <vector>
 
 #include "core/options.h"
 #include "core/table.h"
 #include "exp/anytime.h"
 #include "exp/figures.h"
+#include "exp/sweep.h"
 #include "workload/generator.h"
 
 namespace sehc::bench {
@@ -20,6 +27,7 @@ struct SeVsGaConfig {
   WorkloadParams workload;
   double budget_seconds = 2.0;
   std::uint64_t seed = 42;
+  std::size_t threads = 1;
 };
 
 inline int run_se_vs_ga(const SeVsGaConfig& cfg) {
@@ -29,21 +37,32 @@ inline int run_se_vs_ga(const SeVsGaConfig& cfg) {
   std::cout << "time budget per heuristic: "
             << format_fixed(cfg.budget_seconds, 2) << " s\n\n";
 
-  SeParams sp;
-  sp.seed = cfg.seed;
-  // One configuration across Figures 5-7 (no per-figure tuning): all
-  // machines as allocation candidates and selection bias -0.1. The paper
-  // suggests non-negative bias for large problems to cap iteration cost;
-  // our checkpointed trial evaluation makes thorough selection affordable,
-  // and B = -0.1 dominates B in [0, 0.1] on every class we measured (see
-  // bench/ablation_bias and EXPERIMENTS.md).
-  sp.bias = -0.1;
-  sp.y_limit = 0;
-  const auto se_curve = run_se_anytime(w, sp, cfg.budget_seconds);
-
-  GaParams gp;
-  gp.seed = cfg.seed;
-  const auto ga_curve = run_ga_anytime(w, gp, cfg.budget_seconds);
+  const SweepGrid grid({{"heuristic", 2}});  // 0 = SE, 1 = GA
+  SweepOptions sweep_opts;
+  sweep_opts.threads = cfg.threads;
+  const auto curves = sweep_map(
+      grid, sweep_opts,
+      [&](const SweepCell& cell) -> std::vector<AnytimePoint> {
+        if (cell.at(0) == 0) {
+          SeParams sp;
+          sp.seed = cfg.seed;
+          // One configuration across Figures 5-7 (no per-figure tuning): all
+          // machines as allocation candidates and selection bias -0.1. The
+          // paper suggests non-negative bias for large problems to cap
+          // iteration cost; our checkpointed trial evaluation makes thorough
+          // selection affordable, and B = -0.1 dominates B in [0, 0.1] on
+          // every class we measured (see bench/ablation_bias and
+          // EXPERIMENTS.md).
+          sp.bias = -0.1;
+          sp.y_limit = 0;
+          return run_se_anytime(w, sp, cfg.budget_seconds);
+        }
+        GaParams gp;
+        gp.seed = cfg.seed;
+        return run_ga_anytime(w, gp, cfg.budget_seconds);
+      });
+  const auto& se_curve = curves[0];
+  const auto& ga_curve = curves[1];
 
   write_anytime_csv(std::cout, se_curve, ga_curve,
                     time_grid(cfg.budget_seconds, 20));
@@ -68,12 +87,13 @@ inline int run_se_vs_ga(const SeVsGaConfig& cfg) {
   return 0;
 }
 
-/// Standard CLI: --budget seconds, --seed; budget is scaled by SEHC_SCALE.
+/// Standard CLI: --budget seconds, --seed, --threads; budget is scaled by
+/// SEHC_SCALE.
 inline SeVsGaConfig parse_config(int argc, char** argv, std::string figure_id,
                                  std::string description,
                                  WorkloadParams (*factory)(std::uint64_t),
                                  double default_budget) {
-  const Options opts(argc, argv, {"budget", "seed"});
+  const Options opts(argc, argv, {"budget", "seed", "threads"});
   SeVsGaConfig cfg;
   cfg.seed = opts.get_seed("seed", 42);
   cfg.figure_id = std::move(figure_id);
@@ -81,6 +101,7 @@ inline SeVsGaConfig parse_config(int argc, char** argv, std::string figure_id,
   cfg.workload = factory(cfg.seed);
   cfg.budget_seconds =
       opts.get_double("budget", default_budget * scale_from_env());
+  cfg.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
   return cfg;
 }
 

@@ -3,6 +3,9 @@
 // quality normalized to the per-workload best and to the makespan lower
 // bound. This contextualizes the paper's two heuristics inside the broader
 // baseline landscape of its survey references [4][5].
+//
+// Runs as one scheduler x workload x seed sweep; --threads parallelizes the
+// cells, --seeds adds seeded repetitions per class.
 #include <iostream>
 
 #include "core/options.h"
@@ -11,32 +14,31 @@
 
 int main(int argc, char** argv) {
   using namespace sehc;
-  const Options opts(argc, argv, {"budget", "seed"});
+  const Options opts(argc, argv, {"budget", "seed", "seeds", "threads"});
   const auto budget = static_cast<std::size_t>(
       opts.get_int("budget", static_cast<std::int64_t>(scaled(150, 10))));
   const auto seed = opts.get_seed("seed", 42);
+  const auto seeds = static_cast<std::size_t>(opts.get_int("seeds", 1));
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 1));
 
   std::cout << "=== Baseline comparison: all schedulers, iterative budget "
             << budget << " ===\n\n";
 
-  struct Case {
-    const char* name;
-    WorkloadParams params;
-  };
-  const std::vector<Case> cases{
+  SuiteSweep sweep;
+  sweep.workloads = {
       {"high-conn", paper_fig5_high_connectivity(seed)},
       {"ccr1", paper_fig6_ccr1(seed)},
       {"low-all", paper_fig7_low_everything(seed)},
       {"small", paper_small(seed)},
   };
+  sweep.schedulers = make_all_scheduler_factories(budget);
+  sweep.repetitions = seeds;
 
-  std::vector<RunRecord> all;
-  const auto suite = make_all_schedulers(budget, seed);
-  for (const Case& c : cases) {
-    const Workload w = make_workload(c.params);
-    auto records = run_suite(w, c.name, suite);
-    all.insert(all.end(), records.begin(), records.end());
-  }
+  SweepOptions sweep_opts;
+  sweep_opts.threads = threads;
+  sweep_opts.base_seed = seed;
+
+  const auto all = run_suite_sweep(sweep, sweep_opts);
   records_to_table(all).write_markdown(std::cout);
   std::cout << "\n(vs_best: ratio to best scheduler on that workload; vs_lb: "
                "ratio to makespan lower bound)\n";

@@ -2,9 +2,13 @@
 // OLB, SA, random search) on a workload class of your choice and prints the
 // comparison table.
 //
+// The seeded repetitions execute as a parallel sweep: pass --threads N to
+// spread them over N workers. The result columns are identical for any N;
+// only the measured wall-clock seconds column varies run to run.
+//
 //   $ ./compare_heuristics [--tasks 60] [--machines 10] [--conn high]
 //                          [--het medium] [--ccr 0.5] [--budget 80]
-//                          [--seeds 3]
+//                          [--seeds 3] [--threads 1]
 #include <iostream>
 
 #include "core/options.h"
@@ -25,28 +29,31 @@ sehc::Level level_from(const std::string& s) {
 int main(int argc, char** argv) {
   using namespace sehc;
   const Options opts(argc, argv, {"tasks", "machines", "conn", "het", "ccr",
-                                  "budget", "seeds"});
+                                  "budget", "seeds", "threads"});
   WorkloadParams wp;
   wp.tasks = static_cast<std::size_t>(opts.get_int("tasks", 60));
   wp.machines = static_cast<std::size_t>(opts.get_int("machines", 10));
   wp.connectivity = level_from(opts.get("conn", "high"));
   wp.heterogeneity = level_from(opts.get("het", "medium"));
   wp.ccr = opts.get_double("ccr", 0.5);
+  wp.seed = 100;
   const auto budget =
       static_cast<std::size_t>(opts.get_int("budget", 80));
   const auto seeds = static_cast<std::size_t>(opts.get_int("seeds", 3));
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 1));
 
   std::cout << "Comparing all schedulers on " << wp.describe() << " over "
             << seeds << " seeds (iterative budget " << budget << ")\n\n";
 
-  std::vector<RunRecord> all;
-  for (std::size_t i = 0; i < seeds; ++i) {
-    wp.seed = 100 + i;
-    const Workload w = make_workload(wp);
-    const auto suite = make_all_schedulers(budget, wp.seed);
-    auto records = run_suite(w, "seed" + std::to_string(wp.seed), suite);
-    all.insert(all.end(), records.begin(), records.end());
-  }
-  records_to_table(all).write_markdown(std::cout);
+  SuiteSweep sweep;
+  sweep.workloads = {{"seed", wp}};
+  sweep.schedulers = make_all_scheduler_factories(budget);
+  sweep.repetitions = seeds;
+
+  SweepOptions sweep_opts;
+  sweep_opts.threads = threads;
+  sweep_opts.base_seed = wp.seed;
+
+  records_to_table(run_suite_sweep(sweep, sweep_opts)).write_markdown(std::cout);
   return 0;
 }

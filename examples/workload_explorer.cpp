@@ -2,51 +2,67 @@
 // realized characteristics (connectivity, heterogeneity, CCR, bounds) and
 // optionally dumps one instance in the sehc-workload text format.
 //
-//   $ ./workload_explorer [--tasks 100] [--machines 20] [--dump]
+// The generator grid (connectivity x heterogeneity x CCR) runs as a
+// parallel sweep; the table is identical for any --threads value.
+//
+//   $ ./workload_explorer [--tasks 100] [--machines 20] [--dump] [--threads 1]
 #include <iostream>
 
 #include "core/options.h"
 #include "core/table.h"
+#include "exp/sweep.h"
 #include "hc/metrics.h"
 #include "hc/workload_io.h"
 #include "workload/generator.h"
 
 int main(int argc, char** argv) {
   using namespace sehc;
-  const Options opts(argc, argv, {"tasks", "machines", "dump", "seed"});
+  const Options opts(argc, argv, {"tasks", "machines", "dump", "seed",
+                                  "threads"});
   const auto tasks = static_cast<std::size_t>(opts.get_int("tasks", 100));
   const auto machines = static_cast<std::size_t>(opts.get_int("machines", 20));
   const auto seed = opts.get_seed("seed", 7);
+  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 1));
 
   std::cout << "Realized workload characteristics per generator class ("
             << tasks << " tasks, " << machines << " machines)\n\n";
 
-  Table table({"connectivity", "heterogeneity", "ccr_target", "items",
-               "measured_conn", "measured_het", "measured_ccr", "cp_lb",
-               "serial_ub"});
-  for (Level conn : {Level::kLow, Level::kMedium, Level::kHigh}) {
-    for (Level het : {Level::kLow, Level::kMedium, Level::kHigh}) {
-      for (double ccr : {0.1, 1.0}) {
+  const std::vector<Level> levels{Level::kLow, Level::kMedium, Level::kHigh};
+  const std::vector<double> ccrs{0.1, 1.0};
+
+  const SweepGrid grid(
+      {{"connectivity", levels.size()}, {"heterogeneity", levels.size()},
+       {"ccr", ccrs.size()}});
+  SweepOptions sweep_opts;
+  sweep_opts.threads = threads;
+  const auto metrics =
+      sweep_map(grid, sweep_opts, [&](const SweepCell& cell) {
         WorkloadParams p;
         p.tasks = tasks;
         p.machines = machines;
-        p.connectivity = conn;
-        p.heterogeneity = het;
-        p.ccr = ccr;
+        p.connectivity = levels[cell.at(0)];
+        p.heterogeneity = levels[cell.at(1)];
+        p.ccr = ccrs[cell.at(2)];
         p.seed = seed;
-        const WorkloadMetrics m = measure(make_workload(p));
-        table.begin_row()
-            .add(std::string(to_string(conn)))
-            .add(std::string(to_string(het)))
-            .add(ccr, 1)
-            .add(m.items)
-            .add(m.avg_degree, 2)
-            .add(m.heterogeneity, 3)
-            .add(m.ccr, 3)
-            .add(m.cp_best_exec, 0)
-            .add(m.serial_best_exec, 0);
-      }
-    }
+        return measure(make_workload(p));
+      });
+
+  Table table({"connectivity", "heterogeneity", "ccr_target", "items",
+               "measured_conn", "measured_het", "measured_ccr", "cp_lb",
+               "serial_ub"});
+  for (std::size_t i = 0; i < metrics.size(); ++i) {
+    const auto coords = grid.coords(i);
+    const WorkloadMetrics& m = metrics[i];
+    table.begin_row()
+        .add(std::string(to_string(levels[coords[0]])))
+        .add(std::string(to_string(levels[coords[1]])))
+        .add(ccrs[coords[2]], 1)
+        .add(m.items)
+        .add(m.avg_degree, 2)
+        .add(m.heterogeneity, 3)
+        .add(m.ccr, 3)
+        .add(m.cp_best_exec, 0)
+        .add(m.serial_best_exec, 0);
   }
   table.write_markdown(std::cout);
   std::cout << "\n(measured_conn = data items per task; measured_het = mean "

@@ -13,6 +13,8 @@
 #include <thread>
 #include <vector>
 
+#include "core/error.h"
+
 namespace sehc {
 
 class ThreadPool {
@@ -26,7 +28,10 @@ class ThreadPool {
 
   std::size_t size() const { return workers_.size(); }
 
-  /// Enqueues a task; the returned future yields its result.
+  /// Enqueues a task; the returned future yields its result (or rethrows the
+  /// exception the task exited with). Throws sehc::Error if the pool is
+  /// already shutting down — a task enqueued then would never have its
+  /// future satisfied once the workers exit.
   template <typename F>
   auto submit(F&& f) -> std::future<std::invoke_result_t<F>> {
     using R = std::invoke_result_t<F>;
@@ -34,6 +39,7 @@ class ThreadPool {
     std::future<R> fut = task->get_future();
     {
       std::lock_guard<std::mutex> lock(mutex_);
+      SEHC_CHECK(!stop_, "ThreadPool::submit on a stopped pool");
       queue_.emplace([task] { (*task)(); });
     }
     cv_.notify_one();

@@ -7,6 +7,7 @@
 #include "core/timer.h"
 #include "sched/bounds.h"
 #include "sched/validate.h"
+#include "workload/generator.h"
 
 namespace sehc {
 
@@ -29,7 +30,47 @@ std::vector<RunRecord> run_suite(
   return records;
 }
 
-Table records_to_table(const std::vector<RunRecord>& records) {
+std::vector<RunRecord> run_suite_sweep(const SuiteSweep& sweep,
+                                       const SweepOptions& options) {
+  SEHC_CHECK(!sweep.workloads.empty(), "run_suite_sweep: no workloads");
+  SEHC_CHECK(!sweep.schedulers.empty(), "run_suite_sweep: no schedulers");
+  SEHC_CHECK(sweep.repetitions > 0, "run_suite_sweep: repetitions must be >= 1");
+
+  const SweepGrid grid({{"workload", sweep.workloads.size()},
+                        {"repetition", sweep.repetitions},
+                        {"scheduler", sweep.schedulers.size()}});
+  return sweep_map(grid, options, [&](const SweepCell& cell) {
+    const SuiteWorkload& spec = sweep.workloads[cell.at(0)];
+    const std::size_t repetition = cell.at(1);
+    const SchedulerFactory& factory = sweep.schedulers[cell.at(2)];
+
+    WorkloadParams params = spec.params;
+    std::string workload_name = spec.name;
+    if (sweep.repetitions > 1) {
+      // Derived from the (workload, repetition) coordinates only, so every
+      // scheduler of the cell column sees the identical instance.
+      params.seed = derive_seed(options.base_seed, {cell.at(0), repetition});
+      workload_name += "#s" + std::to_string(repetition);
+    }
+    const Workload w = make_workload(params);
+
+    const std::unique_ptr<Scheduler> scheduler = factory.make(params.seed);
+    WallTimer timer;
+    Schedule s = scheduler->schedule(w);
+    const double seconds = timer.seconds();
+    const auto violations = validate_schedule(w, s);
+    SEHC_CHECK(violations.empty(),
+               scheduler->name() + " produced an invalid schedule: " +
+                   violations.front());
+    const std::string name =
+        factory.name.empty() ? scheduler->name() : factory.name;
+    return RunRecord{name, workload_name, s.makespan, seconds,
+                     makespan_lower_bound(w)};
+  });
+}
+
+Table records_to_table(const std::vector<RunRecord>& records,
+                       bool include_seconds) {
   // Best makespan per workload for normalization.
   std::map<std::string, double> best;
   for (const RunRecord& r : records) {
@@ -37,8 +78,10 @@ Table records_to_table(const std::vector<RunRecord>& records) {
     if (!inserted) it->second = std::min(it->second, r.makespan);
   }
 
-  Table table({"workload", "scheduler", "makespan", "vs_best", "vs_lb",
-               "seconds"});
+  std::vector<std::string> headers{"workload", "scheduler", "makespan",
+                                   "vs_best", "vs_lb"};
+  if (include_seconds) headers.push_back("seconds");
+  Table table(std::move(headers));
   for (const RunRecord& r : records) {
     const double vs_best = best[r.workload] > 0.0
                                ? r.makespan / best[r.workload]
@@ -51,8 +94,8 @@ Table records_to_table(const std::vector<RunRecord>& records) {
         .add(r.scheduler)
         .add(r.makespan, 1)
         .add(vs_best, 3)
-        .add(vs_lb, 3)
-        .add(r.seconds, 3);
+        .add(vs_lb, 3);
+    if (include_seconds) table.add(r.seconds, 3);
   }
   return table;
 }

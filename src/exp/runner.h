@@ -8,8 +8,10 @@
 #include <vector>
 
 #include "core/table.h"
+#include "exp/sweep.h"
 #include "heuristics/scheduler.h"
 #include "hc/workload.h"
+#include "workload/params.h"
 
 namespace sehc {
 
@@ -27,8 +29,37 @@ std::vector<RunRecord> run_suite(
     const Workload& w, const std::string& workload_name,
     const std::vector<std::unique_ptr<Scheduler>>& schedulers);
 
+/// One workload axis point of a suite sweep.
+struct SuiteWorkload {
+  std::string name;
+  WorkloadParams params;
+};
+
+/// Declarative scheduler x workload x seed sweep, executed by
+/// run_suite_sweep on a thread pool.
+struct SuiteSweep {
+  std::vector<SuiteWorkload> workloads;
+  std::vector<SchedulerFactory> schedulers;
+  /// Seeded repetitions per workload. With 1, each workload keeps its own
+  /// params.seed; with more, repetition r of workload w regenerates the
+  /// instance with a seed derived from (base_seed, w, r) — a pure function
+  /// of the cell coordinates, never of execution order — and its records
+  /// carry the workload name suffixed with "#s<r>".
+  std::size_t repetitions = 1;
+};
+
+/// Parallel multi-seed entry point: runs every scheduler on every seeded
+/// workload repetition as one sweep over `options.threads` workers. Records
+/// come back ordered (workload, repetition, scheduler) regardless of thread
+/// count, so tables built from them match a serial run byte for byte.
+std::vector<RunRecord> run_suite_sweep(const SuiteSweep& sweep,
+                                       const SweepOptions& options);
+
 /// Formats records as a table: scheduler, makespan, ratio to the best
-/// scheduler of that workload, ratio to lower bound, seconds.
-Table records_to_table(const std::vector<RunRecord>& records);
+/// scheduler of that workload, ratio to lower bound, seconds. Pass
+/// include_seconds = false for output that must be reproducible bit-for-bit
+/// (wall time is the one nondeterministic column).
+Table records_to_table(const std::vector<RunRecord>& records,
+                       bool include_seconds = true);
 
 }  // namespace sehc

@@ -195,23 +195,50 @@ std::unique_ptr<Scheduler> make_gsa_scheduler(std::size_t generations,
   return std::make_unique<GsaScheduler>(generations, seed);
 }
 
+std::vector<SchedulerFactory> make_all_scheduler_factories(std::size_t budget) {
+  const auto seedless = [](std::unique_ptr<Scheduler> (*fn)()) {
+    return [fn](std::uint64_t) { return fn(); };
+  };
+  std::vector<SchedulerFactory> out;
+  out.push_back({"SE", [budget](std::uint64_t seed) {
+                   return make_se_scheduler(budget, seed);
+                 }});
+  out.push_back({"GA", [budget](std::uint64_t seed) {
+                   return make_ga_scheduler(budget, seed);
+                 }});
+  out.push_back({"GSA", [budget](std::uint64_t seed) {
+                   return make_gsa_scheduler(budget, seed);
+                 }});
+  out.push_back({"HEFT", seedless(&make_heft)});
+  out.push_back({"CPOP", seedless(&make_cpop)});
+  out.push_back({"DLS", seedless(&make_dls)});
+  for (LevelMapperKind kind :
+       {LevelMapperKind::kMinMin, LevelMapperKind::kMaxMin,
+        LevelMapperKind::kMct, LevelMapperKind::kOlb}) {
+    auto mapper = make_level_mapper(kind);
+    std::string name = mapper->name();
+    out.push_back({std::move(name),
+                   [kind](std::uint64_t) { return make_level_mapper(kind); }});
+  }
+  // SA, tabu and random search get budgets comparable to SE's move count.
+  out.push_back({"SA", [budget](std::uint64_t seed) {
+                   return make_simulated_annealing(budget * 50, seed);
+                 }});
+  out.push_back({"Tabu", [budget](std::uint64_t seed) {
+                   return make_tabu_search(budget * 10, seed);
+                 }});
+  out.push_back({"Random", [budget](std::uint64_t seed) {
+                   return make_random_search(budget * 10, seed);
+                 }});
+  return out;
+}
+
 std::vector<std::unique_ptr<Scheduler>> make_all_schedulers(
     std::size_t budget, std::uint64_t seed) {
   std::vector<std::unique_ptr<Scheduler>> out;
-  out.push_back(make_se_scheduler(budget, seed));
-  out.push_back(make_ga_scheduler(budget, seed));
-  out.push_back(make_gsa_scheduler(budget, seed));
-  out.push_back(make_heft());
-  out.push_back(make_cpop());
-  out.push_back(make_dls());
-  out.push_back(make_level_mapper(LevelMapperKind::kMinMin));
-  out.push_back(make_level_mapper(LevelMapperKind::kMaxMin));
-  out.push_back(make_level_mapper(LevelMapperKind::kMct));
-  out.push_back(make_level_mapper(LevelMapperKind::kOlb));
-  // SA, tabu and random search get budgets comparable to SE's move count.
-  out.push_back(make_simulated_annealing(budget * 50, seed));
-  out.push_back(make_tabu_search(budget * 10, seed));
-  out.push_back(make_random_search(budget * 10, seed));
+  for (const SchedulerFactory& factory : make_all_scheduler_factories(budget)) {
+    out.push_back(factory.make(seed));
+  }
   return out;
 }
 

@@ -7,6 +7,8 @@
 // search (simulated annealing, random search) alongside SE and GA.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <vector>
@@ -56,6 +58,18 @@ std::unique_ptr<Scheduler> make_ga_scheduler(std::size_t generations,
 /// Genetic simulated annealing (paper ref [8]) with a generation budget.
 std::unique_ptr<Scheduler> make_gsa_scheduler(std::size_t generations,
                                               std::uint64_t seed);
+
+/// Named scheduler constructor for sweep drivers that need a fresh,
+/// independently seeded instance per (workload, seed) repetition.
+/// Deterministic schedulers ignore the seed.
+struct SchedulerFactory {
+  std::string name;
+  std::function<std::unique_ptr<Scheduler>(std::uint64_t seed)> make;
+};
+
+/// Factories for the full comparison suite, in presentation order. `budget`
+/// scales the iterative methods.
+std::vector<SchedulerFactory> make_all_scheduler_factories(std::size_t budget);
 
 /// The full comparison suite used by bench/table_baselines and the
 /// compare_heuristics example. `budget` scales the iterative methods.
