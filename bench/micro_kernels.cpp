@@ -100,8 +100,8 @@ BENCHMARK(BM_TopologicalSort)->Arg(100)->Arg(400);
 void BM_AllocateOneTask(benchmark::State& state) {
   const Workload w = bench_workload(100, 20);
   Evaluator eval(w);
-  const auto candidates =
-      machine_candidates(w, static_cast<std::size_t>(state.range(0)));
+  const MachineCandidates candidates(w,
+                                     static_cast<std::size_t>(state.range(0)));
   Rng rng(4);
   SolutionString s = random_initial_solution(w.graph(), w.num_machines(), rng);
   TaskId t = 0;

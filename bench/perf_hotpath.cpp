@@ -1,0 +1,331 @@
+// Hot-path throughput benchmark for the incremental trial-evaluation
+// engine, and the start of the repo's performance trajectory.
+//
+// Two measurements per paper-scale workload class (k ~ 90-100 tasks, the
+// sizes behind the paper's Figures 3-7):
+//
+//   * trials/sec of the SE allocation enumeration, under two engines that
+//     produce bit-identical placements:
+//       - "baseline": a faithful replica of the pre-engine implementation —
+//         every (position, machine) trial re-simulates the whole suffix
+//         from the bottom of the task's valid range through the graph's
+//         in_edges() -> edge(d) double indirection, with no checkpoint
+//         rolling and no pruning (the BaselineEvaluator class below is the
+//         old Evaluator verbatim);
+//       - "incremental": rolling checkpoints + exact pruning + the CSR hot
+//         path, i.e. what allocate_tasks() ships today.
+//   * time-to-target: wall seconds until a full SeEngine run first reaches
+//     a makespan within 5% of its final best (read off the recorded trace).
+//
+// Results go to stdout (human table) and to a JSON file (--out, default
+// BENCH_hotpath.json) that CI uploads as an artifact, so future PRs can
+// compare against the committed baseline.
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/options.h"
+#include "core/rng.h"
+#include "core/timer.h"
+#include "se/allocation.h"
+#include "se/se.h"
+#include "workload/generator.h"
+
+namespace {
+
+using namespace sehc;
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+struct ClassSpec {
+  const char* name;
+  WorkloadParams params;
+};
+
+std::vector<ClassSpec> paper_scale_classes() {
+  std::vector<ClassSpec> out;
+  {
+    WorkloadParams p;
+    p.tasks = 100;
+    p.machines = 20;
+    p.connectivity = Level::kHigh;
+    p.heterogeneity = Level::kMedium;
+    p.ccr = 1.0;
+    p.seed = 5;
+    out.push_back({"high_connectivity_ccr1", p});
+  }
+  {
+    WorkloadParams p;
+    p.tasks = 90;
+    p.machines = 20;
+    p.connectivity = Level::kLow;
+    p.heterogeneity = Level::kHigh;
+    p.ccr = 0.1;
+    p.seed = 9;
+    out.push_back({"low_connectivity_high_het", p});
+  }
+  {
+    WorkloadParams p;
+    p.tasks = 100;
+    p.machines = 20;
+    p.connectivity = Level::kMedium;
+    p.heterogeneity = Level::kMedium;
+    p.ccr = 0.5;
+    p.seed = 13;
+    out.push_back({"medium_everything", p});
+  }
+  return out;
+}
+
+/// The pre-engine evaluator, kept verbatim as the measured baseline: plain
+/// vector adjacency, bounds-checked machine_of() lookups, a pair_index()
+/// call per transfer, and full suffix re-simulation from the checkpoint for
+/// every trial.
+class BaselineEvaluator {
+ public:
+  explicit BaselineEvaluator(const Workload& w)
+      : workload_(&w),
+        finish_(w.num_tasks(), 0.0),
+        machine_avail_(w.num_machines(), 0.0) {}
+
+  void begin_trials(const SolutionString& s, std::size_t prefix) {
+    const Workload& w = *workload_;
+    std::fill(machine_avail_.begin(), machine_avail_.end(), 0.0);
+    const TaskGraph& g = w.graph();
+    double makespan = 0.0;
+    for (std::size_t i = 0; i < prefix; ++i) {
+      const Segment& seg = s.segment(i);
+      const TaskId t = seg.task;
+      const MachineId m = seg.machine;
+      double ready = 0.0;
+      for (DataId d : g.in_edges(t)) {
+        const DagEdge& e = g.edge(d);
+        const MachineId pm = s.machine_of(e.src);
+        ready = std::max(ready, finish_[e.src] + w.transfer(pm, m, d));
+      }
+      const double start = std::max(ready, machine_avail_[m]);
+      const double finish = start + w.exec(m, t);
+      finish_[t] = finish;
+      machine_avail_[m] = finish;
+      makespan = std::max(makespan, finish);
+    }
+    cp_avail_ = machine_avail_;
+    cp_makespan_ = makespan;
+    cp_prefix_ = prefix;
+  }
+
+  double trial_makespan(const SolutionString& s) {
+    const Workload& w = *workload_;
+    std::copy(cp_avail_.begin(), cp_avail_.end(), machine_avail_.begin());
+    const TaskGraph& g = w.graph();
+    double makespan = cp_makespan_;
+    const std::size_t k = s.size();
+    for (std::size_t i = cp_prefix_; i < k; ++i) {
+      const Segment& seg = s.segment(i);
+      const TaskId t = seg.task;
+      const MachineId m = seg.machine;
+      double ready = 0.0;
+      for (DataId d : g.in_edges(t)) {
+        const DagEdge& e = g.edge(d);
+        const MachineId pm = s.machine_of(e.src);
+        ready = std::max(ready, finish_[e.src] + w.transfer(pm, m, d));
+      }
+      const double start = std::max(ready, machine_avail_[m]);
+      const double finish = start + w.exec(m, t);
+      finish_[t] = finish;
+      machine_avail_[m] = finish;
+      makespan = std::max(makespan, finish);
+    }
+    return makespan;
+  }
+
+ private:
+  const Workload* workload_;
+  std::vector<double> finish_;
+  std::vector<double> machine_avail_;
+  std::vector<double> cp_avail_;
+  double cp_makespan_ = 0.0;
+  std::size_t cp_prefix_ = 0;
+};
+
+/// One full allocation pass over every task, in the given engine mode.
+/// Returns the number of (position, machine) combinations simulated.
+/// Both modes commit identical placements.
+template <bool Incremental, typename Eval>
+std::size_t allocation_pass(const Workload& w, Eval& eval,
+                            const MachineCandidates& candidates,
+                            SolutionString& s, Rng& rng) {
+  const TaskGraph& g = w.graph();
+  std::size_t combinations = 0;
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    const std::size_t original_pos = s.position_of(t);
+    const MachineId original_machine = s.machine_of(t);
+    double best_len = kInf;
+    std::size_t best_pos = original_pos;
+    MachineId best_machine = original_machine;
+    std::size_t ties = 0;
+    const ValidRange range = s.valid_range(g, t);
+    eval.begin_trials(s, range.lo);
+    s.move_task(t, range.lo);
+    for (std::size_t pos = range.lo;; ++pos) {
+      for (MachineId m : candidates.of(t)) {
+        s.set_machine(t, m);
+        double len;
+        if constexpr (Incremental) {
+          len = eval.trial_makespan(s, best_len);
+        } else {
+          len = eval.trial_makespan(s);
+        }
+        ++combinations;
+        if (len < best_len) {
+          best_len = len;
+          best_pos = pos;
+          best_machine = m;
+          ties = 1;
+        } else if (len == best_len) {
+          ++ties;
+          if (rng.below(ties) == 0) {
+            best_pos = pos;
+            best_machine = m;
+          }
+        }
+      }
+      s.set_machine(t, original_machine);
+      if (pos == range.hi) break;
+      s.move_task(t, pos + 1);
+      if constexpr (Incremental) eval.extend_checkpoint(s);
+    }
+    s.move_task(t, best_pos);
+    s.set_machine(t, best_machine);
+  }
+  return combinations;
+}
+
+struct ThroughputResult {
+  std::size_t trials = 0;
+  double seconds = 0.0;
+  double trials_per_sec() const {
+    return seconds > 0.0 ? static_cast<double>(trials) / seconds : 0.0;
+  }
+};
+
+template <bool Incremental, typename Eval>
+ThroughputResult measure_throughput(const Workload& w, std::size_t passes) {
+  Eval eval(w);
+  const MachineCandidates candidates(w, 0);
+  ThroughputResult out;
+  WallTimer timer;
+  for (std::size_t rep = 0; rep < passes; ++rep) {
+    // Fresh deterministic starting point per pass; both engines see the
+    // same sequence of strings (their commits are bit-identical).
+    Rng rng(1000 + rep);
+    SolutionString s =
+        random_initial_solution(w.graph(), w.num_machines(), rng);
+    out.trials +=
+        allocation_pass<Incremental>(w, eval, candidates, s, rng);
+  }
+  out.seconds = timer.seconds();
+  return out;
+}
+
+struct TargetResult {
+  double best = 0.0;
+  double total_seconds = 0.0;
+  double time_to_target = 0.0;  // first time best <= 1.05 * final best
+  std::size_t iterations = 0;
+};
+
+TargetResult measure_time_to_target(const Workload& w, std::size_t iters) {
+  SeParams sp;
+  sp.seed = 3;
+  sp.max_iterations = iters;
+  SeEngine engine(w, sp);
+  const SeResult r = engine.run();
+  TargetResult out;
+  out.best = r.best_makespan;
+  out.total_seconds = r.seconds;
+  out.iterations = r.iterations;
+  const double target = 1.05 * r.best_makespan;
+  out.time_to_target = r.seconds;
+  for (const SeIterationStats& it : r.trace) {
+    if (it.best_makespan <= target) {
+      out.time_to_target = it.elapsed_seconds;
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const Options opts(argc, argv, {"passes", "iters", "out"});
+  const auto passes =
+      static_cast<std::size_t>(opts.get_int("passes", static_cast<std::int64_t>(scaled(6, 1))));
+  const auto iters =
+      static_cast<std::size_t>(opts.get_int("iters", static_cast<std::int64_t>(scaled(60, 3))));
+  const std::string out_path = opts.get("out", "BENCH_hotpath.json");
+
+  std::printf("=== perf_hotpath: SE allocation trials/sec, pre-engine baseline "
+              "vs incremental engine (%zu passes, %zu SE iterations) ===\n\n",
+              passes, iters);
+
+  FILE* json = std::fopen(out_path.c_str(), "w");
+  if (!json) {
+    std::fprintf(stderr, "cannot open %s for writing\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"perf_hotpath\",\n");
+  std::fprintf(json, "  \"unit\": \"trials_per_sec\",\n");
+  std::fprintf(json, "  \"passes\": %zu,\n  \"se_iterations\": %zu,\n",
+               passes, iters);
+  std::fprintf(json, "  \"results\": [\n");
+
+  const auto classes = paper_scale_classes();
+  bool first = true;
+  for (const ClassSpec& spec : classes) {
+    const Workload w = make_workload(spec.params);
+    const ThroughputResult naive =
+        measure_throughput<false, BaselineEvaluator>(w, passes);
+    const ThroughputResult inc =
+        measure_throughput<true, Evaluator>(w, passes);
+    const TargetResult target = measure_time_to_target(w, iters);
+    const double speedup = naive.trials_per_sec() > 0.0
+                               ? inc.trials_per_sec() / naive.trials_per_sec()
+                               : 0.0;
+
+    std::printf("%-28s k=%zu l=%zu\n", spec.name, w.num_tasks(),
+                w.num_machines());
+    std::printf("  baseline    %12.0f trials/sec (%zu trials, %.3fs)\n",
+                naive.trials_per_sec(), naive.trials, naive.seconds);
+    std::printf("  incremental %12.0f trials/sec (%zu trials, %.3fs)\n",
+                inc.trials_per_sec(), inc.trials, inc.seconds);
+    std::printf("  speedup     %12.2fx\n", speedup);
+    std::printf("  SE run      best=%.2f in %.3fs; within 5%% after %.3fs\n\n",
+                target.best, target.total_seconds, target.time_to_target);
+
+    if (!first) std::fprintf(json, ",\n");
+    first = false;
+    std::fprintf(json, "    {\n");
+    std::fprintf(json, "      \"workload\": \"%s\",\n", spec.name);
+    std::fprintf(json, "      \"tasks\": %zu,\n      \"machines\": %zu,\n",
+                 w.num_tasks(), w.num_machines());
+    std::fprintf(json, "      \"baseline_trials_per_sec\": %.1f,\n",
+                 naive.trials_per_sec());
+    std::fprintf(json, "      \"incremental_trials_per_sec\": %.1f,\n",
+                 inc.trials_per_sec());
+    std::fprintf(json, "      \"speedup\": %.3f,\n", speedup);
+    std::fprintf(json, "      \"trials\": %zu,\n", inc.trials);
+    std::fprintf(json, "      \"se_best_makespan\": %.17g,\n", target.best);
+    std::fprintf(json, "      \"se_seconds\": %.4f,\n", target.total_seconds);
+    std::fprintf(json, "      \"se_time_to_5pct_seconds\": %.4f\n",
+                 target.time_to_target);
+    std::fprintf(json, "    }");
+  }
+  std::fprintf(json, "\n  ]\n}\n");
+  std::fclose(json);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

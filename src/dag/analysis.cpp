@@ -91,8 +91,7 @@ Reachability::Reachability(const TaskGraph& g)
   for (auto it = order->rbegin(); it != order->rend(); ++it) {
     const TaskId t = *it;
     std::uint64_t* row = bits_.data() + t * words_per_task_;
-    for (DataId d : g.out_edges(t)) {
-      const TaskId s = g.edge(d).dst;
+    for (TaskId s : g.succs(t)) {
       row[s / 64] |= (1ULL << (s % 64));
       const std::uint64_t* srow = bits_.data() + s * words_per_task_;
       for (std::size_t w = 0; w < words_per_task_; ++w) row[w] |= srow[w];

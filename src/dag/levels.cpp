@@ -11,8 +11,7 @@ std::vector<int> task_levels(const TaskGraph& g) {
   SEHC_CHECK(order.has_value(), "task_levels: graph has a cycle");
   std::vector<int> level(g.num_tasks(), 0);
   for (TaskId t : *order) {
-    for (DataId d : g.out_edges(t)) {
-      const TaskId succ = g.edge(d).dst;
+    for (TaskId succ : g.succs(t)) {
       level[succ] = std::max(level[succ], level[t] + 1);
     }
   }
@@ -24,8 +23,7 @@ std::vector<int> task_heights(const TaskGraph& g) {
   SEHC_CHECK(order.has_value(), "task_heights: graph has a cycle");
   std::vector<int> height(g.num_tasks(), 0);
   for (auto it = order->rbegin(); it != order->rend(); ++it) {
-    for (DataId d : g.out_edges(*it)) {
-      const TaskId succ = g.edge(d).dst;
+    for (TaskId succ : g.succs(*it)) {
       height[*it] = std::max(height[*it], height[succ] + 1);
     }
   }

@@ -15,6 +15,8 @@ TaskId TaskGraph::add_task(std::string name) {
   names_.push_back(std::move(name));
   in_.emplace_back();
   out_.emplace_back();
+  pred_ids_.emplace_back();
+  succ_ids_.emplace_back();
   return id;
 }
 
@@ -31,6 +33,8 @@ DataId TaskGraph::add_edge(TaskId src, TaskId dst) {
   edges_.push_back(DagEdge{src, dst, id});
   out_[src].push_back(id);
   in_[dst].push_back(id);
+  succ_ids_[src].push_back(dst);
+  pred_ids_[dst].push_back(src);
   return id;
 }
 
@@ -59,18 +63,24 @@ std::span<const DataId> TaskGraph::out_edges(TaskId t) const {
   return out_[t];
 }
 
+std::span<const TaskId> TaskGraph::preds(TaskId t) const {
+  check_task(t, "preds");
+  return pred_ids_[t];
+}
+
+std::span<const TaskId> TaskGraph::succs(TaskId t) const {
+  check_task(t, "succs");
+  return succ_ids_[t];
+}
+
 std::vector<TaskId> TaskGraph::predecessors(TaskId t) const {
-  std::vector<TaskId> out;
-  out.reserve(in_edges(t).size());
-  for (DataId d : in_edges(t)) out.push_back(edges_[d].src);
-  return out;
+  const auto view = preds(t);
+  return {view.begin(), view.end()};
 }
 
 std::vector<TaskId> TaskGraph::successors(TaskId t) const {
-  std::vector<TaskId> out;
-  out.reserve(out_edges(t).size());
-  for (DataId d : out_edges(t)) out.push_back(edges_[d].dst);
-  return out;
+  const auto view = succs(t);
+  return {view.begin(), view.end()};
 }
 
 bool TaskGraph::has_edge(TaskId src, TaskId dst) const {

@@ -64,7 +64,15 @@ class TaskGraph {
   std::size_t in_degree(TaskId t) const { return in_edges(t).size(); }
   std::size_t out_degree(TaskId t) const { return out_edges(t).size(); }
 
+  /// Predecessor / successor task ids as zero-copy views, ordered by edge
+  /// id (the same order as in_edges()/out_edges()). These are the hot-path
+  /// accessors: pure-topology loops should iterate them instead of the
+  /// in_edges(t) -> edge(d) double indirection.
+  std::span<const TaskId> preds(TaskId t) const;
+  std::span<const TaskId> succs(TaskId t) const;
+
   /// Predecessor / successor task ids (materialized, ordered by edge id).
+  /// Kept for tests and IO code that wants an owning vector.
   std::vector<TaskId> predecessors(TaskId t) const;
   std::vector<TaskId> successors(TaskId t) const;
 
@@ -86,6 +94,10 @@ class TaskGraph {
   std::vector<DagEdge> edges_;
   std::vector<std::vector<DataId>> in_;   // per task: incoming edge ids
   std::vector<std::vector<DataId>> out_;  // per task: outgoing edge ids
+  // Parallel task-id adjacency (same order as in_/out_) backing the span
+  // accessors preds()/succs().
+  std::vector<std::vector<TaskId>> pred_ids_;
+  std::vector<std::vector<TaskId>> succ_ids_;
 };
 
 }  // namespace sehc

@@ -27,8 +27,7 @@ std::optional<std::vector<TaskId>> kahn(const TaskGraph& g, Pick pick) {
     ready[i] = ready.back();
     ready.pop_back();
     order.push_back(t);
-    for (DataId d : g.out_edges(t)) {
-      const TaskId succ = g.edge(d).dst;
+    for (TaskId succ : g.succs(t)) {
       if (--indegree[succ] == 0) ready.push_back(succ);
     }
   }

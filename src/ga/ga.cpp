@@ -89,31 +89,56 @@ GaResult GaEngine::run() {
     });
     const double worst = lengths[rank.back()];
 
+    // Incremental evaluation: elites and untouched clones keep their cached
+    // lengths; only chromosomes actually altered by crossover or mutation
+    // are re-simulated after the generation is assembled.
     std::vector<SolutionString> next;
+    std::vector<double> next_lengths;
+    std::vector<std::uint8_t> next_dirty;
     next.reserve(pop.size());
-    for (std::size_t e = 0; e < params_.elite; ++e) next.push_back(pop[rank[e]]);
+    next_lengths.reserve(pop.size());
+    next_dirty.reserve(pop.size());
+    for (std::size_t e = 0; e < params_.elite; ++e) {
+      next.push_back(pop[rank[e]]);
+      next_lengths.push_back(lengths[rank[e]]);
+      next_dirty.push_back(0);
+    }
 
     while (next.size() < pop.size()) {
-      const SolutionString& pa = pop[roulette(lengths, worst, rng)];
-      const SolutionString& pb = pop[roulette(lengths, worst, rng)];
+      const std::size_t ia = roulette(lengths, worst, rng);
+      const std::size_t ib = roulette(lengths, worst, rng);
+      const SolutionString& pa = pop[ia];
+      const SolutionString& pb = pop[ib];
       SolutionString ca = pa;
       SolutionString cb = pb;
-      if (rng.chance(params_.crossover_prob)) {
+      const bool crossed = rng.chance(params_.crossover_prob);
+      if (crossed) {
         std::tie(ca, cb) = scheduling_crossover(pa, pb, rng);
         std::tie(ca, cb) = matching_crossover(ca, cb, rng);
       }
+      bool mutated_a = false;
+      bool mutated_b = false;
       if (rng.chance(params_.mutation_prob)) {
+        mutated_a = true;
         matching_mutation(ca, w.num_machines(), rng);
         scheduling_mutation(ca, g, rng);
       }
       if (rng.chance(params_.mutation_prob)) {
+        mutated_b = true;
         matching_mutation(cb, w.num_machines(), rng);
         scheduling_mutation(cb, g, rng);
       }
       next.push_back(std::move(ca));
-      if (next.size() < pop.size()) next.push_back(std::move(cb));
+      next_lengths.push_back(crossed || mutated_a ? 0.0 : lengths[ia]);
+      next_dirty.push_back(crossed || mutated_a ? 1 : 0);
+      if (next.size() < pop.size()) {
+        next.push_back(std::move(cb));
+        next_lengths.push_back(crossed || mutated_b ? 0.0 : lengths[ib]);
+        next_dirty.push_back(crossed || mutated_b ? 1 : 0);
+      }
     }
     pop = std::move(next);
+    lengths = std::move(next_lengths);
 
     if (params_.verify_invariants) {
       for (const auto& chrom : pop) {
@@ -122,7 +147,9 @@ GaResult GaEngine::run() {
       }
     }
 
-    evaluate_all();
+    for (std::size_t i = 0; i < pop.size(); ++i) {
+      if (next_dirty[i]) lengths[i] = eval.makespan(pop[i]);
+    }
     const auto best_it = std::min_element(lengths.begin(), lengths.end());
     const double gen_best = *best_it;
     const double gen_mean =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/rng.h"
 #include "sched/encoding.h"
@@ -11,25 +12,39 @@ namespace sehc {
 
 namespace {
 
-/// Applies one random neighborhood move; returns enough to undo it.
+constexpr double kNoBound = std::numeric_limits<double>::infinity();
+
+/// One random neighborhood move, drawn but not yet applied. The draw order
+/// (task, position, coin flip, machine) matches the historical in-place
+/// mutation, so seeded runs reproduce the pre-incremental-engine results
+/// byte for byte.
 struct Move {
   TaskId task;
   std::size_t old_pos;
   MachineId old_machine;
+  std::size_t new_pos;
+  MachineId new_machine;
+
+  /// First string position the move rewrites; the prepared trial starts
+  /// simulating there.
+  std::size_t suffix_start() const { return std::min(old_pos, new_pos); }
 };
 
-Move random_move(SolutionString& s, const TaskGraph& g,
-                 std::size_t num_machines, Rng& rng) {
+Move propose_move(const SolutionString& s, const TaskGraph& g,
+                  std::size_t num_machines, Rng& rng) {
   const TaskId t = static_cast<TaskId>(rng.below(s.size()));
-  Move undo{t, s.position_of(t), s.machine_of(t)};
+  Move m{t, s.position_of(t), s.machine_of(t), 0, 0};
   const ValidRange range = s.valid_range(g, t);
-  const std::size_t pos =
-      range.lo + static_cast<std::size_t>(rng.below(range.size()));
-  s.move_task(t, pos);
-  if (rng.chance(0.5)) {
-    s.set_machine(t, static_cast<MachineId>(rng.below(num_machines)));
-  }
-  return undo;
+  m.new_pos = range.lo + static_cast<std::size_t>(rng.below(range.size()));
+  m.new_machine = rng.chance(0.5)
+                      ? static_cast<MachineId>(rng.below(num_machines))
+                      : m.old_machine;
+  return m;
+}
+
+void apply_move(SolutionString& s, const Move& m) {
+  s.move_task(m.task, m.new_pos);
+  s.set_machine(m.task, m.new_machine);
 }
 
 void undo_move(SolutionString& s, const Move& m) {
@@ -51,17 +66,25 @@ SaResult anneal_schedule(const Workload& w, const SaParams& params) {
   SolutionString best = current;
   double best_len = current_len;
 
+  // Incremental engine: trials re-simulate only [suffix_start, k) on top of
+  // the prepared per-position snapshots. Annealing needs the exact length
+  // of every trial (the Metropolis probability depends on the uphill
+  // delta), so trials are never pruned; the saving is the skipped prefix.
+  eval.prepare(current);
+
   // Calibrate T0 so an average uphill move is accepted with p ~ 0.8.
   double mean_uphill = 0.0;
   std::size_t uphill_count = 0;
   for (std::size_t i = 0; i < 50; ++i) {
-    const Move undo = random_move(current, w.graph(), w.num_machines(), rng);
-    const double len = eval.makespan(current);
+    const Move move = propose_move(current, w.graph(), w.num_machines(), rng);
+    apply_move(current, move);
+    const double len = eval.prepared_trial(current, move.suffix_start(),
+                                           kNoBound);
     if (len > current_len) {
       mean_uphill += len - current_len;
       ++uphill_count;
     }
-    undo_move(current, undo);
+    undo_move(current, move);
   }
   if (uphill_count > 0) mean_uphill /= static_cast<double>(uphill_count);
   double temperature =
@@ -75,20 +98,23 @@ SaResult anneal_schedule(const Workload& w, const SaParams& params) {
   std::size_t iteration = 0;
   std::size_t since_cool = 0;
   for (; iteration < params.iterations; ++iteration) {
-    const Move undo = random_move(current, w.graph(), w.num_machines(), rng);
-    const double len = eval.makespan(current);
+    const Move move = propose_move(current, w.graph(), w.num_machines(), rng);
+    apply_move(current, move);
+    const double len = eval.prepared_trial(current, move.suffix_start(),
+                                           kNoBound);
     const double delta = len - current_len;
     const bool accept =
         delta <= 0.0 ||
         (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature));
     if (accept) {
       current_len = len;
+      eval.refresh_from(current, move.suffix_start());
       if (len < best_len) {
         best_len = len;
         best = current;
       }
     } else {
-      undo_move(current, undo);
+      undo_move(current, move);
     }
     if (++since_cool >= steps_per_temp) {
       since_cool = 0;

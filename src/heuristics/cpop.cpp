@@ -102,8 +102,7 @@ Schedule cpop_schedule(const Workload& w) {
     timeline.place(chosen, start, duration);
     s.makespan = std::max(s.makespan, s.finish[t]);
 
-    for (DataId d : g.out_edges(t)) {
-      const TaskId succ = g.edge(d).dst;
+    for (TaskId succ : g.succs(t)) {
       if (--pending[succ] == 0) ready.push(succ);
     }
   }

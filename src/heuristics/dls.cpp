@@ -23,8 +23,8 @@ std::vector<double> dls_static_levels(const Workload& w) {
   for (auto it = order->rbegin(); it != order->rend(); ++it) {
     const TaskId t = *it;
     double tail = 0.0;
-    for (DataId d : g.out_edges(t)) {
-      tail = std::max(tail, sl[g.edge(d).dst]);
+    for (TaskId succ : g.succs(t)) {
+      tail = std::max(tail, sl[succ]);
     }
     sl[t] = mean_exec[t] + tail;
   }
@@ -94,8 +94,7 @@ Schedule dls_schedule(const Workload& w) {
     machine_avail[best_machine] = s.finish[t];
     s.makespan = std::max(s.makespan, s.finish[t]);
 
-    for (DataId d : g.out_edges(t)) {
-      const TaskId succ = g.edge(d).dst;
+    for (TaskId succ : g.succs(t)) {
       if (--pending[succ] == 0) ready.push_back(succ);
     }
   }

@@ -69,23 +69,33 @@ GsaResult GsaEngine::run() {
       const std::size_t ib = rng.index(pop.size());
       SolutionString ca = pop[ia];
       SolutionString cb = pop[ib];
-      if (rng.chance(params_.crossover_prob)) {
+      const bool crossed = rng.chance(params_.crossover_prob);
+      if (crossed) {
         std::tie(ca, cb) = scheduling_crossover(pop[ia], pop[ib], rng);
         std::tie(ca, cb) = matching_crossover(ca, cb, rng);
       }
+      bool touched_a = crossed;
+      bool touched_b = crossed;
       if (rng.chance(params_.mutation_prob)) {
+        touched_a = true;
         matching_mutation(ca, w.num_machines(), rng);
         scheduling_mutation(ca, g, rng);
       }
       if (rng.chance(params_.mutation_prob)) {
+        touched_b = true;
         matching_mutation(cb, w.num_machines(), rng);
         scheduling_mutation(cb, g, rng);
       }
+      // Untouched children are verbatim clones of their source parent:
+      // reuse the cached length instead of re-simulating. Lengths are read
+      // before either Metropolis test can overwrite a population slot.
+      const double len_a = touched_a ? eval.makespan(ca) : lengths[ia];
+      const double len_b = touched_b ? eval.makespan(cb) : lengths[ib];
 
       // Metropolis survivor test: child vs the parent in its slot.
-      auto metropolis = [&](SolutionString&& child, std::size_t parent_idx) {
+      auto metropolis = [&](SolutionString&& child, double child_len,
+                            std::size_t parent_idx) {
         ++offspring;
-        const double child_len = eval.makespan(child);
         const double delta = child_len - lengths[parent_idx];
         const bool accept =
             delta <= 0.0 ||
@@ -100,8 +110,8 @@ GsaResult GsaEngine::run() {
           result.best_solution = pop[parent_idx];
         }
       };
-      metropolis(std::move(ca), ia);
-      metropolis(std::move(cb), ib);
+      metropolis(std::move(ca), len_a, ia);
+      metropolis(std::move(cb), len_b, ib);
     }
 
     temperature *= params_.cooling;

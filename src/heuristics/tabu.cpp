@@ -1,5 +1,6 @@
 #include "heuristics/tabu.h"
 
+#include <algorithm>
 #include <limits>
 #include <vector>
 
@@ -56,6 +57,12 @@ TabuResult tabu_schedule(const Workload& w, const TabuParams& params) {
 
   TabuList tabu(w.num_tasks(), w.num_tasks(), w.num_machines());
 
+  // Incremental engine: the prepared state snapshots the machine state
+  // before every position of `current`, so a sampled move that rewrites the
+  // string from position p onward costs O(k - p) instead of a full O(k)
+  // re-evaluation. The state is refreshed only when a move commits.
+  eval.prepare(current);
+
   std::size_t iteration = 0;
   for (; iteration < params.iterations; ++iteration) {
     Move chosen;
@@ -70,10 +77,14 @@ TabuResult tabu_schedule(const Workload& w, const TabuParams& params) {
           t, range.lo + static_cast<std::size_t>(rng.below(range.size())),
           static_cast<MachineId>(rng.below(w.num_machines()))};
 
-      // Trial: apply, evaluate, undo.
+      // Trial: apply, evaluate the changed suffix, undo. The trial is
+      // pruned against chosen_len — a sample that cannot become the chosen
+      // move needs no exact length (aspiration also requires beating
+      // chosen_len, so the outcome is unchanged).
       current.move_task(move.task, move.pos);
       current.set_machine(move.task, move.machine);
-      const double len = eval.makespan(current);
+      const std::size_t from = std::min(reverse.pos, move.pos);
+      const double len = eval.prepared_trial(current, from, chosen_len);
       current.move_task(reverse.task, reverse.pos);
       current.set_machine(reverse.task, reverse.machine);
 
@@ -92,6 +103,7 @@ TabuResult tabu_schedule(const Workload& w, const TabuParams& params) {
     current.set_machine(chosen.task, chosen.machine);
     current_len = chosen_len;
     tabu.forbid(chosen_reverse, iteration + params.tenure);
+    eval.refresh_from(current, std::min(chosen_reverse.pos, chosen.pos));
 
     if (current_len < best_len) {
       best_len = current_len;

@@ -56,6 +56,10 @@ class SolutionString {
   const Segment& segment(std::size_t pos) const;
   std::span<const Segment> segments() const { return segments_; }
 
+  /// Task id -> position index as a flat span (check-free hot-path access;
+  /// positions()[t] == position_of(t)).
+  std::span<const std::size_t> positions() const { return pos_; }
+
   std::size_t position_of(TaskId t) const;
   MachineId machine_of(TaskId t) const;
 

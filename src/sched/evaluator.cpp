@@ -1,39 +1,154 @@
 #include "sched/evaluator.h"
 
 #include <algorithm>
+#include <limits>
 
 namespace sehc {
 
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
 Evaluator::Evaluator(const Workload& w)
     : workload_(&w),
+      num_tasks_(w.num_tasks()),
+      num_machines_(w.num_machines()),
       finish_(w.num_tasks(), 0.0),
-      machine_avail_(w.num_machines(), 0.0) {}
+      machine_avail_(w.num_machines(), 0.0) {
+  const TaskGraph& g = w.graph();
+  const std::size_t k = num_tasks_;
+  const std::size_t p = w.num_items();
 
-ScheduleTimes Evaluator::evaluate(const SolutionString& s) const {
+  // Flatten the incoming adjacency in in_edges() order so the max-reduction
+  // over predecessors runs in exactly the order of the naive loop.
+  pred_off_.resize(k + 1);
+  pred_src_.reserve(p);
+  pred_item_.reserve(p);
+  for (TaskId t = 0; t < k; ++t) {
+    pred_off_[t] = static_cast<std::uint32_t>(pred_src_.size());
+    for (DataId d : g.in_edges(t)) {
+      pred_src_.push_back(g.edge(d).src);
+      pred_item_.push_back(d);
+    }
+  }
+  pred_off_[k] = static_cast<std::uint32_t>(pred_src_.size());
+
+  exec_ = w.exec_matrix().flat().data();
+  zero_row_.assign(std::max<std::size_t>(p, 1), 0.0);
+  rebuild_pair_rows();
+}
+
+void Evaluator::rebuild_pair_rows() {
+  // Machine-pair -> transfer row pointer table; the diagonal resolves to
+  // this object's zero row so same-machine transfers cost 0.0 without a
+  // branch.
+  const std::size_t l = num_machines_;
+  const std::size_t p = workload_->num_items();
+  pair_row_.assign(l * l, zero_row_.data());
+  const double* tr = workload_->transfer_matrix().flat().data();
+  for (MachineId a = 0; a < l; ++a) {
+    for (MachineId b = 0; b < l; ++b) {
+      if (a == b) continue;
+      pair_row_[a * l + b] = tr + pair_index(l, a, b) * p;
+    }
+  }
+}
+
+Evaluator::Evaluator(const Evaluator& other)
+    : workload_(other.workload_),
+      num_tasks_(other.num_tasks_),
+      num_machines_(other.num_machines_),
+      pred_off_(other.pred_off_),
+      pred_src_(other.pred_src_),
+      pred_item_(other.pred_item_),
+      exec_(other.exec_),
+      zero_row_(other.zero_row_),
+      finish_(other.finish_),
+      machine_avail_(other.machine_avail_),
+      cp_avail_(other.cp_avail_),
+      cp_makespan_(other.cp_makespan_),
+      cp_prefix_(other.cp_prefix_),
+      avail_rows_(other.avail_rows_),
+      prefix_makespan_(other.prefix_makespan_),
+      prepared_finish_(other.prepared_finish_) {
+  rebuild_pair_rows();
+}
+
+Evaluator& Evaluator::operator=(const Evaluator& other) {
+  if (this != &other) *this = Evaluator(other);  // copy, then safe move
+  return *this;
+}
+
+double Evaluator::run_suffix(const SolutionString& s, std::size_t from,
+                             double makespan_in, double bound) const {
+  const Segment* const segs = s.segments().data();
+  const std::size_t* const pos = s.positions().data();
+  const std::size_t k = num_tasks_;
+  double* const finish = finish_.data();
+  double* const avail = machine_avail_.data();
+
+  double makespan = makespan_in;
+  if (makespan > bound) return kInf;
+  for (std::size_t i = from; i < k; ++i) {
+    const TaskId t = segs[i].task;
+    const MachineId m = segs[i].machine;
+    double ready = 0.0;
+    const std::uint32_t lo = pred_off_[t];
+    const std::uint32_t hi = pred_off_[t + 1];
+    for (std::uint32_t e = lo; e < hi; ++e) {
+      const TaskId src = pred_src_[e];
+      const MachineId pm = segs[pos[src]].machine;
+      ready = std::max(ready, finish[src] + transfer_row(pm, m)[pred_item_[e]]);
+    }
+    const double start = std::max(ready, avail[m]);
+    const double fin = start + exec_[m * k + t];
+    finish[t] = fin;
+    avail[m] = fin;
+    if (fin > makespan) {
+      makespan = fin;
+      if (makespan > bound) return kInf;
+    }
+  }
+  return makespan;
+}
+
+void Evaluator::evaluate_into(const SolutionString& s,
+                              ScheduleTimes& out) const {
   const Workload& w = *workload_;
   SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
-  ScheduleTimes out;
-  out.start.assign(w.num_tasks(), 0.0);
-  out.finish.assign(w.num_tasks(), 0.0);
+  const std::size_t k = num_tasks_;
+  out.start.assign(k, 0.0);
+  out.finish.assign(k, 0.0);
+  out.makespan = 0.0;
   std::fill(machine_avail_.begin(), machine_avail_.end(), 0.0);
 
-  const TaskGraph& g = w.graph();
-  for (const Segment& seg : s.segments()) {
-    const TaskId t = seg.task;
-    const MachineId m = seg.machine;
+  const Segment* const segs = s.segments().data();
+  const std::size_t* const pos = s.positions().data();
+  double* const finish = out.finish.data();
+  double* const avail = machine_avail_.data();
+  for (std::size_t i = 0; i < k; ++i) {
+    const TaskId t = segs[i].task;
+    const MachineId m = segs[i].machine;
     double ready = 0.0;
-    for (DataId d : g.in_edges(t)) {
-      const DagEdge& e = g.edge(d);
-      const MachineId pm = s.machine_of(e.src);
-      ready = std::max(ready, out.finish[e.src] + w.transfer(pm, m, d));
+    const std::uint32_t lo = pred_off_[t];
+    const std::uint32_t hi = pred_off_[t + 1];
+    for (std::uint32_t e = lo; e < hi; ++e) {
+      const TaskId src = pred_src_[e];
+      const MachineId pm = segs[pos[src]].machine;
+      ready = std::max(ready, finish[src] + transfer_row(pm, m)[pred_item_[e]]);
     }
-    const double start = std::max(ready, machine_avail_[m]);
-    const double finish = start + w.exec(m, t);
+    const double start = std::max(ready, avail[m]);
+    const double fin = start + exec_[m * k + t];
     out.start[t] = start;
-    out.finish[t] = finish;
-    machine_avail_[m] = finish;
-    out.makespan = std::max(out.makespan, finish);
+    finish[t] = fin;
+    avail[m] = fin;
+    out.makespan = std::max(out.makespan, fin);
   }
+}
+
+ScheduleTimes Evaluator::evaluate(const SolutionString& s) const {
+  ScheduleTimes out;
+  evaluate_into(s, out);
   return out;
 }
 
@@ -41,25 +156,7 @@ double Evaluator::makespan(const SolutionString& s) const {
   const Workload& w = *workload_;
   SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
   std::fill(machine_avail_.begin(), machine_avail_.end(), 0.0);
-
-  const TaskGraph& g = w.graph();
-  double makespan = 0.0;
-  for (const Segment& seg : s.segments()) {
-    const TaskId t = seg.task;
-    const MachineId m = seg.machine;
-    double ready = 0.0;
-    for (DataId d : g.in_edges(t)) {
-      const DagEdge& e = g.edge(d);
-      const MachineId pm = s.machine_of(e.src);
-      ready = std::max(ready, finish_[e.src] + w.transfer(pm, m, d));
-    }
-    const double start = std::max(ready, machine_avail_[m]);
-    const double finish = start + w.exec(m, t);
-    finish_[t] = finish;
-    machine_avail_[m] = finish;
-    makespan = std::max(makespan, finish);
-  }
-  return makespan;
+  return run_suffix(s, 0, 0.0, kInf);
 }
 
 void Evaluator::begin_trials(const SolutionString& s,
@@ -69,53 +166,169 @@ void Evaluator::begin_trials(const SolutionString& s,
   SEHC_CHECK(prefix <= s.size(), "Evaluator: prefix out of range");
   std::fill(machine_avail_.begin(), machine_avail_.end(), 0.0);
 
-  const TaskGraph& g = w.graph();
+  // Simulate [0, prefix) by running the suffix kernel on a truncated range.
+  const Segment* const segs = s.segments().data();
+  const std::size_t* const pos = s.positions().data();
+  const std::size_t k = num_tasks_;
+  double* const finish = finish_.data();
+  double* const avail = machine_avail_.data();
   double makespan = 0.0;
   for (std::size_t i = 0; i < prefix; ++i) {
-    const Segment& seg = s.segment(i);
-    const TaskId t = seg.task;
-    const MachineId m = seg.machine;
+    const TaskId t = segs[i].task;
+    const MachineId m = segs[i].machine;
     double ready = 0.0;
-    for (DataId d : g.in_edges(t)) {
-      const DagEdge& e = g.edge(d);
-      const MachineId pm = s.machine_of(e.src);
-      ready = std::max(ready, finish_[e.src] + w.transfer(pm, m, d));
+    const std::uint32_t lo = pred_off_[t];
+    const std::uint32_t hi = pred_off_[t + 1];
+    for (std::uint32_t e = lo; e < hi; ++e) {
+      const TaskId src = pred_src_[e];
+      const MachineId pm = segs[pos[src]].machine;
+      ready = std::max(ready, finish[src] + transfer_row(pm, m)[pred_item_[e]]);
     }
-    const double start = std::max(ready, machine_avail_[m]);
-    const double finish = start + w.exec(m, t);
-    finish_[t] = finish;
-    machine_avail_[m] = finish;
-    makespan = std::max(makespan, finish);
+    const double start = std::max(ready, avail[m]);
+    const double fin = start + exec_[m * k + t];
+    finish[t] = fin;
+    avail[m] = fin;
+    makespan = std::max(makespan, fin);
   }
   cp_avail_ = machine_avail_;
   cp_makespan_ = makespan;
   cp_prefix_ = prefix;
 }
 
+void Evaluator::extend_checkpoint(const SolutionString& s) const {
+  SEHC_ASSERT_MSG(cp_prefix_ < s.size(),
+                  "Evaluator::extend_checkpoint: checkpoint already full");
+  const Segment* const segs = s.segments().data();
+  const std::size_t* const pos = s.positions().data();
+  const std::size_t k = num_tasks_;
+  const TaskId t = segs[cp_prefix_].task;
+  const MachineId m = segs[cp_prefix_].machine;
+  double ready = 0.0;
+  const std::uint32_t lo = pred_off_[t];
+  const std::uint32_t hi = pred_off_[t + 1];
+  for (std::uint32_t e = lo; e < hi; ++e) {
+    const TaskId src = pred_src_[e];
+    const MachineId pm = segs[pos[src]].machine;
+    ready = std::max(ready, finish_[src] + transfer_row(pm, m)[pred_item_[e]]);
+  }
+  const double start = std::max(ready, cp_avail_[m]);
+  const double fin = start + exec_[m * k + t];
+  finish_[t] = fin;
+  cp_avail_[m] = fin;
+  cp_makespan_ = std::max(cp_makespan_, fin);
+  ++cp_prefix_;
+}
+
 double Evaluator::trial_makespan(const SolutionString& s) const {
-  const Workload& w = *workload_;
-  SEHC_ASSERT_MSG(s.size() == w.num_tasks(),
+  return trial_makespan(s, kInf);
+}
+
+double Evaluator::trial_makespan(const SolutionString& s, double bound) const {
+  SEHC_ASSERT_MSG(s.size() == workload_->num_tasks(),
                   "Evaluator::trial_makespan: string size mismatch");
   std::copy(cp_avail_.begin(), cp_avail_.end(), machine_avail_.begin());
+  return run_suffix(s, cp_prefix_, cp_makespan_, bound);
+}
 
-  const TaskGraph& g = w.graph();
-  double makespan = cp_makespan_;
-  const std::size_t k = s.size();
-  for (std::size_t i = cp_prefix_; i < k; ++i) {
-    const Segment& seg = s.segment(i);
-    const TaskId t = seg.task;
-    const MachineId m = seg.machine;
+void Evaluator::prepare(const SolutionString& s) const {
+  const Workload& w = *workload_;
+  SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
+  const std::size_t k = num_tasks_;
+  const std::size_t l = num_machines_;
+  if (avail_rows_.size() != (k + 1) * l) {
+    avail_rows_.assign((k + 1) * l, 0.0);
+    prefix_makespan_.assign(k + 1, 0.0);
+    prepared_finish_.assign(k, 0.0);
+  }
+  std::fill_n(avail_rows_.begin(), l, 0.0);
+  prefix_makespan_[0] = 0.0;
+  if (k > 0) refresh_from(s, 0);
+}
+
+void Evaluator::refresh_from(const SolutionString& s, std::size_t from) const {
+  SEHC_ASSERT_MSG(!avail_rows_.empty(),
+                  "Evaluator::refresh_from: prepare() not called");
+  SEHC_ASSERT_MSG(from < s.size(), "Evaluator::refresh_from: bad position");
+  const Segment* const segs = s.segments().data();
+  const std::size_t* const pos = s.positions().data();
+  const std::size_t k = num_tasks_;
+  const std::size_t l = num_machines_;
+  double* const finish = prepared_finish_.data();
+  double* const rows = avail_rows_.data();
+
+  // Work on machine_avail_ and copy each advanced state into its row.
+  std::copy_n(rows + from * l, l, machine_avail_.begin());
+  double makespan = prefix_makespan_[from];
+  double* const avail = machine_avail_.data();
+  for (std::size_t i = from; i < k; ++i) {
+    const TaskId t = segs[i].task;
+    const MachineId m = segs[i].machine;
     double ready = 0.0;
-    for (DataId d : g.in_edges(t)) {
-      const DagEdge& e = g.edge(d);
-      const MachineId pm = s.machine_of(e.src);
-      ready = std::max(ready, finish_[e.src] + w.transfer(pm, m, d));
+    const std::uint32_t lo = pred_off_[t];
+    const std::uint32_t hi = pred_off_[t + 1];
+    for (std::uint32_t e = lo; e < hi; ++e) {
+      const TaskId src = pred_src_[e];
+      const MachineId pm = segs[pos[src]].machine;
+      ready = std::max(ready, finish[src] + transfer_row(pm, m)[pred_item_[e]]);
     }
-    const double start = std::max(ready, machine_avail_[m]);
-    const double finish = start + w.exec(m, t);
-    finish_[t] = finish;
-    machine_avail_[m] = finish;
-    makespan = std::max(makespan, finish);
+    const double start = std::max(ready, avail[m]);
+    const double fin = start + exec_[m * k + t];
+    finish[t] = fin;
+    avail[m] = fin;
+    makespan = std::max(makespan, fin);
+    std::copy_n(avail, l, rows + (i + 1) * l);
+    prefix_makespan_[i + 1] = makespan;
+  }
+}
+
+double Evaluator::prepared_prefix_makespan(std::size_t pos) const {
+  SEHC_ASSERT_MSG(pos < prefix_makespan_.size(),
+                  "Evaluator::prepared_prefix_makespan: bad position");
+  return prefix_makespan_[pos];
+}
+
+double Evaluator::prepared_trial(const SolutionString& s, std::size_t from,
+                                 double bound) const {
+  SEHC_ASSERT_MSG(!avail_rows_.empty(),
+                  "Evaluator::prepared_trial: prepare() not called");
+  SEHC_ASSERT_MSG(s.size() == num_tasks_ && from <= num_tasks_,
+                  "Evaluator::prepared_trial: bad arguments");
+  const Segment* const segs = s.segments().data();
+  const std::size_t* const pos = s.positions().data();
+  const std::size_t k = num_tasks_;
+  const std::size_t l = num_machines_;
+  std::copy_n(avail_rows_.data() + from * l, l, machine_avail_.begin());
+  double makespan = prefix_makespan_[from];
+  if (makespan > bound) return kInf;
+
+  // Predecessors below `from` are untouched by the trial: read their
+  // prepared finish times. Predecessors at or above `from` were re-simulated
+  // earlier in this very loop (the string is topological): read the trial
+  // scratch.
+  const double* const prepared = prepared_finish_.data();
+  double* const finish = finish_.data();
+  double* const avail = machine_avail_.data();
+  for (std::size_t i = from; i < k; ++i) {
+    const TaskId t = segs[i].task;
+    const MachineId m = segs[i].machine;
+    double ready = 0.0;
+    const std::uint32_t lo = pred_off_[t];
+    const std::uint32_t hi = pred_off_[t + 1];
+    for (std::uint32_t e = lo; e < hi; ++e) {
+      const TaskId src = pred_src_[e];
+      const std::size_t src_pos = pos[src];
+      const MachineId pm = segs[src_pos].machine;
+      const double f = src_pos >= from ? finish[src] : prepared[src];
+      ready = std::max(ready, f + transfer_row(pm, m)[pred_item_[e]]);
+    }
+    const double start = std::max(ready, avail[m]);
+    const double fin = start + exec_[m * k + t];
+    finish[t] = fin;
+    avail[m] = fin;
+    if (fin > makespan) {
+      makespan = fin;
+      if (makespan > bound) return kInf;
+    }
   }
   return makespan;
 }

@@ -9,8 +9,37 @@
 // with Tr == 0 when producer and consumer share a machine. This is
 // non-insertion list scheduling: the string fully determines the schedule.
 //
-// Evaluator pre-sizes its scratch buffers once per workload so the hot loop
-// (called tens of thousands of times per SE run) performs no allocation.
+// The evaluator is also the library's incremental trial engine. All search
+// heuristics spend their time re-simulating slightly-changed strings, so the
+// evaluator offers three exact (bit-identical to a full evaluation)
+// accelerations on top of the plain evaluate()/makespan() pair:
+//
+//   1. Rolling checkpoints (SE allocation): all trial strings share a fixed
+//      prefix; begin_trials() simulates it once, extend_checkpoint() grows
+//      it one segment at a time as the trial position advances, and each
+//      trial_makespan() simulates only the suffix behind the checkpoint.
+//   2. Exact pruning: trial_makespan(s, bound) aborts as soon as the running
+//      makespan strictly exceeds `bound` and returns +infinity. Because the
+//      running makespan is monotone in the segment index, any value returned
+//      that is <= bound is exact — comparisons against `bound` (and ties at
+//      or below it) are unaffected, so tie-break sampling distributions are
+//      preserved byte for byte.
+//   3. A CSR hot path: the DAG's (predecessor, data item) adjacency is
+//      flattened into contiguous arrays at construction, and transfer-time
+//      rows are resolved through a precomputed machine-pair pointer table
+//      (the diagonal points at a zero row, so machine-local communication
+//      needs no branch). This replaces the in_edges() -> edge(d) double
+//      indirection of the naive loops.
+//
+// For neighborhood searches whose trials start at arbitrary positions (tabu,
+// annealing), the evaluator additionally keeps a prepared state: prepare()
+// simulates the whole string once and snapshots the machine-availability
+// vector *before every position*, so a trial that changes the string from
+// position p onward costs O(k - p) instead of O(k). refresh_from() rolls the
+// prepared state forward after an accepted move.
+//
+// Evaluator pre-sizes its scratch buffers once per workload so the hot loops
+// (called millions of times per search run) perform no allocation.
 #pragma once
 
 #include <vector>
@@ -32,35 +61,126 @@ class Evaluator {
  public:
   explicit Evaluator(const Workload& w);
 
+  // pair_row_'s diagonal entries point into this object's own zero_row_
+  // buffer, so copies must rebuild the table (moves transfer the heap
+  // buffer and stay valid).
+  Evaluator(const Evaluator& other);
+  Evaluator& operator=(const Evaluator& other);
+  Evaluator(Evaluator&&) = default;
+  Evaluator& operator=(Evaluator&&) = default;
+
   /// Full evaluation; returns per-task times. O(k + e).
   ScheduleTimes evaluate(const SolutionString& s) const;
+
+  /// As evaluate(), but reuses the caller's result buffers (no allocation
+  /// after the first call with same-sized vectors).
+  void evaluate_into(const SolutionString& s, ScheduleTimes& out) const;
 
   /// Makespan only; same cost but avoids constructing the result arrays.
   double makespan(const SolutionString& s) const;
 
-  /// Trial mode for the SE allocation inner loop. All trial strings for one
-  /// task share an unchanged prefix [0, prefix): begin_trials() evaluates
-  /// that prefix once and snapshots the machine state; trial_makespan()
-  /// then costs only O(k - prefix + suffix edges) per candidate string.
-  ///
-  /// Contract: every subsequent trial string must (a) contain exactly the
-  /// same segments in [0, prefix) as the string passed to begin_trials and
-  /// (b) permute only tasks at positions >= prefix. Calling evaluate() /
-  /// makespan() invalidates the checkpoint.
+  // --- Rolling-checkpoint trial mode (SE allocation inner loop) ----------
+  //
+  // All trial strings for one task share an unchanged prefix [0, prefix):
+  // begin_trials() evaluates that prefix once and snapshots the machine
+  // state; trial_makespan() then costs only O(k - prefix + suffix edges)
+  // per candidate string.
+  //
+  // Contract: every subsequent trial string must (a) contain exactly the
+  // same segments in [0, prefix) as the string passed to begin_trials and
+  // (b) permute only tasks at positions >= prefix. Calling evaluate() /
+  // makespan() invalidates the checkpoint.
   void begin_trials(const SolutionString& s, std::size_t prefix) const;
+
+  /// Advances the checkpoint by one segment: position `prefix` of `s` (which
+  /// must from now on be identical in every trial string) becomes part of
+  /// the fixed prefix. O(deg + 1). This is what makes the SE allocation scan
+  /// linear: as the trial position moves from pos to pos+1, the segment that
+  /// slides below it is simulated exactly once instead of once per trial.
+  void extend_checkpoint(const SolutionString& s) const;
+
+  /// Checkpoint position (prefix length) of the rolling trial mode.
+  std::size_t checkpoint_prefix() const { return cp_prefix_; }
+
+  /// Simulates [prefix, k) on top of the checkpoint. Exact.
   double trial_makespan(const SolutionString& s) const;
+
+  /// As trial_makespan(), but aborts once the running makespan strictly
+  /// exceeds `bound`, returning +infinity. Any return value <= bound is
+  /// exact; any value > bound is guaranteed to truly exceed it.
+  double trial_makespan(const SolutionString& s, double bound) const;
+
+  // --- Prepared-state trial mode (tabu / annealing neighborhoods) --------
+  //
+  // prepare(s) simulates `s` once, recording per-position machine-state
+  // snapshots. prepared_trial(s', from, bound) then evaluates a trial string
+  // s' that differs from s only at positions >= from, in O(k - from).
+  // refresh_from(s, from) re-records the snapshots after `s` itself changed
+  // at positions >= from (an accepted move). The prepared state survives
+  // any number of prepared_trial() calls; evaluate()/makespan()/the rolling
+  // trial mode do not disturb it.
+  void prepare(const SolutionString& s) const;
+  void refresh_from(const SolutionString& s, std::size_t from) const;
+  double prepared_trial(const SolutionString& s, std::size_t from,
+                        double bound) const;
+
+  /// Running makespan of the prepared string's prefix [0, pos).
+  double prepared_prefix_makespan(std::size_t pos) const;
 
   const Workload& workload() const { return *workload_; }
 
  private:
+  /// (Re)points pair_row_ at the workload's transfer rows / this object's
+  /// zero row. Called from construction and from copies.
+  void rebuild_pair_rows();
+
+  /// Simulates s[from..k) reading/writing finish_ and machine_avail_
+  /// (rolling mode: every needed predecessor finish already lives in
+  /// finish_). Returns the final makespan, or +infinity once the running
+  /// makespan strictly exceeds `bound`.
+  ///
+  /// NOTE: the per-segment scheduling recurrence in this kernel is
+  /// deliberately instantiated (not shared) in evaluate_into,
+  /// begin_trials, extend_checkpoint, refresh_from and prepared_trial —
+  /// each differs in finish-time source, snapshot writes or bound checks.
+  /// Keep the six sites in lockstep; every one of them is pinned
+  /// bit-for-bit against a naive reference by tests/test_incremental_eval.
+  double run_suffix(const SolutionString& s, std::size_t from,
+                    double makespan_in, double bound) const;
+
+  /// Per-pair transfer row (diagonal -> zero row), avoiding pair_index().
+  const double* transfer_row(MachineId a, MachineId b) const {
+    return pair_row_[a * num_machines_ + b];
+  }
+
   const Workload* workload_;  // non-owning; workload outlives evaluator
+  std::size_t num_tasks_ = 0;
+  std::size_t num_machines_ = 0;
+
+  // CSR adjacency: incoming edges of task t are pred_src_/pred_item_
+  // [pred_off_[t], pred_off_[t+1]), in the graph's in_edges() order (the
+  // order the naive loops reduce in, so max-chains are bit-identical).
+  std::vector<std::uint32_t> pred_off_;
+  std::vector<TaskId> pred_src_;
+  std::vector<DataId> pred_item_;
+  // Flat matrix views + machine-pair row table.
+  const double* exec_ = nullptr;  // l x k row-major
+  std::vector<const double*> pair_row_;  // l*l entries into Tr (or zero row)
+  std::vector<double> zero_row_;
+
   // Scratch reused across calls (single-threaded use, like the algorithms).
   mutable std::vector<double> finish_;
   mutable std::vector<double> machine_avail_;
-  // Trial-mode checkpoint.
+  // Rolling-checkpoint state.
   mutable std::vector<double> cp_avail_;
   mutable double cp_makespan_ = 0.0;
   mutable std::size_t cp_prefix_ = 0;
+  // Prepared state: avail_rows_ row p = machine availability before position
+  // p ((k+1) x l, row-major); prefix_makespan_[p] = running makespan before
+  // position p; prepared_finish_ = finish times of the prepared string.
+  mutable std::vector<double> avail_rows_;
+  mutable std::vector<double> prefix_makespan_;
+  mutable std::vector<double> prepared_finish_;
 };
 
 /// One-shot convenience wrapper.

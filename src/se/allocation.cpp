@@ -6,21 +6,31 @@ namespace sehc {
 
 std::vector<std::vector<MachineId>> machine_candidates(const Workload& w,
                                                        std::size_t y_limit) {
-  const std::size_t l = w.num_machines();
-  const std::size_t y = (y_limit == 0 || y_limit > l) ? l : y_limit;
+  // Materialized view over the flat table, so the Y-clamping rule has a
+  // single source of truth.
+  const MachineCandidates flat(w, y_limit);
   std::vector<std::vector<MachineId>> out(w.num_tasks());
   for (TaskId t = 0; t < w.num_tasks(); ++t) {
-    auto sorted = w.machines_by_speed(t);
-    sorted.resize(y);
-    out[t] = std::move(sorted);
+    const auto view = flat.of(t);
+    out[t].assign(view.begin(), view.end());
   }
   return out;
 }
 
-AllocationStats allocate_tasks(
-    const Workload& w, const Evaluator& eval,
-    const std::vector<std::vector<MachineId>>& candidates,
-    const std::vector<TaskId>& selected, SolutionString& s, Rng& rng) {
+MachineCandidates::MachineCandidates(const Workload& w, std::size_t y_limit) {
+  const std::size_t l = w.num_machines();
+  y_ = (y_limit == 0 || y_limit > l) ? l : y_limit;
+  flat_.reserve(w.num_tasks() * y_);
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    const auto sorted = w.machines_by_speed(t);
+    flat_.insert(flat_.end(), sorted.begin(), sorted.begin() + y_);
+  }
+}
+
+AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
+                               const MachineCandidates& candidates,
+                               const std::vector<TaskId>& selected,
+                               SolutionString& s, Rng& rng) {
   AllocationStats stats;
   const TaskGraph& g = w.graph();
 
@@ -40,15 +50,20 @@ AllocationStats allocate_tasks(
     std::size_t ties = 0;  // reservoir size for uniform tie sampling
 
     const ValidRange range = s.valid_range(g, t);
-    // Every trial permutes only positions >= range.lo (the task's current
-    // position is inside its own valid range), so the prefix below it is
-    // evaluated once and shared by all |range| x Y trials.
+    const std::span<const MachineId> machines = candidates.of(t);
+    // Rolling checkpoint: trials at position pos permute only positions
+    // >= pos, so the checkpoint starts at range.lo and is extended by one
+    // segment every time the trial position advances — each trial simulates
+    // only [pos, k) instead of [range.lo, k).
     eval.begin_trials(s, range.lo);
-    for (std::size_t pos = range.lo; pos <= range.hi; ++pos) {
-      s.move_task(t, pos);
-      for (MachineId m : candidates[t]) {
+    s.move_task(t, range.lo);
+    for (std::size_t pos = range.lo;; ++pos) {
+      for (MachineId m : machines) {
         s.set_machine(t, m);
-        const double len = eval.trial_makespan(s);
+        // Exact pruning: any trial whose running makespan strictly exceeds
+        // the incumbent can neither win nor tie, so aborting it early leaves
+        // the winner — and the reservoir tie statistics — bit-identical.
+        const double len = eval.trial_makespan(s, best_len);
         ++stats.combinations_tried;
         if (len < best_len) {
           best_len = len;
@@ -68,6 +83,11 @@ AllocationStats allocate_tasks(
       // Restore the machine before shifting position again so the trial
       // state stays a single-change delta.
       s.set_machine(t, original_machine);
+      if (pos == range.hi) break;
+      s.move_task(t, pos + 1);
+      // The segment that slid down into `pos` is now part of every
+      // remaining trial's fixed prefix: fold it into the checkpoint.
+      eval.extend_checkpoint(s);
     }
 
     // Commit the winner (possibly the original placement).

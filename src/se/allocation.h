@@ -11,12 +11,18 @@
 // freezing in the first single-move local minimum it reaches.
 //
 // Trials are done by mutating the working string in place and restoring it,
-// so allocation performs no memory allocation in the hot loop.
+// so allocation performs no memory allocation in the hot loop. The scan
+// rides the evaluator's incremental engine: the checkpoint rolls forward as
+// the trial position advances (each trial simulates only the suffix behind
+// the current position) and trials are pruned exactly against the incumbent
+// best length (strict inequality, so the reservoir tie sampling — and with
+// it every downstream random draw — is untouched).
 //
 // The Y parameter (paper §4.5, studied in Fig. 4) limits machine candidates
 // per task to its Y fastest machines; Y = 0 or Y >= l means "all machines".
 #pragma once
 
+#include <span>
 #include <vector>
 
 #include "core/rng.h"
@@ -28,8 +34,32 @@ namespace sehc {
 
 /// Per-task machine candidate lists (each task's machines sorted by its
 /// execution time, truncated to Y entries). Computed once per run.
+/// Vector-of-vectors form kept for tests and exploratory code; the engines
+/// use the flat MachineCandidates below.
 std::vector<std::vector<MachineId>> machine_candidates(const Workload& w,
                                                        std::size_t y_limit);
+
+/// Flat (contiguous, fixed-stride) per-task candidate table owned by the
+/// caller: task t's Y best-matching machines live at [t*y, (t+1)*y). One
+/// cache-friendly array instead of k separate heap vectors.
+class MachineCandidates {
+ public:
+  MachineCandidates() = default;
+  MachineCandidates(const Workload& w, std::size_t y_limit);
+
+  /// Candidates of one task, in ascending execution-time order.
+  std::span<const MachineId> of(TaskId t) const {
+    return {flat_.data() + static_cast<std::size_t>(t) * y_, y_};
+  }
+
+  /// Effective Y (after clamping to the machine count).
+  std::size_t y() const { return y_; }
+  std::size_t num_tasks() const { return y_ == 0 ? 0 : flat_.size() / y_; }
+
+ private:
+  std::size_t y_ = 0;
+  std::vector<MachineId> flat_;
+};
 
 /// Statistics for one allocation pass.
 struct AllocationStats {
@@ -42,7 +72,7 @@ struct AllocationStats {
 /// `rng`. Mutates `s` in place; returns stats. Never increases the
 /// makespan.
 AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
-                               const std::vector<std::vector<MachineId>>& candidates,
+                               const MachineCandidates& candidates,
                                const std::vector<TaskId>& selected,
                                SolutionString& s, Rng& rng);
 

@@ -28,15 +28,21 @@ std::vector<double> optimal_costs(const Workload& w) {
   return finish;
 }
 
-std::vector<double> goodness(const std::vector<double>& optimal,
-                             const ScheduleTimes& times) {
+void goodness_into(const std::vector<double>& optimal,
+                   const ScheduleTimes& times, std::vector<double>& out) {
   SEHC_CHECK(optimal.size() == times.finish.size(),
              "goodness: size mismatch");
-  std::vector<double> g(optimal.size());
+  out.resize(optimal.size());
   for (std::size_t i = 0; i < optimal.size(); ++i) {
     const double ci = times.finish[i];
-    g[i] = ci <= 0.0 ? 1.0 : std::clamp(optimal[i] / ci, 0.0, 1.0);
+    out[i] = ci <= 0.0 ? 1.0 : std::clamp(optimal[i] / ci, 0.0, 1.0);
   }
+}
+
+std::vector<double> goodness(const std::vector<double>& optimal,
+                             const ScheduleTimes& times) {
+  std::vector<double> g;
+  goodness_into(optimal, times, g);
   return g;
 }
 

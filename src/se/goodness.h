@@ -29,4 +29,9 @@ std::vector<double> optimal_costs(const Workload& w);
 std::vector<double> goodness(const std::vector<double>& optimal,
                              const ScheduleTimes& times);
 
+/// As goodness(), but writes into a caller-owned buffer (resized to fit) so
+/// the SE loop performs no per-iteration allocation.
+void goodness_into(const std::vector<double>& optimal,
+                   const ScheduleTimes& times, std::vector<double>& out);
+
 }  // namespace sehc

@@ -19,7 +19,7 @@ SeEngine::SeEngine(const Workload& workload, SeParams params)
       evaluator_(workload),
       optimal_(optimal_costs(workload)),
       levels_(task_levels(workload.graph())),
-      candidates_(machine_candidates(workload, params.y_limit)) {}
+      candidates_(MachineCandidates(workload, params.y_limit)) {}
 
 SeResult SeEngine::run() {
   Rng rng(params_.seed);
@@ -40,17 +40,23 @@ SeResult SeEngine::run_from(SolutionString current) {
   result.best_solution = current;
   result.best_makespan = evaluator_.makespan(current);
 
+  // Per-iteration work buffers, hoisted so the loop performs no heap
+  // allocation after the first iteration.
+  ScheduleTimes times;
+  std::vector<double> good;
+  std::vector<TaskId> selected;
+
   std::size_t stall = 0;
   std::size_t iteration = 0;
   for (; iteration < params_.max_iterations; ++iteration) {
     if (timer.seconds() >= params_.time_limit_seconds) break;
 
     // Evaluation: goodness of every individual in the current solution.
-    const ScheduleTimes times = evaluator_.evaluate(current);
-    const std::vector<double> g = goodness(optimal_, times);
+    evaluator_.evaluate_into(current, times);
+    goodness_into(optimal_, times, good);
 
     // Selection: biased, level-ordered.
-    const std::vector<TaskId> selected = select_tasks(g, bias_, levels_, rng);
+    select_tasks_into(good, bias_, levels_, rng, selected);
 
     // Allocation: constructive best-fit re-placement of selected tasks
     // (ties among best placements broken randomly -> plateau mobility).

@@ -15,6 +15,7 @@
 #include "sched/encoding.h"
 #include "sched/evaluator.h"
 #include "sched/schedule.h"
+#include "se/allocation.h"
 
 namespace sehc {
 
@@ -83,7 +84,7 @@ class SeEngine {
   Evaluator evaluator_;
   std::vector<double> optimal_;       // O_i, fixed for the whole run
   std::vector<int> levels_;           // DAG levels for selection ordering
-  std::vector<std::vector<MachineId>> candidates_;  // Y-restricted machines
+  MachineCandidates candidates_;      // Y-restricted machines, flat table
   Observer observer_;
 };
 

@@ -6,18 +6,25 @@
 
 namespace sehc {
 
+void select_tasks_into(const std::vector<double>& goodness, double bias,
+                       const std::vector<int>& levels, Rng& rng,
+                       std::vector<TaskId>& out) {
+  SEHC_CHECK(goodness.size() == levels.size(),
+             "select_tasks: goodness/levels size mismatch");
+  out.clear();
+  for (TaskId t = 0; t < goodness.size(); ++t) {
+    if (rng.uniform() > goodness[t] + bias) out.push_back(t);
+  }
+  // Ascending by DAG level; stable so equal-level tasks keep id order.
+  std::stable_sort(out.begin(), out.end(),
+                   [&](TaskId a, TaskId b) { return levels[a] < levels[b]; });
+}
+
 std::vector<TaskId> select_tasks(const std::vector<double>& goodness,
                                  double bias,
                                  const std::vector<int>& levels, Rng& rng) {
-  SEHC_CHECK(goodness.size() == levels.size(),
-             "select_tasks: goodness/levels size mismatch");
   std::vector<TaskId> selected;
-  for (TaskId t = 0; t < goodness.size(); ++t) {
-    if (rng.uniform() > goodness[t] + bias) selected.push_back(t);
-  }
-  // Ascending by DAG level; stable so equal-level tasks keep id order.
-  std::stable_sort(selected.begin(), selected.end(),
-                   [&](TaskId a, TaskId b) { return levels[a] < levels[b]; });
+  select_tasks_into(goodness, bias, levels, rng, selected);
   return selected;
 }
 

@@ -24,6 +24,12 @@ std::vector<TaskId> select_tasks(const std::vector<double>& goodness,
                                  double bias,
                                  const std::vector<int>& levels, Rng& rng);
 
+/// As select_tasks(), but reuses a caller-owned buffer (cleared, then
+/// filled) so the SE loop performs no per-iteration allocation.
+void select_tasks_into(const std::vector<double>& goodness, double bias,
+                       const std::vector<int>& levels, Rng& rng,
+                       std::vector<TaskId>& out);
+
 /// The paper's bias guidance (§4.4): negative for small DAGs (more thorough
 /// search), positive for large DAGs (cheaper iterations).
 double default_bias(std::size_t num_tasks);

@@ -52,7 +52,7 @@ TEST(Allocation, NeverWorsensTheSchedule) {
     p.seed = seed;
     const Workload w = make_workload(p);
     Evaluator eval(w);
-    const auto candidates = machine_candidates(w, 0);
+    const MachineCandidates candidates(w, 0);
     Rng rng(seed);
     SolutionString s = random_initial_solution(w.graph(), w.num_machines(), rng);
     const double before = eval.makespan(s);
@@ -69,7 +69,7 @@ TEST(Allocation, ImprovesAnObviouslyBadSolution) {
   // allocation of all tasks must strictly improve this.
   const Workload w = figure1_workload();
   Evaluator eval(w);
-  const auto candidates = machine_candidates(w, 0);
+  const MachineCandidates candidates(w, 0);
   const std::vector<TaskId> order{0, 1, 2, 3, 4, 5, 6};
   const std::vector<MachineId> all_m1(7, 1);
   SolutionString s(order, all_m1);
@@ -89,7 +89,7 @@ TEST(Allocation, TieRandomizationPreservesMakespan) {
   // never worsen the makespan.
   const Workload w = figure1_workload();
   Evaluator eval(w);
-  const auto candidates = machine_candidates(w, 0);
+  const MachineCandidates candidates(w, 0);
   std::vector<TaskId> all{0, 1, 2, 3, 4, 5, 6};
   for (std::uint64_t seed = 1; seed <= 5; ++seed) {
     SolutionString s = figure2_string();
@@ -107,7 +107,7 @@ TEST(Allocation, RestoresStateWhenNothingBetterExists) {
   Matrix<double> tr(0, 0);
   const Workload w(std::move(g), MachineSet(1), std::move(exec), std::move(tr));
   Evaluator eval(w);
-  const auto candidates = machine_candidates(w, 0);
+  const MachineCandidates candidates(w, 0);
   SolutionString s(std::vector<TaskId>{0}, std::vector<MachineId>{0});
   const SolutionString before = s;
   Rng rng(1);
@@ -124,7 +124,7 @@ TEST(Allocation, TieMovesNeverChangeMakespan) {
   Matrix<double> tr(1, 0);
   const Workload w(std::move(g), MachineSet(2), std::move(exec), std::move(tr));
   Evaluator eval(w);
-  const auto candidates = machine_candidates(w, 0);
+  const MachineCandidates candidates(w, 0);
   for (std::uint64_t seed = 1; seed <= 8; ++seed) {
     SolutionString s(std::vector<TaskId>{0}, std::vector<MachineId>{1});
     Rng rng(seed);
@@ -138,7 +138,7 @@ TEST(Allocation, CombinationCountMatchesRangeTimesY) {
   // positions; Y = 2 machines) every combination is evaluated: 5 * 2.
   const Workload w = figure1_workload();
   Evaluator eval(w);
-  const auto candidates = machine_candidates(w, 2);
+  const MachineCandidates candidates(w, 2);
   SolutionString s = figure2_string();
   Rng rng(1);
   const auto stats = allocate_tasks(w, eval, candidates, {4}, s, rng);
@@ -155,7 +155,7 @@ TEST(Allocation, RestrictedYCanForceUphillRematch) {
   Matrix<double> tr(1, 0);
   const Workload w(std::move(g), MachineSet(2), std::move(exec), std::move(tr));
   Evaluator eval(w);
-  const auto candidates = machine_candidates(w, 1);  // only m1 allowed
+  const MachineCandidates candidates(w, 1);  // only m1 allowed
   SolutionString s(std::vector<TaskId>{0}, std::vector<MachineId>{0});
   Rng rng(1);
   allocate_tasks(w, eval, candidates, {0}, s, rng);
@@ -180,10 +180,10 @@ TEST(Allocation, SmallerYNeverTriesMoreCombinations) {
   Rng rng2(1), rng8(1);
   SolutionString s2 = base;
   const auto stats2 =
-      allocate_tasks(w, eval, machine_candidates(w, 2), all, s2, rng2);
+      allocate_tasks(w, eval, MachineCandidates(w, 2), all, s2, rng2);
   SolutionString s8 = base;
   const auto stats8 =
-      allocate_tasks(w, eval, machine_candidates(w, 8), all, s8, rng8);
+      allocate_tasks(w, eval, MachineCandidates(w, 8), all, s8, rng8);
   EXPECT_LT(stats2.combinations_tried, stats8.combinations_tried);
 }
 

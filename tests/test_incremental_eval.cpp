@@ -1,0 +1,446 @@
+// Differential suite for the incremental trial-evaluation engine.
+//
+// Every optimization in the engine (rolling checkpoints, exact pruning, the
+// CSR hot path, the prepared per-position snapshots) claims BIT-IDENTICAL
+// results to a naive full re-evaluation. This file keeps an independent
+// naive reference implementation — the pre-engine evaluation loop with its
+// in_edges() -> edge(d) double indirection — and asserts equality of
+// makespans, schedules, per-iteration statistics, and RNG stream positions
+// (i.e. tie-break sampling behavior) across randomized workloads drawn from
+// all workload classes and y_limit settings.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/rng.h"
+#include "heuristics/annealing.h"
+#include "heuristics/tabu.h"
+#include "se/allocation.h"
+#include "se/se.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+/// Naive reference: one string pass through the graph's edge lists, exactly
+/// the historical evaluator loop. Shares no code with Evaluator's CSR path.
+ScheduleTimes naive_evaluate(const Workload& w, const SolutionString& s) {
+  const TaskGraph& g = w.graph();
+  ScheduleTimes out;
+  out.start.assign(w.num_tasks(), 0.0);
+  out.finish.assign(w.num_tasks(), 0.0);
+  std::vector<double> machine_avail(w.num_machines(), 0.0);
+  for (const Segment& seg : s.segments()) {
+    const TaskId t = seg.task;
+    const MachineId m = seg.machine;
+    double ready = 0.0;
+    for (DataId d : g.in_edges(t)) {
+      const DagEdge& e = g.edge(d);
+      const MachineId pm = s.machine_of(e.src);
+      ready = std::max(ready, out.finish[e.src] + w.transfer(pm, m, d));
+    }
+    const double start = std::max(ready, machine_avail[m]);
+    const double finish = start + w.exec(m, t);
+    out.start[t] = start;
+    out.finish[t] = finish;
+    machine_avail[m] = finish;
+    out.makespan = std::max(out.makespan, finish);
+  }
+  return out;
+}
+
+double naive_makespan(const Workload& w, const SolutionString& s) {
+  return naive_evaluate(w, s).makespan;
+}
+
+/// The pre-engine allocation step: full suffix re-simulation from range.lo
+/// for every (position, machine) combination, no checkpoint rolling, no
+/// pruning. Identical RNG usage to allocate_tasks.
+AllocationStats reference_allocate(const Workload& w,
+                                   const MachineCandidates& candidates,
+                                   const std::vector<TaskId>& selected,
+                                   SolutionString& s, Rng& rng) {
+  AllocationStats stats;
+  const TaskGraph& g = w.graph();
+  for (TaskId t : selected) {
+    const std::size_t original_pos = s.position_of(t);
+    const MachineId original_machine = s.machine_of(t);
+    double best_len = kInf;
+    std::size_t best_pos = original_pos;
+    MachineId best_machine = original_machine;
+    std::size_t ties = 0;
+    const ValidRange range = s.valid_range(g, t);
+    for (std::size_t pos = range.lo; pos <= range.hi; ++pos) {
+      s.move_task(t, pos);
+      for (MachineId m : candidates.of(t)) {
+        s.set_machine(t, m);
+        const double len = naive_makespan(w, s);
+        ++stats.combinations_tried;
+        if (len < best_len) {
+          best_len = len;
+          best_pos = pos;
+          best_machine = m;
+          ties = 1;
+        } else if (len == best_len) {
+          ++ties;
+          if (rng.below(ties) == 0) {
+            best_pos = pos;
+            best_machine = m;
+          }
+        }
+      }
+      s.set_machine(t, original_machine);
+    }
+    s.move_task(t, best_pos);
+    s.set_machine(t, best_machine);
+    if (best_pos != original_pos || best_machine != original_machine) {
+      ++stats.tasks_moved;
+    }
+  }
+  return stats;
+}
+
+std::vector<WorkloadParams> workload_classes() {
+  std::vector<WorkloadParams> out;
+  for (Level conn : {Level::kLow, Level::kMedium, Level::kHigh}) {
+    for (double ccr : {0.1, 1.0}) {
+      WorkloadParams p;
+      p.tasks = 28;
+      p.machines = 5;
+      p.connectivity = conn;
+      p.heterogeneity = conn == Level::kMedium ? Level::kHigh : Level::kLow;
+      p.ccr = ccr;
+      out.push_back(p);
+    }
+  }
+  WorkloadParams consistent;
+  consistent.tasks = 30;
+  consistent.machines = 6;
+  consistent.consistency = Consistency::kConsistent;
+  out.push_back(consistent);
+  return out;
+}
+
+TEST(IncrementalEval, EvaluateMatchesNaiveBitForBit) {
+  for (WorkloadParams p : workload_classes()) {
+    for (std::uint64_t seed : {1u, 2u, 3u}) {
+      p.seed = seed;
+      const Workload w = make_workload(p);
+      Evaluator eval(w);
+      Rng rng(seed * 17 + 3);
+      for (int i = 0; i < 4; ++i) {
+        const SolutionString s =
+            random_initial_solution(w.graph(), w.num_machines(), rng);
+        const ScheduleTimes got = eval.evaluate(s);
+        const ScheduleTimes want = naive_evaluate(w, s);
+        ASSERT_EQ(got.makespan, want.makespan) << p.describe();
+        ASSERT_EQ(eval.makespan(s), want.makespan) << p.describe();
+        for (TaskId t = 0; t < w.num_tasks(); ++t) {
+          ASSERT_EQ(got.start[t], want.start[t]);
+          ASSERT_EQ(got.finish[t], want.finish[t]);
+        }
+      }
+    }
+  }
+}
+
+TEST(IncrementalEval, RollingCheckpointTrialsMatchNaive) {
+  // Replay the allocation enumeration for every task: roll the checkpoint
+  // forward position by position and check each (position, machine) trial
+  // against a from-scratch naive evaluation of the very same string.
+  for (WorkloadParams p : workload_classes()) {
+    p.seed = 11;
+    const Workload w = make_workload(p);
+    const TaskGraph& g = w.graph();
+    Evaluator eval(w);
+    Rng rng(29);
+    SolutionString s =
+        random_initial_solution(w.graph(), w.num_machines(), rng);
+    for (TaskId t = 0; t < w.num_tasks(); t += 5) {
+      const std::size_t original_pos = s.position_of(t);
+      const MachineId original_machine = s.machine_of(t);
+      const ValidRange range = s.valid_range(g, t);
+      eval.begin_trials(s, range.lo);
+      s.move_task(t, range.lo);
+      for (std::size_t pos = range.lo;; ++pos) {
+        ASSERT_EQ(eval.checkpoint_prefix(), pos);
+        for (MachineId m = 0; m < w.num_machines(); ++m) {
+          s.set_machine(t, m);
+          ASSERT_EQ(eval.trial_makespan(s), naive_makespan(w, s))
+              << p.describe() << " t=" << t << " pos=" << pos;
+        }
+        s.set_machine(t, original_machine);
+        if (pos == range.hi) break;
+        s.move_task(t, pos + 1);
+        eval.extend_checkpoint(s);
+      }
+      s.move_task(t, original_pos);
+    }
+  }
+}
+
+TEST(IncrementalEval, PrunedTrialsAreExactUpToTheBound) {
+  WorkloadParams p;
+  p.tasks = 30;
+  p.machines = 5;
+  p.connectivity = Level::kHigh;
+  p.ccr = 1.0;
+  p.seed = 7;
+  const Workload w = make_workload(p);
+  Evaluator eval(w);
+  Rng rng(41);
+  SolutionString s =
+      random_initial_solution(w.graph(), w.num_machines(), rng);
+  const TaskId t = 4;
+  const ValidRange range = s.valid_range(w.graph(), t);
+  eval.begin_trials(s, range.lo);
+  s.move_task(t, range.lo);
+  for (MachineId m = 0; m < w.num_machines(); ++m) {
+    s.set_machine(t, m);
+    const double exact = naive_makespan(w, s);
+    // A bound at, above, and far above the exact value returns it exactly
+    // (strict pruning keeps ties distinguishable)...
+    ASSERT_EQ(eval.trial_makespan(s, exact), exact);
+    ASSERT_EQ(eval.trial_makespan(s, exact * 2), exact);
+    ASSERT_EQ(eval.trial_makespan(s, kInf), exact);
+    // ...while a bound strictly below it prunes to +infinity.
+    ASSERT_EQ(eval.trial_makespan(s, exact * 0.5), kInf);
+    ASSERT_EQ(eval.trial_makespan(s, std::nextafter(exact, 0.0)), kInf);
+  }
+}
+
+TEST(IncrementalEval, PreparedTrialsMatchNaiveUnderRandomSingleMoves) {
+  for (WorkloadParams p : workload_classes()) {
+    p.seed = 23;
+    const Workload w = make_workload(p);
+    const TaskGraph& g = w.graph();
+    Evaluator eval(w);
+    Rng rng(57);
+    SolutionString s =
+        random_initial_solution(w.graph(), w.num_machines(), rng);
+    eval.prepare(s);
+    for (int trial = 0; trial < 200; ++trial) {
+      const TaskId t = static_cast<TaskId>(rng.below(w.num_tasks()));
+      const std::size_t old_pos = s.position_of(t);
+      const MachineId old_machine = s.machine_of(t);
+      const ValidRange range = s.valid_range(g, t);
+      const std::size_t new_pos =
+          range.lo + static_cast<std::size_t>(rng.below(range.size()));
+      const MachineId new_machine =
+          static_cast<MachineId>(rng.below(w.num_machines()));
+      s.move_task(t, new_pos);
+      s.set_machine(t, new_machine);
+      const std::size_t from = std::min(old_pos, new_pos);
+      const double exact = naive_makespan(w, s);
+      ASSERT_EQ(eval.prepared_trial(s, from, kInf), exact) << p.describe();
+      ASSERT_EQ(eval.prepared_trial(s, from, exact), exact);
+      if (exact > 0.0) {
+        ASSERT_EQ(eval.prepared_trial(s, from, std::nextafter(exact, 0.0)),
+                  kInf);
+      }
+      if (trial % 3 == 0) {
+        // Commit the move: the refreshed snapshots must stay exact.
+        eval.refresh_from(s, from);
+      } else {
+        s.move_task(t, old_pos);
+        s.set_machine(t, old_machine);
+      }
+    }
+  }
+}
+
+TEST(IncrementalEval, AllocationMatchesReferenceIncludingTieStatistics) {
+  for (WorkloadParams p : workload_classes()) {
+    for (std::uint64_t seed : {1u, 5u}) {
+      for (std::size_t y : {std::size_t{0}, std::size_t{1}, std::size_t{3}}) {
+        p.seed = seed;
+        const Workload w = make_workload(p);
+        Evaluator eval(w);
+        const MachineCandidates candidates(w, y);
+        std::vector<TaskId> all(w.num_tasks());
+        for (TaskId t = 0; t < w.num_tasks(); ++t) all[t] = t;
+
+        Rng init(seed * 3 + 1);
+        const SolutionString base =
+            random_initial_solution(w.graph(), w.num_machines(), init);
+
+        SolutionString got = base;
+        SolutionString want = base;
+        Rng rng_got(seed + 100), rng_want(seed + 100);
+        const AllocationStats stats_got =
+            allocate_tasks(w, eval, candidates, all, got, rng_got);
+        const AllocationStats stats_want =
+            reference_allocate(w, candidates, all, want, rng_want);
+
+        ASSERT_EQ(got, want) << p.describe() << " y=" << y;
+        ASSERT_EQ(stats_got.tasks_moved, stats_want.tasks_moved);
+        ASSERT_EQ(stats_got.combinations_tried, stats_want.combinations_tried);
+        // Identical reservoir sampling implies identical RNG positions: the
+        // next draw from both streams must coincide.
+        ASSERT_EQ(rng_got.bits(), rng_want.bits());
+      }
+    }
+  }
+}
+
+/// Pre-engine tabu search: full naive evaluation per sampled move.
+double reference_tabu_best(const Workload& w, const TabuParams& params) {
+  Rng rng(params.seed);
+  const TaskGraph& g = w.graph();
+  SolutionString current =
+      random_initial_solution(g, w.num_machines(), rng);
+  double best_len = naive_makespan(w, current);
+  std::vector<double> expiry(
+      w.num_tasks() * w.num_tasks() * w.num_machines(), 0.0);
+  auto idx = [&](TaskId t, std::size_t pos, MachineId m) {
+    return (t * w.num_tasks() + pos) * w.num_machines() + m;
+  };
+  for (std::size_t iteration = 0; iteration < params.iterations; ++iteration) {
+    TaskId chosen_task = kInvalidTask;
+    std::size_t chosen_pos = 0;
+    MachineId chosen_machine = 0;
+    std::size_t rev_pos = 0;
+    MachineId rev_machine = 0;
+    double chosen_len = kInf;
+    for (std::size_t sample = 0; sample < params.samples; ++sample) {
+      const TaskId t = static_cast<TaskId>(rng.below(w.num_tasks()));
+      const ValidRange range = current.valid_range(g, t);
+      const std::size_t old_pos = current.position_of(t);
+      const MachineId old_machine = current.machine_of(t);
+      const std::size_t pos =
+          range.lo + static_cast<std::size_t>(rng.below(range.size()));
+      const MachineId m = static_cast<MachineId>(rng.below(w.num_machines()));
+      current.move_task(t, pos);
+      current.set_machine(t, m);
+      const double len = naive_makespan(w, current);
+      current.move_task(t, old_pos);
+      current.set_machine(t, old_machine);
+      const bool aspirates = len < best_len;
+      if (!aspirates &&
+          expiry[idx(t, pos, m)] > static_cast<double>(iteration)) {
+        continue;
+      }
+      if (len < chosen_len) {
+        chosen_len = len;
+        chosen_task = t;
+        chosen_pos = pos;
+        chosen_machine = m;
+        rev_pos = old_pos;
+        rev_machine = old_machine;
+      }
+    }
+    if (chosen_task == kInvalidTask) continue;
+    current.move_task(chosen_task, chosen_pos);
+    current.set_machine(chosen_task, chosen_machine);
+    expiry[idx(chosen_task, rev_pos, rev_machine)] =
+        static_cast<double>(iteration + params.tenure);
+    if (chosen_len < best_len) best_len = chosen_len;
+  }
+  return best_len;
+}
+
+TEST(IncrementalEval, TabuMatchesNaiveReference) {
+  for (WorkloadParams p : workload_classes()) {
+    p.seed = 13;
+    const Workload w = make_workload(p);
+    TabuParams tp;
+    tp.iterations = 60;
+    tp.samples = 10;
+    tp.seed = 99;
+    const TabuResult got = tabu_schedule(w, tp);
+    ASSERT_EQ(got.best_makespan, reference_tabu_best(w, tp)) << p.describe();
+  }
+}
+
+/// Pre-engine simulated annealing: in-place random move + full naive
+/// evaluation. RNG draw order matches anneal_schedule exactly.
+double reference_anneal_best(const Workload& w, const SaParams& params) {
+  Rng rng(params.seed);
+  const TaskGraph& g = w.graph();
+  SolutionString current =
+      random_initial_solution(g, w.num_machines(), rng);
+  double current_len = naive_makespan(w, current);
+  double best_len = current_len;
+
+  struct Undo {
+    TaskId task;
+    std::size_t old_pos;
+    MachineId old_machine;
+  };
+  auto random_move = [&](SolutionString& s) {
+    const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+    const Undo undo{t, s.position_of(t), s.machine_of(t)};
+    const ValidRange range = s.valid_range(g, t);
+    s.move_task(t, range.lo + static_cast<std::size_t>(
+                                  rng.below(range.size())));
+    if (rng.chance(0.5)) {
+      s.set_machine(t, static_cast<MachineId>(rng.below(w.num_machines())));
+    }
+    return undo;
+  };
+  auto undo_move = [&](SolutionString& s, const Undo& u) {
+    s.move_task(u.task, u.old_pos);
+    s.set_machine(u.task, u.old_machine);
+  };
+
+  double mean_uphill = 0.0;
+  std::size_t uphill_count = 0;
+  for (std::size_t i = 0; i < 50; ++i) {
+    const Undo undo = random_move(current);
+    const double len = naive_makespan(w, current);
+    if (len > current_len) {
+      mean_uphill += len - current_len;
+      ++uphill_count;
+    }
+    undo_move(current, undo);
+  }
+  if (uphill_count > 0) mean_uphill /= static_cast<double>(uphill_count);
+  double temperature =
+      mean_uphill > 0.0 ? -mean_uphill / std::log(0.8) : 1.0;
+
+  const std::size_t steps_per_temp =
+      params.steps_per_temp > 0
+          ? params.steps_per_temp
+          : std::max<std::size_t>(1, params.iterations / 200);
+
+  std::size_t since_cool = 0;
+  for (std::size_t iteration = 0; iteration < params.iterations; ++iteration) {
+    const Undo undo = random_move(current);
+    const double len = naive_makespan(w, current);
+    const double delta = len - current_len;
+    const bool accept =
+        delta <= 0.0 ||
+        (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature));
+    if (accept) {
+      current_len = len;
+      if (len < best_len) best_len = len;
+    } else {
+      undo_move(current, undo);
+    }
+    if (++since_cool >= steps_per_temp) {
+      since_cool = 0;
+      temperature *= params.cooling;
+    }
+  }
+  return best_len;
+}
+
+TEST(IncrementalEval, AnnealingMatchesNaiveReference) {
+  for (WorkloadParams p : workload_classes()) {
+    p.seed = 31;
+    const Workload w = make_workload(p);
+    SaParams ap;
+    ap.iterations = 400;
+    ap.seed = 77;
+    const SaResult got = anneal_schedule(w, ap);
+    ASSERT_EQ(got.best_makespan, reference_anneal_best(w, ap)) << p.describe();
+  }
+}
+
+}  // namespace
+}  // namespace sehc
