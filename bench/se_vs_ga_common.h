@@ -2,21 +2,25 @@
 // workload under the same wall-clock budget and print the anytime
 // comparison (best schedule length vs real time), as the paper does.
 //
-// The two heuristics execute as a 2-cell sweep on the heuristic axis;
-// --threads 2 runs them concurrently. The default stays serial because
-// anytime curves measure wall time, and co-scheduling distorts both curves
-// whenever the machine lacks a spare core per heuristic.
+// The comparison executes as a 2-cell campaign on the heuristic axis with
+// per-cell anytime-curve capture; --threads 2 runs the heuristics
+// concurrently and --store PATH persists the records (a rerun resumes
+// instead of recomputing — note wall-clock cells are only deterministic
+// per completed record, see src/exp/campaign.h). The default stays serial
+// because anytime curves measure wall time, and co-scheduling distorts
+// both curves whenever the machine lacks a spare core per heuristic.
 #pragma once
 
 #include <iostream>
 #include <string>
 #include <vector>
 
+#include "core/error.h"
 #include "core/options.h"
 #include "core/table.h"
 #include "exp/anytime.h"
+#include "exp/campaign.h"
 #include "exp/figures.h"
-#include "exp/sweep.h"
 #include "workload/generator.h"
 
 namespace sehc::bench {
@@ -28,6 +32,7 @@ struct SeVsGaConfig {
   double budget_seconds = 2.0;
   std::uint64_t seed = 42;
   std::size_t threads = 1;
+  std::string store_path;  // empty = in-memory
 };
 
 inline int run_se_vs_ga(const SeVsGaConfig& cfg) {
@@ -37,35 +42,54 @@ inline int run_se_vs_ga(const SeVsGaConfig& cfg) {
   std::cout << "time budget per heuristic: "
             << format_fixed(cfg.budget_seconds, 2) << " s\n\n";
 
-  const SweepGrid grid({{"heuristic", 2}});  // 0 = SE, 1 = GA
-  SweepOptions sweep_opts;
-  sweep_opts.threads = cfg.threads;
-  const auto curves = sweep_map(
-      grid, sweep_opts,
-      [&](const SweepCell& cell) -> std::vector<AnytimePoint> {
-        if (cell.at(0) == 0) {
-          SeParams sp;
-          sp.seed = cfg.seed;
-          // One configuration across Figures 5-7 (no per-figure tuning): all
-          // machines as allocation candidates and selection bias -0.1. The
-          // paper suggests non-negative bias for large problems to cap
-          // iteration cost; our checkpointed trial evaluation makes thorough
-          // selection affordable, and B = -0.1 dominates B in [0, 0.1] on
-          // every class we measured (see bench/ablation_bias and
-          // EXPERIMENTS.md).
-          sp.bias = -0.1;
-          sp.y_limit = 0;
-          return run_se_anytime(w, sp, cfg.budget_seconds);
-        }
-        GaParams gp;
-        gp.seed = cfg.seed;
-        return run_ga_anytime(w, gp, cfg.budget_seconds);
-      });
-  const auto& se_curve = curves[0];
-  const auto& ga_curve = curves[1];
+  // One configuration across Figures 5-7 (no per-figure tuning): the
+  // campaign SE cell uses all machines as allocation candidates and
+  // selection bias -0.1. The paper suggests non-negative bias for large
+  // problems to cap iteration cost; our checkpointed trial evaluation
+  // makes thorough selection affordable, and B = -0.1 dominates B in
+  // [0, 0.1] on every class we measured (see bench/ablation_bias and
+  // EXPERIMENTS.md).
+  constexpr std::size_t kCurvePoints = 20;
+  CampaignSpec spec;
+  spec.name = cfg.figure_id;
+  spec.classes.push_back({cfg.figure_id, cfg.workload});
+  spec.schedulers = {"SE", "GA"};
+  spec.repetitions = 1;  // keeps the class's pinned instance seed
+  spec.iterations = 0;
+  spec.time_budget_seconds = cfg.budget_seconds;
+  spec.curve_points = kCurvePoints;
+  spec.base_seed = cfg.seed;
 
-  write_anytime_csv(std::cout, se_curve, ga_curve,
-                    time_grid(cfg.budget_seconds, 20));
+  ResultStore store =
+      cfg.store_path.empty()
+          ? ResultStore::in_memory(spec.store_schema())
+          : ResultStore::open(cfg.store_path, spec.store_schema());
+  CampaignRunOptions run_opts;
+  run_opts.threads = cfg.threads;
+  run_campaign(spec, store, run_opts);
+
+  const std::vector<CampaignRecord> records = campaign_records(store);
+  SEHC_CHECK(records.size() == 2, "run_se_vs_ga: expected 2 records");
+  const CampaignRecord& se_rec =
+      records[0].scheduler == "SE" ? records[0] : records[1];
+  const CampaignRecord& ga_rec =
+      records[0].scheduler == "GA" ? records[0] : records[1];
+
+  // Rebuild step curves from the persisted grid samples; the grid points
+  // are exactly the sampling instants, so the printed series matches an
+  // in-process capture.
+  const std::vector<double> grid = time_grid(cfg.budget_seconds, kCurvePoints);
+  auto to_curve = [&](const std::vector<double>& samples) {
+    std::vector<AnytimePoint> curve;
+    for (std::size_t i = 0; i < samples.size(); ++i) {
+      curve.push_back({grid[i], samples[i]});
+    }
+    return curve;
+  };
+  const auto se_curve = to_curve(se_rec.curve);
+  const auto ga_curve = to_curve(ga_rec.curve);
+
+  write_anytime_csv(std::cout, se_curve, ga_curve, grid);
 
   const double se_final = value_at(se_curve, cfg.budget_seconds);
   const double ga_final = value_at(ga_curve, cfg.budget_seconds);
@@ -87,13 +111,13 @@ inline int run_se_vs_ga(const SeVsGaConfig& cfg) {
   return 0;
 }
 
-/// Standard CLI: --budget seconds, --seed, --threads; budget is scaled by
-/// SEHC_SCALE.
+/// Standard CLI: --budget seconds, --seed, --threads, --store; budget is
+/// scaled by SEHC_SCALE.
 inline SeVsGaConfig parse_config(int argc, char** argv, std::string figure_id,
                                  std::string description,
                                  WorkloadParams (*factory)(std::uint64_t),
                                  double default_budget) {
-  const Options opts(argc, argv, {"budget", "seed", "threads"});
+  const Options opts(argc, argv, {"budget", "seed", "threads", "store"});
   SeVsGaConfig cfg;
   cfg.seed = opts.get_seed("seed", 42);
   cfg.figure_id = std::move(figure_id);
@@ -102,6 +126,7 @@ inline SeVsGaConfig parse_config(int argc, char** argv, std::string figure_id,
   cfg.budget_seconds =
       opts.get_double("budget", default_budget * scale_from_env());
   cfg.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
+  cfg.store_path = opts.get("store", "");
   return cfg;
 }
 

@@ -7,127 +7,68 @@
 // and/or high CCR. ... for low to medium connectivity, heterogeneity and
 // CCR, the conclusion is not as clear."
 //
-// The grid executes as a parallel sweep (class x seed cells). Budgets are
-// iteration counts rather than wall-clock so every cell is a deterministic
-// function of its coordinates: the table on stdout is byte-identical at any
-// --threads value (wall time goes to stderr, the one nondeterministic
-// number). Equal-time framing lives in the fig5-7 anytime benches.
+// The grid runs as a campaign (the built-in paper-class-grid spec): cells
+// execute as a parallel sweep with iteration budgets, so the table is a
+// deterministic function of the spec — byte-identical at any --threads
+// value (wall time goes to stderr, the one nondeterministic number). Pass
+// --store PATH to persist records (reruns resume instead of recomputing;
+// see README "Campaigns" for sharding across processes) and --scale to
+// switch to the 27-class x 10-seed scaled-class-grid. Equal-time framing
+// lives in the fig5-7 anytime benches.
 #include <algorithm>
 #include <iostream>
 #include <thread>
 
 #include "core/options.h"
 #include "core/table.h"
-#include "core/timer.h"
-#include "exp/sweep.h"
-#include "ga/ga.h"
-#include "se/se.h"
-#include "workload/generator.h"
-
-namespace {
-
-using namespace sehc;
-
-struct Cell {
-  Level conn;
-  Level het;
-  double ccr;
-};
-
-struct CellResult {
-  double se = 0.0;
-  double ga = 0.0;
-};
-
-}  // namespace
+#include "exp/campaign.h"
 
 int main(int argc, char** argv) {
-  const Options opts(argc, argv,
-                     {"iters", "seeds", "tasks", "machines", "threads"});
+  using namespace sehc;
+  const Options opts(argc, argv, {"iters", "seeds", "tasks", "machines",
+                                  "threads", "store", "scale"});
+  CampaignSpec spec =
+      make_builtin_campaign(opts.has("scale") ? "scaled-class-grid"
+                                              : "paper-class-grid");
   // SE iterations == GA generations; at the defaults both heuristics are
   // past their warm-up phase on this problem size.
-  const auto iters = static_cast<std::size_t>(
+  spec.iterations = static_cast<std::size_t>(
       opts.get_int("iters", static_cast<std::int64_t>(scaled(150, 10))));
-  const auto num_seeds =
-      static_cast<std::size_t>(opts.get_int("seeds", 3));
-  const auto tasks = static_cast<std::size_t>(opts.get_int("tasks", 100));
-  const auto machines = static_cast<std::size_t>(opts.get_int("machines", 20));
-  const auto threads = static_cast<std::size_t>(opts.get_int("threads", 1));
-
-  std::cout << "=== Class grid: SE vs GA, " << tasks << " tasks x " << machines
-            << " machines, " << iters << " iterations, " << num_seeds
-            << " seeds per cell ===\n\n";
-
-  const std::vector<Cell> cells{
-      {Level::kLow, Level::kLow, 0.1},
-      {Level::kLow, Level::kLow, 1.0},
-      {Level::kLow, Level::kHigh, 0.1},
-      {Level::kLow, Level::kHigh, 1.0},
-      {Level::kHigh, Level::kLow, 0.1},
-      {Level::kHigh, Level::kLow, 1.0},
-      {Level::kHigh, Level::kHigh, 0.1},
-      {Level::kHigh, Level::kHigh, 1.0},
-  };
-
-  const SweepGrid grid({{"class", cells.size()}, {"seed", num_seeds}});
-  SweepOptions sweep_opts;
-  sweep_opts.threads = threads;
-
-  WallTimer timer;
-  const auto results =
-      sweep_map(grid, sweep_opts, [&](const SweepCell& cell) -> CellResult {
-        const Cell& c = cells[cell.at(0)];
-        WorkloadParams wp;
-        wp.tasks = tasks;
-        wp.machines = machines;
-        wp.connectivity = c.conn;
-        wp.heterogeneity = c.het;
-        wp.ccr = c.ccr;
-        wp.seed = 1000 + cell.at(1);  // pure function of the seed coordinate
-        const Workload w = make_workload(wp);
-
-        SeParams sp;
-        sp.seed = wp.seed;
-        sp.bias = -0.1;  // same configuration as the Fig. 5-7 benches
-        sp.max_iterations = iters;
-        sp.record_trace = false;
-        GaParams gp;
-        gp.seed = wp.seed;
-        gp.max_generations = iters;
-        gp.record_trace = false;
-        return CellResult{SeEngine(w, sp).run().best_makespan,
-                          GaEngine(w, gp).run().best_makespan};
-      });
-  const double wall = timer.seconds();
-
-  Table table({"connectivity", "heterogeneity", "ccr", "se_mean", "ga_mean",
-               "se/ga", "se_wins"});
-  for (std::size_t ci = 0; ci < cells.size(); ++ci) {
-    double se_sum = 0.0, ga_sum = 0.0;
-    std::size_t se_wins = 0;
-    for (std::size_t i = 0; i < num_seeds; ++i) {
-      const CellResult& r = results[ci * num_seeds + i];
-      se_sum += r.se;
-      ga_sum += r.ga;
-      se_wins += (r.se < r.ga);
-    }
-    const double n = static_cast<double>(num_seeds);
-    table.begin_row()
-        .add(std::string(to_string(cells[ci].conn)))
-        .add(std::string(to_string(cells[ci].het)))
-        .add(cells[ci].ccr, 1)
-        .add(se_sum / n, 1)
-        .add(ga_sum / n, 1)
-        .add(se_sum / ga_sum, 3)
-        .add(std::to_string(se_wins) + "/" + std::to_string(num_seeds));
+  spec.repetitions = static_cast<std::size_t>(
+      opts.get_int("seeds", static_cast<std::int64_t>(spec.repetitions)));
+  for (CampaignClass& c : spec.classes) {
+    c.params.tasks = static_cast<std::size_t>(opts.get_int("tasks", 100));
+    c.params.machines =
+        static_cast<std::size_t>(opts.get_int("machines", 20));
   }
-  table.write_markdown(std::cout);
-  std::cout << "\n(se/ga < 1 means SE found shorter schedules in the budget)\n";
+  spec.validate();
+
+  const std::size_t tasks = spec.classes.front().params.tasks;
+  const std::size_t machines = spec.classes.front().params.machines;
+  std::cout << "=== Class grid: SE vs GA, " << tasks << " tasks x " << machines
+            << " machines, " << spec.iterations << " iterations, "
+            << spec.repetitions << " seeds per cell ===\n\n";
+
+  const std::string store_path = opts.get("store", "");
+  ResultStore store = store_path.empty()
+                          ? ResultStore::in_memory(spec.store_schema())
+                          : ResultStore::open(store_path, spec.store_schema());
+
+  CampaignRunOptions run_opts;
+  run_opts.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
+  const CampaignRunSummary summary = run_campaign(spec, store, run_opts);
+
+  se_vs_ga_table(campaign_records(store)).write_markdown(std::cout);
+  std::cout << "\n(se/ga < 1 means SE found shorter schedules in the budget; "
+               "class = connectivity-heterogeneity-ccr)\n";
+
+  const std::size_t threads = run_opts.threads;
   const std::size_t workers = std::min(
       threads == 0 ? std::max<std::size_t>(1, std::thread::hardware_concurrency())
                    : threads,
-      grid.num_cells());
-  std::cerr << "sweep: " << grid.num_cells() << " cells on " << workers
-            << " thread(s) in " << format_fixed(wall, 2) << " s\n";
+      summary.total_cells);
+  std::cerr << "campaign: " << summary.total_cells << " cells ("
+            << summary.resumed_cells << " resumed) on " << workers
+            << " thread(s) in " << format_fixed(summary.seconds, 2) << " s\n";
   return 0;
 }

@@ -2,15 +2,20 @@
 // realized characteristics (connectivity, heterogeneity, CCR, bounds) and
 // optionally dumps one instance in the sehc-workload text format.
 //
-// The generator grid (connectivity x heterogeneity x CCR) runs as a
-// parallel sweep; the table is identical for any --threads value.
+// The generator grid (connectivity x heterogeneity x CCR) runs through the
+// campaign subsystem's generic grid driver: the table is identical for any
+// --threads value, and with --store PATH the measurements persist (reruns
+// resume, shards via --shard I/N compose; see README "Campaigns").
 //
 //   $ ./workload_explorer [--tasks 100] [--machines 20] [--dump] [--threads 1]
+//                         [--store metrics.csv] [--shard 0/1]
 #include <iostream>
+#include <sstream>
 
+#include "core/error.h"
 #include "core/options.h"
 #include "core/table.h"
-#include "exp/sweep.h"
+#include "exp/campaign.h"
 #include "hc/metrics.h"
 #include "hc/workload_io.h"
 #include "workload/generator.h"
@@ -18,14 +23,11 @@
 int main(int argc, char** argv) {
   using namespace sehc;
   const Options opts(argc, argv, {"tasks", "machines", "dump", "seed",
-                                  "threads"});
+                                  "threads", "store", "shard"});
   const auto tasks = static_cast<std::size_t>(opts.get_int("tasks", 100));
   const auto machines = static_cast<std::size_t>(opts.get_int("machines", 20));
   const auto seed = opts.get_seed("seed", 7);
   const auto threads = static_cast<std::size_t>(opts.get_int("threads", 1));
-
-  std::cout << "Realized workload characteristics per generator class ("
-            << tasks << " tasks, " << machines << " machines)\n\n";
 
   const std::vector<Level> levels{Level::kLow, Level::kMedium, Level::kHigh};
   const std::vector<double> ccrs{0.1, 1.0};
@@ -33,36 +35,66 @@ int main(int argc, char** argv) {
   const SweepGrid grid(
       {{"connectivity", levels.size()}, {"heterogeneity", levels.size()},
        {"ccr", ccrs.size()}});
-  SweepOptions sweep_opts;
-  sweep_opts.threads = threads;
-  const auto metrics =
-      sweep_map(grid, sweep_opts, [&](const SweepCell& cell) {
-        WorkloadParams p;
-        p.tasks = tasks;
-        p.machines = machines;
-        p.connectivity = levels[cell.at(0)];
-        p.heterogeneity = levels[cell.at(1)];
-        p.ccr = ccrs[cell.at(2)];
-        p.seed = seed;
-        return measure(make_workload(p));
-      });
+
+  // Generic store-backed grid: the spec hash covers everything a cell's
+  // measurements depend on, so a store can only resume an identical grid.
+  StoreSchema schema;
+  schema.kind = "workload-metrics";
+  {
+    std::ostringstream spec;
+    spec << "workload-metrics v1 tasks=" << tasks << " machines=" << machines
+         << " seed=" << seed << " levels=3 ccrs=0.1,1.0";
+    schema.spec_line = spec.str();
+    schema.spec_hash = content_hash64(spec.str());
+  }
+  schema.columns = {"connectivity", "heterogeneity", "ccr_target",
+                    "items",        "measured_conn", "measured_het",
+                    "measured_ccr", "cp_lb",         "serial_ub"};
+  schema.volatile_columns = 0;  // measurements are fully deterministic
+
+  const std::string store_path = opts.get("store", "");
+  ResultStore store = store_path.empty()
+                          ? ResultStore::in_memory(schema)
+                          : ResultStore::open(store_path, schema);
+
+  CampaignRunOptions run_opts;
+  run_opts.threads = threads;
+  run_opts.shard = ShardPlan::parse(opts.get("shard", "0/1"));
+
+  run_store_grid(grid, store, run_opts, seed, [&](const SweepCell& cell) {
+    WorkloadParams p;
+    p.tasks = tasks;
+    p.machines = machines;
+    p.connectivity = levels[cell.at(0)];
+    p.heterogeneity = levels[cell.at(1)];
+    p.ccr = ccrs[cell.at(2)];
+    p.seed = seed;
+    const WorkloadMetrics m = measure(make_workload(p));
+    return std::vector<std::string>{
+        to_string(levels[cell.at(0)]),
+        to_string(levels[cell.at(1)]),
+        format_fixed(ccrs[cell.at(2)], 1),
+        std::to_string(m.items),
+        format_fixed(m.avg_degree, 2),
+        format_fixed(m.heterogeneity, 3),
+        format_fixed(m.ccr, 3),
+        format_fixed(m.cp_best_exec, 0),
+        format_fixed(m.serial_best_exec, 0)};
+  });
+
+  std::cout << "Realized workload characteristics per generator class ("
+            << tasks << " tasks, " << machines << " machines)\n\n";
+  if (run_opts.shard.count > 1) {
+    std::cout << "(shard " << run_opts.shard.index << "/"
+              << run_opts.shard.count << ": table covers this shard's cells "
+              << "only — merge stores for the full grid)\n\n";
+  }
 
   Table table({"connectivity", "heterogeneity", "ccr_target", "items",
                "measured_conn", "measured_het", "measured_ccr", "cp_lb",
                "serial_ub"});
-  for (std::size_t i = 0; i < metrics.size(); ++i) {
-    const auto coords = grid.coords(i);
-    const WorkloadMetrics& m = metrics[i];
-    table.begin_row()
-        .add(std::string(to_string(levels[coords[0]])))
-        .add(std::string(to_string(levels[coords[1]])))
-        .add(ccrs[coords[2]], 1)
-        .add(m.items)
-        .add(m.avg_degree, 2)
-        .add(m.heterogeneity, 3)
-        .add(m.ccr, 3)
-        .add(m.cp_best_exec, 0)
-        .add(m.serial_best_exec, 0);
+  for (const StoreRow& row : store.sorted_rows()) {
+    table.add_row(row.fields);
   }
   table.write_markdown(std::cout);
   std::cout << "\n(measured_conn = data items per task; measured_het = mean "

@@ -1,5 +1,6 @@
 #include "exp/anytime.h"
 
+#include <cmath>
 #include <limits>
 
 #include "core/error.h"
@@ -13,17 +14,15 @@ std::vector<AnytimePoint> run_se_anytime(const Workload& w, SeParams params,
   params.max_iterations = std::numeric_limits<std::size_t>::max();
   params.record_trace = false;
 
-  std::vector<AnytimePoint> curve;
+  CurveRecorder recorder;
   SeEngine engine(w, params);
-  engine.set_observer([&curve](const SeIterationStats& stats) {
-    if (curve.empty() || stats.best_makespan < curve.back().best) {
-      curve.push_back({stats.elapsed_seconds, stats.best_makespan});
-    }
+  engine.set_observer([&recorder](const SeIterationStats& stats) {
+    recorder.record(stats.elapsed_seconds, stats.best_makespan);
     return true;
   });
   const SeResult result = engine.run();
-  curve.push_back({result.seconds, result.best_makespan});
-  return curve;
+  recorder.finish(result.seconds, result.best_makespan);
+  return recorder.take();
 }
 
 std::vector<AnytimePoint> run_ga_anytime(const Workload& w, GaParams params,
@@ -33,17 +32,57 @@ std::vector<AnytimePoint> run_ga_anytime(const Workload& w, GaParams params,
   params.max_generations = std::numeric_limits<std::size_t>::max();
   params.record_trace = false;
 
-  std::vector<AnytimePoint> curve;
+  CurveRecorder recorder;
   GaEngine engine(w, params);
-  engine.set_observer([&curve](const GaIterationStats& stats) {
-    if (curve.empty() || stats.best_makespan < curve.back().best) {
-      curve.push_back({stats.elapsed_seconds, stats.best_makespan});
-    }
+  engine.set_observer([&recorder](const GaIterationStats& stats) {
+    recorder.record(stats.elapsed_seconds, stats.best_makespan);
     return true;
   });
   const GaResult result = engine.run();
-  curve.push_back({result.seconds, result.best_makespan});
-  return curve;
+  recorder.finish(result.seconds, result.best_makespan);
+  return recorder.take();
+}
+
+std::vector<AnytimePoint> run_se_anytime_iters(const Workload& w,
+                                               SeParams params,
+                                               std::size_t max_iterations) {
+  SEHC_CHECK(max_iterations > 0, "run_se_anytime_iters: bad budget");
+  params.time_limit_seconds = std::numeric_limits<double>::infinity();
+  params.max_iterations = max_iterations;
+  params.record_trace = false;
+
+  CurveRecorder recorder;
+  SeEngine engine(w, params);
+  engine.set_observer([&recorder](const SeIterationStats& stats) {
+    recorder.record(static_cast<double>(stats.iteration + 1),
+                    stats.best_makespan);
+    return true;
+  });
+  const SeResult result = engine.run();
+  recorder.finish(static_cast<double>(result.iterations),
+                  result.best_makespan);
+  return recorder.take();
+}
+
+std::vector<AnytimePoint> run_ga_anytime_iters(const Workload& w,
+                                               GaParams params,
+                                               std::size_t max_generations) {
+  SEHC_CHECK(max_generations > 0, "run_ga_anytime_iters: bad budget");
+  params.time_limit_seconds = std::numeric_limits<double>::infinity();
+  params.max_generations = max_generations;
+  params.record_trace = false;
+
+  CurveRecorder recorder;
+  GaEngine engine(w, params);
+  engine.set_observer([&recorder](const GaIterationStats& stats) {
+    recorder.record(static_cast<double>(stats.generation + 1),
+                    stats.best_makespan);
+    return true;
+  });
+  const GaResult result = engine.run();
+  recorder.finish(static_cast<double>(result.generations),
+                  result.best_makespan);
+  return recorder.take();
 }
 
 double value_at(const std::vector<AnytimePoint>& curve, double seconds) {
@@ -55,13 +94,23 @@ double value_at(const std::vector<AnytimePoint>& curve, double seconds) {
 }
 
 std::vector<double> time_grid(double budget_seconds, std::size_t points) {
-  SEHC_CHECK(points > 0 && budget_seconds > 0.0, "time_grid: bad arguments");
+  if (points == 0) return {};
+  SEHC_CHECK(budget_seconds > 0.0 && std::isfinite(budget_seconds),
+             "time_grid: budget must be positive and finite");
   std::vector<double> grid(points);
   for (std::size_t i = 0; i < points; ++i) {
     grid[i] = budget_seconds * static_cast<double>(i + 1) /
               static_cast<double>(points);
   }
   return grid;
+}
+
+std::vector<double> sample_curve(const std::vector<AnytimePoint>& curve,
+                                 const std::vector<double>& grid) {
+  std::vector<double> samples;
+  samples.reserve(grid.size());
+  for (const double g : grid) samples.push_back(value_at(curve, g));
+  return samples;
 }
 
 }  // namespace sehc

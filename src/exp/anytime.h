@@ -1,6 +1,8 @@
-// Anytime-curve capture: best schedule length as a function of real time,
-// the quantity plotted in the paper's Figures 5-7 (SE vs GA under equal
-// wall-clock budgets).
+// Anytime-curve capture: best schedule length as a function of a progress
+// coordinate — real time for the paper's Figures 5-7 (SE vs GA under equal
+// wall-clock budgets) or completed iterations for deterministic campaign
+// cells (where curves must be a pure function of the cell coordinates so
+// sharded runs merge byte-for-byte).
 #pragma once
 
 #include <vector>
@@ -11,10 +13,34 @@
 
 namespace sehc {
 
-/// One point of an anytime curve: the best makespan known at `seconds`.
+/// One point of an anytime curve: the best makespan known at coordinate
+/// `seconds` (wall-clock seconds or completed iterations, depending on the
+/// capture mode).
 struct AnytimePoint {
   double seconds = 0.0;
   double best = 0.0;
+};
+
+/// Improvement recorder used inside sweep/campaign cells and by the
+/// run_*_anytime helpers: record() appends a point only when it improves on
+/// the last recorded best; finish() appends the terminal point
+/// unconditionally (so every curve ends at the budget).
+class CurveRecorder {
+ public:
+  /// Appends (x, best) iff the curve is empty or `best` improves on the
+  /// last recorded best.
+  void record(double x, double best) {
+    if (curve_.empty() || best < curve_.back().best) curve_.push_back({x, best});
+  }
+
+  /// Appends the terminal point unconditionally.
+  void finish(double x, double best) { curve_.push_back({x, best}); }
+
+  const std::vector<AnytimePoint>& curve() const { return curve_; }
+  std::vector<AnytimePoint> take() { return std::move(curve_); }
+
+ private:
+  std::vector<AnytimePoint> curve_;
 };
 
 /// Runs SE with a wall-clock budget, recording a point whenever the best
@@ -26,12 +52,34 @@ std::vector<AnytimePoint> run_se_anytime(const Workload& w, SeParams params,
 std::vector<AnytimePoint> run_ga_anytime(const Workload& w, GaParams params,
                                          double time_budget_seconds);
 
-/// Step-function sample: the best value achieved at or before `seconds`
-/// (infinity if the curve has no point yet).
+/// Deterministic variant used by campaign cells: the curve's x coordinate is
+/// the number of completed iterations (1-based), so equal seeds produce
+/// bit-identical curves on any machine and thread count. The curve ends with
+/// a terminal point at x = iterations actually run.
+std::vector<AnytimePoint> run_se_anytime_iters(const Workload& w,
+                                               SeParams params,
+                                               std::size_t max_iterations);
+
+/// Same for the GA baseline (x = completed generations).
+std::vector<AnytimePoint> run_ga_anytime_iters(const Workload& w,
+                                               GaParams params,
+                                               std::size_t max_generations);
+
+/// Step-function sample: the best value achieved at or before `seconds`.
+/// Defined on every curve, including an empty one: with no point at or
+/// before `seconds` (in particular on an empty curve) it returns +infinity
+/// ("no solution known yet").
 double value_at(const std::vector<AnytimePoint>& curve, double seconds);
 
 /// Uniform checkpoint grid [step, 2*step, ..., budget] for tabulating
-/// curves side by side.
+/// curves side by side. `points` == 0 is defined as the empty grid;
+/// otherwise the budget must be positive and finite.
 std::vector<double> time_grid(double budget_seconds, std::size_t points);
+
+/// Samples value_at(curve, g) for every grid point; the fixed-width form
+/// campaign records persist. Points before the curve's first improvement
+/// sample as +infinity.
+std::vector<double> sample_curve(const std::vector<AnytimePoint>& curve,
+                                 const std::vector<double>& grid);
 
 }  // namespace sehc

@@ -1,0 +1,582 @@
+#include "exp/campaign.h"
+
+#include <algorithm>
+#include <limits>
+#include <map>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/table.h"
+#include "core/timer.h"
+#include "exp/anytime.h"
+#include "exp/trace_io.h"
+#include "heuristics/scheduler.h"
+#include "sched/bounds.h"
+#include "sched/validate.h"
+#include "workload/generator.h"
+
+namespace sehc {
+
+namespace {
+
+/// The record columns of a campaign store; `seconds` is the one volatile
+/// (wall-clock) column and always comes last.
+const std::vector<std::string>& campaign_columns() {
+  static const std::vector<std::string> columns{
+      "class",        "scheduler",  "rep",
+      "workload_seed", "scheduler_seed", "makespan",
+      "lower_bound",  "curve",      "seconds"};
+  return columns;
+}
+
+std::string join(const std::vector<std::string>& parts, char sep) {
+  std::string out;
+  for (std::size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out.push_back(sep);
+    out += parts[i];
+  }
+  return out;
+}
+
+/// Name -> factory map for the spec's scheduler set. `budget` is the spec's
+/// iteration budget (the same scaling the comparison suite uses).
+std::map<std::string, SchedulerFactory> scheduler_registry(
+    std::size_t budget) {
+  std::map<std::string, SchedulerFactory> registry;
+  for (SchedulerFactory& factory :
+       make_all_scheduler_factories(std::max<std::size_t>(budget, 1))) {
+    std::string name = factory.name;
+    registry.emplace(std::move(name), std::move(factory));
+  }
+  return registry;
+}
+
+bool is_engine_scheduler(const std::string& name) {
+  return name == "SE" || name == "GA";
+}
+
+}  // namespace
+
+SweepGrid CampaignSpec::grid() const {
+  return SweepGrid({{"class", classes.size()},
+                    {"rep", repetitions},
+                    {"scheduler", schedulers.size()}});
+}
+
+std::string CampaignSpec::canonical_string() const {
+  std::ostringstream os;
+  os << "campaign-spec v1\n";
+  os << "name=" << name << '\n';
+  os << "base_seed=" << base_seed << '\n';
+  os << "repetitions=" << repetitions << '\n';
+  os << "iterations=" << iterations << '\n';
+  os << "time_budget=" << format_fixed(time_budget_seconds, 6) << '\n';
+  os << "curve_points=" << curve_points << '\n';
+  os << "schedulers=" << join(schedulers, ',') << '\n';
+  for (const CampaignClass& c : classes) {
+    const WorkloadParams& p = c.params;
+    os << "class=" << c.name << "|tasks=" << p.tasks
+       << "|machines=" << p.machines << "|conn=" << to_string(p.connectivity)
+       << "|het=" << to_string(p.heterogeneity)
+       << "|cons=" << to_string(p.consistency)
+       << "|ccr=" << format_fixed(p.ccr, 6)
+       << "|mean_exec=" << format_fixed(p.mean_exec, 6)
+       << "|seed=" << p.seed << '\n';
+  }
+  return os.str();
+}
+
+std::uint64_t CampaignSpec::hash() const {
+  return content_hash64(canonical_string());
+}
+
+StoreSchema CampaignSpec::store_schema() const {
+  StoreSchema schema;
+  schema.kind = "campaign";
+  schema.spec_hash = hash();
+  std::ostringstream line;
+  line << "name=" << name << " classes=" << classes.size()
+       << " schedulers=" << join(schedulers, ';')
+       << " reps=" << repetitions << " iters=" << iterations
+       << " budget_s=" << format_fixed(time_budget_seconds, 3)
+       << " curve_points=" << curve_points << " base_seed=" << base_seed;
+  schema.spec_line = line.str();
+  schema.columns = campaign_columns();
+  schema.volatile_columns = 1;  // seconds
+  return schema;
+}
+
+void CampaignSpec::validate() const {
+  SEHC_CHECK(!classes.empty(), "CampaignSpec: no workload classes");
+  SEHC_CHECK(!schedulers.empty(), "CampaignSpec: no schedulers");
+  SEHC_CHECK(repetitions > 0, "CampaignSpec: repetitions must be >= 1");
+  SEHC_CHECK(iterations > 0 || time_budget_seconds > 0.0,
+             "CampaignSpec: need an iteration or time budget");
+  SEHC_CHECK(time_budget_seconds >= 0.0,
+             "CampaignSpec: time budget must be >= 0");
+
+  const auto registry = scheduler_registry(iterations);
+  std::vector<std::string> seen;
+  for (const std::string& s : schedulers) {
+    SEHC_CHECK(registry.count(s) > 0,
+               "CampaignSpec: unknown scheduler '" + s + "'");
+    SEHC_CHECK(std::find(seen.begin(), seen.end(), s) == seen.end(),
+               "CampaignSpec: duplicate scheduler '" + s + "'");
+    SEHC_CHECK(time_budget_seconds == 0.0 || is_engine_scheduler(s),
+               "CampaignSpec: time budgets support only SE/GA, got '" + s +
+                   "'");
+    seen.push_back(s);
+  }
+
+  std::vector<std::string> class_names;
+  for (const CampaignClass& c : classes) {
+    SEHC_CHECK(!c.name.empty(), "CampaignSpec: class with empty name");
+    SEHC_CHECK(c.name.find('\n') == std::string::npos,
+               "CampaignSpec: class name must be a single line");
+    SEHC_CHECK(std::find(class_names.begin(), class_names.end(), c.name) ==
+                   class_names.end(),
+               "CampaignSpec: duplicate class name '" + c.name + "'");
+    class_names.push_back(c.name);
+  }
+}
+
+std::vector<std::size_t> ShardPlan::cells(std::size_t num_cells) const {
+  validate();
+  std::vector<std::size_t> owned;
+  owned.reserve(num_cells / count + 1);
+  for (std::size_t c = index; c < num_cells; c += count) owned.push_back(c);
+  return owned;
+}
+
+void ShardPlan::validate() const {
+  SEHC_CHECK(count >= 1, "ShardPlan: count must be >= 1");
+  SEHC_CHECK(index < count, "ShardPlan: index must be < count");
+}
+
+ShardPlan ShardPlan::parse(const std::string& text) {
+  const auto slash = text.find('/');
+  SEHC_CHECK(slash != std::string::npos && slash > 0 &&
+                 slash + 1 < text.size(),
+             "--shard expects I/N (e.g. 0/4), got '" + text + "'");
+  ShardPlan shard;
+  try {
+    std::size_t used = 0;
+    shard.index = std::stoul(text.substr(0, slash), &used);
+    SEHC_CHECK(used == slash, "bad index");
+    const std::string count_text = text.substr(slash + 1);
+    shard.count = std::stoul(count_text, &used);
+    SEHC_CHECK(used == count_text.size(), "bad count");
+  } catch (const std::exception&) {
+    throw Error("--shard expects I/N (e.g. 0/4), got '" + text + "'");
+  }
+  shard.validate();
+  return shard;
+}
+
+StoreRow CampaignRecord::to_row() const {
+  std::vector<std::string> curve_parts;
+  curve_parts.reserve(curve.size());
+  for (const double v : curve) curve_parts.push_back(format_fixed(v, 4));
+  StoreRow row;
+  row.cell = cell;
+  row.fields = {class_name,
+                scheduler,
+                std::to_string(repetition),
+                std::to_string(workload_seed),
+                std::to_string(scheduler_seed),
+                format_fixed(makespan, 4),
+                format_fixed(lower_bound, 4),
+                join(curve_parts, ';'),
+                format_fixed(seconds, 6)};
+  return row;
+}
+
+CampaignRecord CampaignRecord::from_row(const StoreRow& row) {
+  SEHC_CHECK(row.fields.size() == campaign_columns().size(),
+             "CampaignRecord: row has " + std::to_string(row.fields.size()) +
+                 " fields, expected " +
+                 std::to_string(campaign_columns().size()));
+  const std::string ctx = "CampaignRecord";
+  CampaignRecord rec;
+  rec.cell = row.cell;
+  rec.class_name = row.fields[0];
+  rec.scheduler = row.fields[1];
+  rec.repetition = static_cast<std::size_t>(parse_csv_u64(row.fields[2], ctx));
+  rec.workload_seed = parse_csv_u64(row.fields[3], ctx);
+  rec.scheduler_seed = parse_csv_u64(row.fields[4], ctx);
+  rec.makespan = parse_csv_double(row.fields[5], ctx);
+  rec.lower_bound = parse_csv_double(row.fields[6], ctx);
+  const std::string& curve = row.fields[7];
+  std::string::size_type pos = 0;
+  while (pos < curve.size()) {
+    auto sep = curve.find(';', pos);
+    if (sep == std::string::npos) sep = curve.size();
+    rec.curve.push_back(parse_csv_double(curve.substr(pos, sep - pos), ctx));
+    pos = sep + 1;
+  }
+  rec.seconds = parse_csv_double(row.fields[8], ctx);
+  return rec;
+}
+
+CampaignRunSummary run_store_grid(
+    const SweepGrid& grid, ResultStore& store, const CampaignRunOptions& options,
+    std::uint64_t base_seed,
+    const std::function<std::vector<std::string>(const SweepCell&)>& row_fn) {
+  options.shard.validate();
+  WallTimer timer;
+
+  CampaignRunSummary summary;
+  summary.total_cells = grid.num_cells();
+  const std::vector<std::size_t> owned =
+      options.shard.cells(summary.total_cells);
+  summary.shard_cells = owned.size();
+
+  std::vector<std::size_t> pending;
+  pending.reserve(owned.size());
+  for (const std::size_t cell : owned) {
+    if (!store.contains(cell)) pending.push_back(cell);
+  }
+  summary.resumed_cells = summary.shard_cells - pending.size();
+  if (options.max_cells > 0 && pending.size() > options.max_cells) {
+    pending.resize(options.max_cells);
+  }
+
+  SweepOptions sweep_options;
+  sweep_options.threads = options.threads;
+  sweep_options.base_seed = base_seed;
+  sweep_options.progress = options.progress;
+  sweep_for_each(grid, pending, sweep_options, [&](const SweepCell& cell) {
+    store.append(StoreRow{cell.index, row_fn(cell)});
+  });
+
+  summary.executed_cells = pending.size();
+  summary.seconds = timer.seconds();
+  return summary;
+}
+
+namespace {
+
+/// Executes one campaign cell and returns its record. Iteration-budget SE/GA
+/// cells with curve capture run the engines directly (the observer consumes
+/// no RNG, so the makespan is bit-identical to the factory path); everything
+/// else goes through the SchedulerFactory registry.
+CampaignRecord run_campaign_cell(
+    const CampaignSpec& spec,
+    const std::map<std::string, SchedulerFactory>& registry,
+    const SweepCell& cell) {
+  const std::size_t class_idx = cell.at(0);
+  const std::size_t rep = cell.at(1);
+  const std::string& scheduler_name = spec.schedulers[cell.at(2)];
+  const bool time_mode = spec.time_budget_seconds > 0.0;
+
+  CampaignRecord rec;
+  rec.cell = cell.index;
+  rec.class_name = spec.classes[class_idx].name;
+  rec.scheduler = scheduler_name;
+  rec.repetition = rep;
+  rec.scheduler_seed = cell.seed;
+
+  WorkloadParams params = spec.classes[class_idx].params;
+  // One repetition keeps the class's pinned instance (paper figures); more
+  // repetitions derive every instance seed from the (class, rep)
+  // coordinates so all schedulers of a cell column see the same instance.
+  rec.workload_seed = spec.repetitions == 1
+                          ? params.seed
+                          : derive_seed(spec.base_seed, {class_idx, rep});
+  params.seed = rec.workload_seed;
+  const Workload w = make_workload(params);
+  rec.lower_bound = makespan_lower_bound(w);
+
+  const std::vector<double> grid =
+      time_mode ? time_grid(spec.time_budget_seconds, spec.curve_points)
+                : time_grid(static_cast<double>(spec.iterations),
+                            spec.curve_points);
+
+  WallTimer timer;
+  Schedule schedule;
+  if (is_engine_scheduler(scheduler_name) &&
+      (time_mode || spec.curve_points > 0)) {
+    CurveRecorder recorder;
+    if (scheduler_name == "SE") {
+      // The factory path's exact configuration (same source of truth), so
+      // curve capture never changes a makespan bit.
+      SeParams p = comparison_se_params(spec.iterations, cell.seed);
+      if (time_mode) {
+        p.time_limit_seconds = spec.time_budget_seconds;
+        p.max_iterations = std::numeric_limits<std::size_t>::max();
+      }
+      SeEngine engine(w, p);
+      engine.set_observer([&](const SeIterationStats& stats) {
+        recorder.record(time_mode
+                            ? stats.elapsed_seconds
+                            : static_cast<double>(stats.iteration + 1),
+                        stats.best_makespan);
+        return true;
+      });
+      const SeResult result = engine.run();
+      recorder.finish(time_mode ? result.seconds
+                                : static_cast<double>(result.iterations),
+                      result.best_makespan);
+      rec.makespan = result.best_makespan;
+      schedule = result.schedule;
+    } else {
+      GaParams p = comparison_ga_params(spec.iterations, cell.seed);
+      if (time_mode) {
+        p.time_limit_seconds = spec.time_budget_seconds;
+        p.max_generations = std::numeric_limits<std::size_t>::max();
+      }
+      GaEngine engine(w, p);
+      engine.set_observer([&](const GaIterationStats& stats) {
+        recorder.record(time_mode
+                            ? stats.elapsed_seconds
+                            : static_cast<double>(stats.generation + 1),
+                        stats.best_makespan);
+        return true;
+      });
+      const GaResult result = engine.run();
+      recorder.finish(time_mode ? result.seconds
+                                : static_cast<double>(result.generations),
+                      result.best_makespan);
+      rec.makespan = result.best_makespan;
+      schedule = result.schedule;
+    }
+    rec.curve = sample_curve(recorder.curve(), grid);
+  } else {
+    const std::unique_ptr<Scheduler> scheduler =
+        registry.at(scheduler_name).make(cell.seed);
+    schedule = scheduler->schedule(w);
+    rec.makespan = schedule.makespan;
+    // Non-engine schedulers have no anytime trajectory; their curve is the
+    // final value at every grid point.
+    rec.curve.assign(grid.size(), rec.makespan);
+  }
+  rec.seconds = timer.seconds();
+
+  const auto violations = validate_schedule(w, schedule);
+  SEHC_CHECK(violations.empty(),
+             "run_campaign: " + scheduler_name +
+                 " produced an invalid schedule in cell " +
+                 std::to_string(cell.index) + ": " + violations.front());
+  return rec;
+}
+
+}  // namespace
+
+CampaignRunSummary run_campaign(const CampaignSpec& spec, ResultStore& store,
+                                const CampaignRunOptions& options) {
+  spec.validate();
+  SEHC_CHECK(store.schema().compatible_with(spec.store_schema()),
+             "run_campaign: store '" + store.path() +
+                 "' does not match this spec (open it with "
+                 "spec.store_schema())");
+  const auto registry = scheduler_registry(spec.iterations);
+  return run_store_grid(
+      spec.grid(), store, options, spec.base_seed,
+      [&](const SweepCell& cell) {
+        return run_campaign_cell(spec, registry, cell).to_row().fields;
+      });
+}
+
+std::vector<CampaignRecord> campaign_records(const ResultStore& store) {
+  SEHC_CHECK(store.schema().kind == "campaign",
+             "campaign_records: store kind is '" + store.schema().kind +
+                 "', not 'campaign'");
+  std::vector<CampaignRecord> records;
+  for (const StoreRow& row : store.sorted_rows()) {
+    records.push_back(CampaignRecord::from_row(row));
+  }
+  return records;
+}
+
+namespace {
+
+/// Class names in first-appearance (cell) order plus a per-class record
+/// index, the shared shape of both aggregate tables.
+std::vector<std::string> class_order(const std::vector<CampaignRecord>& records) {
+  std::vector<std::string> order;
+  for (const CampaignRecord& r : records) {
+    if (std::find(order.begin(), order.end(), r.class_name) == order.end()) {
+      order.push_back(r.class_name);
+    }
+  }
+  return order;
+}
+
+}  // namespace
+
+Table campaign_mean_table(const std::vector<CampaignRecord>& records) {
+  Table table({"class", "scheduler", "reps", "mean_makespan", "mean_vs_lb"});
+  std::vector<std::pair<std::string, std::string>> keys;  // cell order
+  std::map<std::pair<std::string, std::string>, std::pair<double, double>> sums;
+  std::map<std::pair<std::string, std::string>, std::size_t> counts;
+  for (const CampaignRecord& r : records) {
+    const auto key = std::make_pair(r.class_name, r.scheduler);
+    if (counts.emplace(key, 0).second) keys.push_back(key);
+    ++counts[key];
+    sums[key].first += r.makespan;
+    sums[key].second += r.lower_bound > 0.0 ? r.makespan / r.lower_bound : 0.0;
+  }
+  for (const auto& key : keys) {
+    const double n = static_cast<double>(counts[key]);
+    table.begin_row()
+        .add(key.first)
+        .add(key.second)
+        .add(counts[key])
+        .add(sums[key].first / n, 1)
+        .add(sums[key].second / n, 3);
+  }
+  return table;
+}
+
+Table se_vs_ga_table(const std::vector<CampaignRecord>& records) {
+  Table table({"class", "se_mean", "ga_mean", "se/ga", "se_wins"});
+  for (const std::string& cls : class_order(records)) {
+    std::map<std::size_t, double> se, ga;  // rep -> makespan
+    for (const CampaignRecord& r : records) {
+      if (r.class_name != cls) continue;
+      if (r.scheduler == "SE") se[r.repetition] = r.makespan;
+      if (r.scheduler == "GA") ga[r.repetition] = r.makespan;
+    }
+    SEHC_CHECK(!se.empty() && se.size() == ga.size(),
+               "se_vs_ga_table: class '" + cls +
+                   "' needs matching SE and GA records");
+    double se_sum = 0.0, ga_sum = 0.0;
+    std::size_t se_wins = 0;
+    for (const auto& [rep, se_len] : se) {
+      const auto it = ga.find(rep);
+      SEHC_CHECK(it != ga.end(), "se_vs_ga_table: class '" + cls +
+                                     "' misses GA repetition " +
+                                     std::to_string(rep));
+      se_sum += se_len;
+      ga_sum += it->second;
+      se_wins += se_len < it->second;
+    }
+    const double n = static_cast<double>(se.size());
+    table.begin_row()
+        .add(cls)
+        .add(se_sum / n, 1)
+        .add(ga_sum / n, 1)
+        .add(se_sum / ga_sum, 3)
+        .add(std::to_string(se_wins) + "/" + std::to_string(se.size()));
+  }
+  return table;
+}
+
+namespace {
+
+std::string level_token(Level level) { return to_string(level); }
+
+std::string ccr_token(double ccr) { return format_fixed(ccr, 1); }
+
+CampaignClass make_class(std::string name, std::size_t tasks,
+                         std::size_t machines, Level conn, Level het,
+                         double ccr, Consistency cons) {
+  CampaignClass c;
+  c.name = std::move(name);
+  c.params.tasks = tasks;
+  c.params.machines = machines;
+  c.params.connectivity = conn;
+  c.params.heterogeneity = het;
+  c.params.ccr = ccr;
+  c.params.consistency = cons;
+  return c;
+}
+
+CampaignSpec make_fig_campaign(const std::string& name,
+                               WorkloadParams (*factory)(std::uint64_t),
+                               std::uint64_t seed, double budget_seconds) {
+  CampaignSpec spec;
+  spec.name = name;
+  spec.classes.push_back({name, factory(seed)});
+  spec.schedulers = {"SE", "GA"};
+  spec.repetitions = 1;
+  spec.iterations = 0;
+  spec.time_budget_seconds = budget_seconds;
+  spec.curve_points = 20;
+  spec.base_seed = seed;
+  return spec;
+}
+
+}  // namespace
+
+std::vector<std::string> builtin_campaign_names() {
+  return {"paper-class-grid", "scaled-class-grid", "consistency-grid",
+          "fig5-anytime",     "fig6-anytime",      "fig7-anytime"};
+}
+
+CampaignSpec make_builtin_campaign(const std::string& name) {
+  if (name == "paper-class-grid") {
+    // The §5.3 extension grid of bench/table_class_grid: SE vs GA across
+    // connectivity x heterogeneity x CCR under an equal iteration budget.
+    CampaignSpec spec;
+    spec.name = name;
+    for (Level conn : {Level::kLow, Level::kHigh}) {
+      for (Level het : {Level::kLow, Level::kHigh}) {
+        for (double ccr : {0.1, 1.0}) {
+          spec.classes.push_back(make_class(
+              level_token(conn) + "-" + level_token(het) + "-" + ccr_token(ccr),
+              100, 20, conn, het, ccr, Consistency::kInconsistent));
+        }
+      }
+    }
+    spec.schedulers = {"SE", "GA"};
+    spec.repetitions = 3;
+    spec.iterations = 150;
+    return spec;
+  }
+  if (name == "scaled-class-grid") {
+    // The ROADMAP's 10-100x scale-up: the full 3x3x3 class cube, 10 seeds,
+    // with HEFT as the deterministic anchor next to SE and GA — 810 cells
+    // vs the paper grid's 24.
+    CampaignSpec spec;
+    spec.name = name;
+    for (Level conn : {Level::kLow, Level::kMedium, Level::kHigh}) {
+      for (Level het : {Level::kLow, Level::kMedium, Level::kHigh}) {
+        for (double ccr : {0.1, 0.5, 1.0}) {
+          spec.classes.push_back(make_class(
+              level_token(conn) + "-" + level_token(het) + "-" + ccr_token(ccr),
+              100, 20, conn, het, ccr, Consistency::kInconsistent));
+        }
+      }
+    }
+    spec.schedulers = {"SE", "GA", "HEFT"};
+    spec.repetitions = 10;
+    spec.iterations = 150;
+    return spec;
+  }
+  if (name == "consistency-grid") {
+    // Machine-consistency scenarios (Braun et al. suite structure): how SE
+    // and the baselines react when machines are totally ordered.
+    CampaignSpec spec;
+    spec.name = name;
+    for (Consistency cons :
+         {Consistency::kInconsistent, Consistency::kConsistent,
+          Consistency::kSemiConsistent}) {
+      for (Level conn : {Level::kLow, Level::kHigh}) {
+        for (double ccr : {0.1, 1.0}) {
+          spec.classes.push_back(make_class(
+              std::string(to_string(cons)) + "-" + level_token(conn) + "-" +
+                  ccr_token(ccr),
+              100, 20, conn, Level::kMedium, ccr, cons));
+        }
+      }
+    }
+    spec.schedulers = {"SE", "GA", "HEFT", "MinMin"};
+    spec.repetitions = 10;
+    spec.iterations = 150;
+    return spec;
+  }
+  if (name == "fig5-anytime") {
+    return make_fig_campaign(name, &paper_fig5_high_connectivity, 42, 4.0);
+  }
+  if (name == "fig6-anytime") {
+    return make_fig_campaign(name, &paper_fig6_ccr1, 42, 4.0);
+  }
+  if (name == "fig7-anytime") {
+    return make_fig_campaign(name, &paper_fig7_low_everything, 42, 4.0);
+  }
+  throw Error("make_builtin_campaign: unknown campaign '" + name +
+              "' (known: " + join(builtin_campaign_names(), ',') + ")");
+}
+
+}  // namespace sehc

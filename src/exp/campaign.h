@@ -1,0 +1,189 @@
+// Campaign subsystem: sharded, resumable, persisted experiment sweeps.
+//
+// A CampaignSpec declares a (workload class x repetition x scheduler) grid
+// with per-cell budgets and optional anytime-curve capture; its content
+// hash keys a ResultStore. run_campaign() executes only the cells of the
+// requested shard that the store does not already contain, so a campaign
+// killed mid-run resumes where it stopped, and shards run on independent
+// processes/machines compose: every cell's seeds are pure functions of its
+// grid coordinates, so the merged canonical output of any decomposition is
+// byte-identical to one uninterrupted single-process run.
+//
+// Determinism contract: with an iteration budget (time_budget_seconds ==
+// 0), every record field except `seconds` is a pure function of
+// (spec, cell); curves are captured on the iteration axis. With a
+// wall-clock budget (the Fig 5-7 benches), makespans and curves depend on
+// real time — such campaigns still shard/resume/persist, but byte-stable
+// merging is only guaranteed per already-completed cell.
+//
+// The lower run_store_grid() layer drives any cell function that yields a
+// record row (the workload-metrics explorer persists through it); the
+// scheduler-aware run_campaign() builds on top.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/table.h"
+#include "exp/result_store.h"
+#include "exp/sweep.h"
+#include "workload/params.h"
+
+namespace sehc {
+
+/// One workload-class axis point. `params.seed` is only used when the spec
+/// has a single repetition (so the paper benches can pin their exact
+/// instance); with more repetitions every instance seed is derived from the
+/// (class, repetition) coordinates.
+struct CampaignClass {
+  std::string name;
+  WorkloadParams params;
+};
+
+/// Declarative description of a campaign. The grid is
+/// class x repetition x scheduler (row-major, class slowest), matching the
+/// record order of run_suite_sweep.
+struct CampaignSpec {
+  std::string name = "campaign";
+  std::vector<CampaignClass> classes;
+  /// Scheduler names resolved against make_all_scheduler_factories()
+  /// ("SE", "GA", "GSA", "HEFT", ...).
+  std::vector<std::string> schedulers;
+  /// Seeded repetitions per (class, scheduler).
+  std::size_t repetitions = 3;
+  /// Per-cell iteration budget (SE iterations == GA generations; the other
+  /// iterative methods scale from it exactly as in the comparison suite).
+  std::size_t iterations = 150;
+  /// When > 0, SE/GA cells run under this wall-clock budget instead of the
+  /// iteration budget (Figs. 5-7). Only "SE" and "GA" support time budgets.
+  double time_budget_seconds = 0.0;
+  /// Anytime samples persisted per record (0 = no curve). Iteration-budget
+  /// cells sample on the iteration axis (deterministic); time-budget cells
+  /// sample on the wall-clock axis.
+  std::size_t curve_points = 0;
+  std::uint64_t base_seed = 42;
+
+  /// The sweep grid: class x rep x scheduler.
+  SweepGrid grid() const;
+
+  /// Canonical one-record-per-line serialization of every semantic field;
+  /// the store identity is content_hash64(canonical_string()).
+  std::string canonical_string() const;
+  std::uint64_t hash() const;
+
+  /// Store layout for this spec's records:
+  /// class,scheduler,rep,workload_seed,scheduler_seed,makespan,lower_bound,
+  /// curve,seconds — with `seconds` volatile.
+  StoreSchema store_schema() const;
+
+  /// Throws sehc::Error if the spec is malformed (empty axes, unknown
+  /// scheduler, time budget with unsupported schedulers, ...).
+  void validate() const;
+};
+
+/// Deterministic partition of grid cells across `count` shards: shard i
+/// owns every cell with index % count == i (round-robin keeps per-shard
+/// cost balanced when expensive classes cluster in cell order).
+struct ShardPlan {
+  std::size_t index = 0;
+  std::size_t count = 1;
+
+  bool owns(std::size_t cell) const { return cell % count == index; }
+
+  /// The owned cell indices among `num_cells`, ascending.
+  std::vector<std::size_t> cells(std::size_t num_cells) const;
+
+  /// Throws sehc::Error unless count >= 1 and index < count.
+  void validate() const;
+
+  /// Parses the CLI form "I/N" (e.g. "0/4"); throws sehc::Error on
+  /// malformed input. Shared by every --shard flag.
+  static ShardPlan parse(const std::string& text);
+};
+
+/// One typed campaign record (a parsed StoreRow).
+struct CampaignRecord {
+  std::size_t cell = 0;
+  std::string class_name;
+  std::string scheduler;
+  std::size_t repetition = 0;
+  std::uint64_t workload_seed = 0;
+  std::uint64_t scheduler_seed = 0;
+  double makespan = 0.0;
+  double lower_bound = 0.0;
+  /// Anytime samples on the spec's grid (empty when curve_points == 0;
+  /// +infinity for grid points before the first improvement).
+  std::vector<double> curve;
+  double seconds = 0.0;  // wall clock; volatile (not in canonical output)
+
+  StoreRow to_row() const;
+  static CampaignRecord from_row(const StoreRow& row);
+};
+
+struct CampaignRunOptions {
+  std::size_t threads = 1;
+  ShardPlan shard;
+  /// Stop after completing this many NEW cells (0 = no limit). Used by the
+  /// resume tests and the CI interrupted-shard check; because pending cells
+  /// are taken in ascending cell order, a truncated run plus a resume run
+  /// produce exactly the records of one uninterrupted run.
+  std::size_t max_cells = 0;
+  /// Called after each completed cell with (completed, pending_total).
+  std::function<void(std::size_t, std::size_t)> progress;
+};
+
+struct CampaignRunSummary {
+  std::size_t total_cells = 0;     // whole grid
+  std::size_t shard_cells = 0;     // owned by this shard
+  std::size_t resumed_cells = 0;   // already in the store, skipped
+  std::size_t executed_cells = 0;  // newly computed this run
+  double seconds = 0.0;            // wall clock of this run
+};
+
+/// Generic sharded/resumable grid driver: for every owned cell missing from
+/// `store`, runs `row_fn` and appends (cell, fields). The store's schema
+/// decides identity; callers hash their own spec into it.
+CampaignRunSummary run_store_grid(
+    const SweepGrid& grid, ResultStore& store, const CampaignRunOptions& options,
+    std::uint64_t base_seed,
+    const std::function<std::vector<std::string>(const SweepCell&)>& row_fn);
+
+/// Scheduler campaign driver. The store must have been opened with
+/// spec.store_schema(). Cells validate their schedules before persisting.
+CampaignRunSummary run_campaign(const CampaignSpec& spec, ResultStore& store,
+                                const CampaignRunOptions& options);
+
+/// All records of a campaign store, sorted by cell index.
+std::vector<CampaignRecord> campaign_records(const ResultStore& store);
+
+/// Mean makespan and mean makespan/lower-bound ratio per (class, scheduler)
+/// over repetitions, classes in cell order. Deterministic for
+/// iteration-budget campaigns (no wall-clock column).
+Table campaign_mean_table(const std::vector<CampaignRecord>& records);
+
+/// The §5.3 comparison shape: per class, SE and GA mean makespans, their
+/// ratio (sum(SE)/sum(GA), < 1 means SE found shorter schedules) and the
+/// per-repetition win count. Requires SE and GA records for every class.
+Table se_vs_ga_table(const std::vector<CampaignRecord>& records);
+
+// --- Built-in campaign configurations --------------------------------------
+
+/// Names accepted by make_builtin_campaign, in presentation order.
+std::vector<std::string> builtin_campaign_names();
+
+/// Returns a named built-in campaign:
+///   paper-class-grid    the paper's 8-class SE-vs-GA grid (conn x het x CCR,
+///                       3 seeds) under an equal iteration budget;
+///   scaled-class-grid   the same axes at campaign scale: 27 classes
+///                       (3 conn x 3 het x 3 CCR), 10 seeds, SE/GA/HEFT —
+///                       ~34x the paper grid's cell count;
+///   consistency-grid    machine-consistency scenarios (3 consistency x
+///                       2 conn x 2 CCR), 10 seeds, SE/GA/HEFT/MinMin;
+///   fig5-anytime /      the Figure 5-7 SE-vs-GA wall-clock comparisons as
+///   fig6-anytime /      single-class campaigns with 20-point curve capture.
+///   fig7-anytime
+CampaignSpec make_builtin_campaign(const std::string& name);
+
+}  // namespace sehc

@@ -1,0 +1,328 @@
+#include "exp/result_store.h"
+
+#include <algorithm>
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+
+#include "core/error.h"
+#include "exp/trace_io.h"
+
+namespace sehc {
+
+std::uint64_t content_hash64(std::string_view text) {
+  // FNV-1a, 64-bit: simple, stable across platforms, and good enough for
+  // spec identity (this is an integrity check, not a security boundary).
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+bool StoreSchema::compatible_with(const StoreSchema& other) const {
+  return kind == other.kind && spec_hash == other.spec_hash &&
+         columns == other.columns && volatile_columns == other.volatile_columns;
+}
+
+namespace {
+
+constexpr const char* kMagic = "# sehc-result-store v1";
+
+std::string hash_to_hex(std::uint64_t hash) {
+  std::ostringstream os;
+  os << std::hex << std::setw(16) << std::setfill('0') << hash;
+  return os.str();
+}
+
+std::uint64_t hex_to_hash(const std::string& hex) {
+  SEHC_CHECK(hex.size() == 16, "ResultStore: malformed spec_hash '" + hex + "'");
+  std::uint64_t value = 0;
+  for (const char c : hex) {
+    value <<= 4;
+    if (c >= '0' && c <= '9') value |= static_cast<std::uint64_t>(c - '0');
+    else if (c >= 'a' && c <= 'f') value |= static_cast<std::uint64_t>(c - 'a' + 10);
+    else throw_error("ResultStore: malformed spec_hash '" + hex + "'");
+  }
+  return value;
+}
+
+/// Strips "# key: " and returns the value; throws if the line doesn't match.
+std::string header_value(const std::string& line, const std::string& key) {
+  const std::string prefix = "# " + key + ": ";
+  SEHC_CHECK(line.rfind(prefix, 0) == 0,
+             "ResultStore: expected header line '" + prefix +
+                 "...', got '" + line + "'");
+  return line.substr(prefix.size());
+}
+
+struct ParsedFile {
+  StoreSchema schema;
+  std::vector<StoreRow> rows;
+  bool dropped_truncated_tail = false;
+};
+
+/// Parses a store file's full contents. Only a final line NOT terminated by
+/// a newline can be a torn record from a killed flush-per-line writer; it
+/// is dropped and reported via dropped_truncated_tail. A malformed line
+/// anywhere else — including a newline-terminated final line — is
+/// corruption and throws.
+ParsedFile parse_store_text(const std::string& text, const std::string& path) {
+  ParsedFile out;
+  std::vector<std::string> lines;
+  std::string::size_type pos = 0;
+  bool ends_with_newline = !text.empty() && text.back() == '\n';
+  while (pos < text.size()) {
+    const auto nl = text.find('\n', pos);
+    if (nl == std::string::npos) {
+      lines.push_back(text.substr(pos));
+      break;
+    }
+    lines.push_back(text.substr(pos, nl - pos));
+    pos = nl + 1;
+  }
+  SEHC_CHECK(lines.size() >= 6,
+             "ResultStore: '" + path + "' is not a result store (truncated header)");
+  SEHC_CHECK(lines[0] == kMagic,
+             "ResultStore: '" + path + "' is not a result store (bad magic)");
+  out.schema.kind = header_value(lines[1], "kind");
+  out.schema.spec_hash = hex_to_hash(header_value(lines[2], "spec_hash"));
+  out.schema.spec_line = header_value(lines[3], "spec");
+  out.schema.volatile_columns = static_cast<std::size_t>(
+      parse_csv_u64(header_value(lines[4], "volatile_columns"),
+                    "ResultStore volatile_columns"));
+  std::vector<std::string> columns = split_csv_line(lines[5]);
+  SEHC_CHECK(!columns.empty() && columns.front() == "cell",
+             "ResultStore: '" + path + "' column line must start with 'cell'");
+  columns.erase(columns.begin());
+  out.schema.columns = std::move(columns);
+  SEHC_CHECK(out.schema.volatile_columns <= out.schema.columns.size(),
+             "ResultStore: volatile_columns exceeds column count in " + path);
+
+  for (std::size_t i = 6; i < lines.size(); ++i) {
+    const std::string& line = lines[i];
+    const bool last = i + 1 == lines.size();
+    const bool complete = !last || ends_with_newline;
+    if (line.empty()) continue;
+    std::vector<std::string> fields;
+    bool parsed = true;
+    try {
+      fields = split_csv_line(line);
+    } catch (const Error&) {
+      parsed = false;
+    }
+    if (parsed && fields.size() == out.schema.columns.size() + 1 && complete) {
+      StoreRow row;
+      row.cell = static_cast<std::size_t>(
+          parse_csv_u64(fields[0], "ResultStore cell index"));
+      row.fields.assign(fields.begin() + 1, fields.end());
+      out.rows.push_back(std::move(row));
+      continue;
+    }
+    SEHC_CHECK(last && !complete,
+               "ResultStore: malformed record in '" + path + "': " + line);
+    out.dropped_truncated_tail = true;
+  }
+  return out;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream is(path, std::ios::binary);
+  SEHC_CHECK(static_cast<bool>(is), "ResultStore: cannot read '" + path + "'");
+  std::ostringstream buffer;
+  buffer << is.rdbuf();
+  return buffer.str();
+}
+
+}  // namespace
+
+ResultStore::ResultStore(StoreSchema schema, std::string path)
+    : schema_(std::move(schema)),
+      path_(std::move(path)),
+      mutex_(std::make_unique<std::mutex>()) {
+  SEHC_CHECK(!schema_.kind.empty(), "ResultStore: schema.kind must be set");
+  SEHC_CHECK(schema_.spec_line.find('\n') == std::string::npos,
+             "ResultStore: spec_line must be a single line");
+  SEHC_CHECK(!schema_.columns.empty(), "ResultStore: schema needs columns");
+  SEHC_CHECK(schema_.volatile_columns <= schema_.columns.size(),
+             "ResultStore: volatile_columns exceeds column count");
+}
+
+ResultStore::ResultStore(ResultStore&&) noexcept = default;
+ResultStore& ResultStore::operator=(ResultStore&&) noexcept = default;
+ResultStore::~ResultStore() = default;
+
+ResultStore ResultStore::in_memory(StoreSchema schema) {
+  return ResultStore(std::move(schema), "");
+}
+
+ResultStore ResultStore::open(const std::string& path, StoreSchema schema) {
+  SEHC_CHECK(!path.empty(), "ResultStore::open: empty path");
+  ResultStore store(std::move(schema), path);
+
+  bool fresh = true;
+  {
+    std::ifstream probe(path, std::ios::binary);
+    if (probe) {
+      probe.seekg(0, std::ios::end);
+      fresh = probe.tellg() == std::streampos(0);
+    }
+  }
+
+  if (!fresh) {
+    ParsedFile parsed = parse_store_text(read_file(path), path);
+    SEHC_CHECK(parsed.schema.compatible_with(store.schema_),
+               "ResultStore: '" + path +
+                   "' was produced by a different spec (hash " +
+                   hash_to_hex(parsed.schema.spec_hash) + " != " +
+                   hash_to_hex(store.schema_.spec_hash) +
+                   "); refusing to mix records");
+    for (StoreRow& row : parsed.rows) {
+      SEHC_CHECK(store.cells_.insert(row.cell).second,
+                 "ResultStore: duplicate cell " + std::to_string(row.cell) +
+                     " in '" + path + "'");
+      store.rows_.push_back(std::move(row));
+    }
+    if (parsed.dropped_truncated_tail) {
+      // Rewrite the file without the torn tail so the append stream below
+      // starts on a clean line boundary.
+      std::ofstream rewrite(path, std::ios::binary | std::ios::trunc);
+      SEHC_CHECK(static_cast<bool>(rewrite),
+                 "ResultStore: cannot rewrite '" + path + "'");
+      store.write_header(rewrite, store.schema_);
+      for (const StoreRow& row : store.rows_) {
+        rewrite << store.format_row(row) << '\n';
+      }
+      rewrite.flush();
+      SEHC_CHECK(static_cast<bool>(rewrite),
+                 "ResultStore: rewrite of '" + path + "' failed");
+    }
+  }
+
+  store.out_ = std::make_unique<std::ofstream>(
+      path, std::ios::binary | (fresh ? std::ios::trunc : std::ios::app));
+  SEHC_CHECK(static_cast<bool>(*store.out_),
+             "ResultStore: cannot open '" + path + "' for writing");
+  if (fresh) {
+    store.write_header(*store.out_, store.schema_);
+    store.out_->flush();
+  }
+  return store;
+}
+
+ResultStore ResultStore::load(const std::string& path) {
+  ParsedFile parsed = parse_store_text(read_file(path), path);
+  ResultStore store(std::move(parsed.schema), path);
+  for (StoreRow& row : parsed.rows) {
+    SEHC_CHECK(store.cells_.insert(row.cell).second,
+               "ResultStore: duplicate cell " + std::to_string(row.cell) +
+                   " in '" + path + "'");
+    store.rows_.push_back(std::move(row));
+  }
+  return store;  // out_ stays null: read-only
+}
+
+ResultStore ResultStore::merge(const std::vector<std::string>& paths) {
+  SEHC_CHECK(!paths.empty(), "ResultStore::merge: no input stores");
+  ResultStore first = load(paths.front());
+  ResultStore merged = in_memory(first.schema());
+  const std::size_t deterministic =
+      merged.schema_.columns.size() - merged.schema_.volatile_columns;
+
+  auto absorb = [&](const ResultStore& input, const std::string& path) {
+    SEHC_CHECK(input.schema().compatible_with(merged.schema_),
+               "ResultStore::merge: '" + path +
+                   "' is incompatible with '" + paths.front() + "'");
+    for (const StoreRow& row : input.rows()) {
+      if (!merged.contains(row.cell)) {
+        merged.append(row);
+        continue;
+      }
+      // Overlapping shards must agree on every deterministic field; the
+      // first occurrence wins (volatile fields may legitimately differ).
+      const auto it = std::find_if(
+          merged.rows_.begin(), merged.rows_.end(),
+          [&](const StoreRow& r) { return r.cell == row.cell; });
+      for (std::size_t c = 0; c < deterministic; ++c) {
+        SEHC_CHECK(it->fields[c] == row.fields[c],
+                   "ResultStore::merge: cell " + std::to_string(row.cell) +
+                       " disagrees between stores on column '" +
+                       merged.schema_.columns[c] + "' ('" + it->fields[c] +
+                       "' vs '" + row.fields[c] + "' from " + path + ")");
+      }
+    }
+  };
+
+  absorb(first, paths.front());
+  for (std::size_t i = 1; i < paths.size(); ++i) {
+    absorb(load(paths[i]), paths[i]);
+  }
+  return merged;
+}
+
+void ResultStore::append(StoreRow row) {
+  SEHC_CHECK(row.fields.size() == schema_.columns.size(),
+             "ResultStore::append: expected " +
+                 std::to_string(schema_.columns.size()) + " fields, got " +
+                 std::to_string(row.fields.size()));
+  std::lock_guard<std::mutex> lock(*mutex_);
+  SEHC_CHECK(path_.empty() || out_ != nullptr,
+             "ResultStore::append: store was loaded read-only");
+  SEHC_CHECK(cells_.insert(row.cell).second,
+             "ResultStore::append: cell " + std::to_string(row.cell) +
+                 " already present");
+  if (out_) {
+    *out_ << format_row(row) << '\n';
+    out_->flush();
+    SEHC_CHECK(static_cast<bool>(*out_),
+               "ResultStore::append: write to '" + path_ + "' failed");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::vector<StoreRow> ResultStore::sorted_rows() const {
+  std::vector<StoreRow> sorted = rows_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const StoreRow& a, const StoreRow& b) { return a.cell < b.cell; });
+  return sorted;
+}
+
+void ResultStore::write_header(std::ostream& os,
+                               const StoreSchema& schema) const {
+  os << kMagic << '\n';
+  os << "# kind: " << schema.kind << '\n';
+  os << "# spec_hash: " << hash_to_hex(schema.spec_hash) << '\n';
+  os << "# spec: " << schema.spec_line << '\n';
+  os << "# volatile_columns: " << schema.volatile_columns << '\n';
+  os << "cell";
+  for (const std::string& col : schema.columns) os << ',' << csv_escape(col);
+  os << '\n';
+}
+
+std::string ResultStore::format_row(const StoreRow& row) const {
+  std::string line = std::to_string(row.cell);
+  for (const std::string& field : row.fields) {
+    line.push_back(',');
+    line += csv_escape(field);
+  }
+  return line;
+}
+
+void ResultStore::write_canonical(std::ostream& os) const {
+  StoreSchema canonical = schema_;
+  canonical.columns.resize(canonical.columns.size() -
+                           canonical.volatile_columns);
+  canonical.volatile_columns = 0;
+  write_header(os, canonical);
+  for (const StoreRow& row : sorted_rows()) {
+    std::string line = std::to_string(row.cell);
+    for (std::size_t c = 0; c < canonical.columns.size(); ++c) {
+      line.push_back(',');
+      line += csv_escape(row.fields[c]);
+    }
+    os << line << '\n';
+  }
+}
+
+}  // namespace sehc

@@ -1,0 +1,132 @@
+// Durable experiment-result store for campaign sweeps.
+//
+// A ResultStore is an append-only table of per-cell records keyed by the
+// content hash of the spec that produced them. Three properties make
+// campaigns resumable and shardable:
+//
+//   * Durability: file-backed stores append one CSV line per completed cell
+//     and flush immediately, so a killed process loses at most the line it
+//     was writing. On reopen, a truncated final line is detected and
+//     dropped (the cell simply reruns).
+//   * Identity: the header carries the producing spec's content hash; a
+//     store can only be appended to, or merged with, stores of the same
+//     spec. Resuming with a changed spec fails loudly instead of silently
+//     mixing incompatible records.
+//   * Canonical form: write_canonical() emits records sorted by cell index
+//     with volatile (wall-clock) columns dropped, so a merge of N shard
+//     stores is byte-identical to the canonical form of one uninterrupted
+//     single-process run of the same spec.
+//
+// The record schema is generic (named string columns), so both the
+// scheduler campaigns and other grid producers (e.g. workload-metric
+// sweeps) persist through the same machinery.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_set>
+#include <vector>
+
+namespace sehc {
+
+/// FNV-1a 64-bit content hash; used for spec identity.
+std::uint64_t content_hash64(std::string_view text);
+
+/// Identity + layout of a store: which spec produced it and what the record
+/// columns are. Two stores are compatible iff kind, spec_hash and columns
+/// all match.
+struct StoreSchema {
+  /// Record family, e.g. "campaign" or "workload-metrics".
+  std::string kind;
+  /// Content hash of the producing spec (content_hash64 of its canonical
+  /// string).
+  std::uint64_t spec_hash = 0;
+  /// One-line human-readable echo of the spec (no newlines).
+  std::string spec_line;
+  /// Per-record field names; the implicit leading column is always `cell`.
+  std::vector<std::string> columns;
+  /// Number of TRAILING columns that are wall-clock-dependent (e.g.
+  /// seconds). They are persisted in shard stores for observability but
+  /// dropped from the canonical form, which must be deterministic.
+  std::size_t volatile_columns = 0;
+
+  bool compatible_with(const StoreSchema& other) const;
+};
+
+/// One record: a flat cell index plus one string per schema column.
+struct StoreRow {
+  std::size_t cell = 0;
+  std::vector<std::string> fields;
+
+  friend bool operator==(const StoreRow&, const StoreRow&) = default;
+};
+
+class ResultStore {
+ public:
+  /// A store with no backing file (records live only in memory). Used by
+  /// drivers that print tables directly and by merge().
+  static ResultStore in_memory(StoreSchema schema);
+
+  /// Opens `path` for appending, creating it (with a header) if absent or
+  /// empty. An existing file must carry a compatible schema; its records
+  /// are loaded so contains() answers resume queries. A truncated final
+  /// line (killed writer) is dropped and the file is rewritten clean.
+  static ResultStore open(const std::string& path, StoreSchema schema);
+
+  /// Loads an existing store read-only; the schema is read from the file.
+  /// Appending to a loaded store throws.
+  static ResultStore load(const std::string& path);
+
+  /// Merges several stores into one in-memory store. All inputs must be
+  /// mutually compatible. Records present in several inputs must agree on
+  /// every deterministic field (volatile fields may differ; the first
+  /// occurrence wins).
+  static ResultStore merge(const std::vector<std::string>& paths);
+
+  // Out-of-line (ofstream is only forward-declared here).
+  ResultStore(ResultStore&&) noexcept;
+  ResultStore& operator=(ResultStore&&) noexcept;
+  ~ResultStore();
+
+  const StoreSchema& schema() const { return schema_; }
+  /// Backing file path; empty for in-memory stores.
+  const std::string& path() const { return path_; }
+
+  std::size_t size() const { return rows_.size(); }
+  bool contains(std::size_t cell) const { return cells_.count(cell) > 0; }
+
+  /// Appends one record. Thread-safe; file-backed stores write and flush
+  /// the line before returning. The cell must not already be present and
+  /// the field count must match the schema.
+  void append(StoreRow row);
+
+  /// Records in append order (shard stores: completion order).
+  const std::vector<StoreRow>& rows() const { return rows_; }
+
+  /// Records sorted by cell index (stable resume/merge-independent order).
+  std::vector<StoreRow> sorted_rows() const;
+
+  /// Writes the deterministic canonical form: header + records sorted by
+  /// cell with volatile columns dropped. Byte-identical across any
+  /// shard/thread/resume decomposition of the same spec.
+  void write_canonical(std::ostream& os) const;
+
+ private:
+  ResultStore(StoreSchema schema, std::string path);
+
+  void write_header(std::ostream& os, const StoreSchema& schema) const;
+  std::string format_row(const StoreRow& row) const;
+
+  StoreSchema schema_;
+  std::string path_;  // empty = memory-only
+  std::unique_ptr<std::ofstream> out_;
+  std::vector<StoreRow> rows_;
+  std::unordered_set<std::size_t> cells_;
+  std::unique_ptr<std::mutex> mutex_;
+};
+
+}  // namespace sehc

@@ -84,7 +84,17 @@ namespace detail {
 
 void sweep_execute(const SweepGrid& grid, const SweepOptions& options,
                    const std::function<void(const SweepCell&)>& cell_fn) {
-  const std::size_t total = grid.num_cells();
+  std::vector<std::size_t> all(grid.num_cells());
+  for (std::size_t i = 0; i < all.size(); ++i) all[i] = i;
+  sweep_execute_cells(grid, all, options, cell_fn);
+}
+
+void sweep_execute_cells(const SweepGrid& grid,
+                         std::span<const std::size_t> cells,
+                         const SweepOptions& options,
+                         const std::function<void(const SweepCell&)>& cell_fn) {
+  const std::size_t total = cells.size();
+  if (total == 0) return;
   std::size_t threads = options.threads == 0
                             ? std::max<std::size_t>(
                                   1, std::thread::hardware_concurrency())
@@ -98,7 +108,7 @@ void sweep_execute(const SweepGrid& grid, const SweepOptions& options,
   futures.reserve(total);
   {
     ThreadPool pool(threads);
-    for (std::size_t i = 0; i < total; ++i) {
+    for (const std::size_t i : cells) {
       SweepCell cell;
       cell.index = i;
       cell.coords = grid.coords(i);

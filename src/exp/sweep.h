@@ -97,7 +97,28 @@ namespace detail {
 /// finish; rethrows the first (in cell order) cell exception afterwards.
 void sweep_execute(const SweepGrid& grid, const SweepOptions& options,
                    const std::function<void(const SweepCell&)>& cell_fn);
+
+/// Subset variant used by campaign shards and resume: runs cell_fn only for
+/// the given flat cell indices. Each cell receives exactly the coordinates
+/// and derived seed it would receive in a full sweep, so results compose
+/// across arbitrary partitions of the grid. Progress reports
+/// (completed, cells.size()).
+void sweep_execute_cells(const SweepGrid& grid,
+                         std::span<const std::size_t> cells,
+                         const SweepOptions& options,
+                         const std::function<void(const SweepCell&)>& cell_fn);
 }  // namespace detail
+
+/// Runs `fn` (returning void) over an explicit subset of grid cells. The
+/// sharded-campaign entry point: a shard owns a subset of cell indices and
+/// cell seeds stay coordinate-derived, so any partition of the grid produces
+/// the same per-cell results as one full sweep.
+template <typename Fn>
+void sweep_for_each(const SweepGrid& grid, std::span<const std::size_t> cells,
+                    const SweepOptions& options, Fn&& fn) {
+  detail::sweep_execute_cells(grid, cells, options,
+                              [&fn](const SweepCell& cell) { fn(cell); });
+}
 
 /// Evaluates `fn` on every cell of `grid` and returns the results ordered by
 /// cell index, independent of thread count and completion order. `fn` is

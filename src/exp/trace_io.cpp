@@ -1,5 +1,9 @@
 #include "exp/trace_io.h"
 
+#include <cstdlib>
+#include <functional>
+#include <limits>
+
 #include "core/table.h"
 
 namespace sehc {
@@ -32,10 +36,159 @@ void write_schedule_csv(std::ostream& os, const Workload& w,
              "write_schedule_csv: schedule/workload mismatch");
   os << "task,name,machine,start,finish\n";
   for (TaskId t = 0; t < w.num_tasks(); ++t) {
-    os << t << ',' << w.graph().name(t) << ',' << s.assignment[t] << ','
-       << format_fixed(s.start[t], 4) << ',' << format_fixed(s.finish[t], 4)
-       << '\n';
+    os << t << ',' << csv_escape(w.graph().name(t)) << ',' << s.assignment[t]
+       << ',' << format_fixed(s.start[t], 4) << ','
+       << format_fixed(s.finish[t], 4) << '\n';
   }
+}
+
+std::vector<std::string> split_csv_line(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool quoted = false;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    const char c = line[i];
+    if (quoted) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          ++i;
+        } else {
+          quoted = false;
+        }
+      } else {
+        field.push_back(c);
+      }
+    } else if (c == '"' && field.empty()) {
+      quoted = true;
+    } else if (c == ',') {
+      fields.push_back(std::move(field));
+      field.clear();
+    } else {
+      field.push_back(c);
+    }
+  }
+  SEHC_CHECK(!quoted, "split_csv_line: unterminated quote in: " + line);
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+std::string csv_escape(const std::string& field) {
+  if (field.find_first_of(",\"\n") == std::string::npos) return field;
+  std::string out = "\"";
+  for (const char c : field) {
+    if (c == '"') out += "\"\"";
+    else out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+double parse_csv_double(const std::string& field, const std::string& context) {
+  if (field == "inf") return std::numeric_limits<double>::infinity();
+  if (field == "-inf") return -std::numeric_limits<double>::infinity();
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  const double value = std::strtod(begin, &end);
+  SEHC_CHECK(end != begin && *end == '\0' && !field.empty(),
+             context + ": expected a number, got '" + field + "'");
+  return value;
+}
+
+std::uint64_t parse_csv_u64(const std::string& field,
+                            const std::string& context) {
+  const char* begin = field.c_str();
+  char* end = nullptr;
+  const unsigned long long value = std::strtoull(begin, &end, 10);
+  SEHC_CHECK(end != begin && *end == '\0' && !field.empty() &&
+                 field.find('-') == std::string::npos,
+             context + ": expected an unsigned integer, got '" + field + "'");
+  return static_cast<std::uint64_t>(value);
+}
+
+namespace {
+
+/// Reads the header line and checks it matches what the writer emits.
+void expect_header(std::istream& is, const std::string& expected,
+                   const std::string& reader) {
+  std::string line;
+  SEHC_CHECK(static_cast<bool>(std::getline(is, line)),
+             reader + ": empty input (missing header)");
+  SEHC_CHECK(line == expected,
+             reader + ": unexpected header '" + line + "'");
+}
+
+/// Reads remaining lines, skipping empty ones, and applies row_fn to the
+/// split fields of each.
+void for_each_row(std::istream& is, std::size_t expected_fields,
+                  const std::string& reader,
+                  const std::function<void(const std::vector<std::string>&)>&
+                      row_fn) {
+  std::string line;
+  while (std::getline(is, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_csv_line(line);
+    SEHC_CHECK(fields.size() == expected_fields,
+               reader + ": expected " + std::to_string(expected_fields) +
+                   " fields, got " + std::to_string(fields.size()) + " in: " +
+                   line);
+    row_fn(fields);
+  }
+}
+
+}  // namespace
+
+std::vector<SeIterationStats> read_full_se_trace(std::istream& is) {
+  const std::string reader = "read_full_se_trace";
+  expect_header(
+      is, "iteration,selected,moved,current_makespan,best_makespan,elapsed_s",
+      reader);
+  std::vector<SeIterationStats> trace;
+  for_each_row(is, 6, reader, [&](const std::vector<std::string>& f) {
+    SeIterationStats r;
+    r.iteration = static_cast<std::size_t>(parse_csv_u64(f[0], reader));
+    r.num_selected = static_cast<std::size_t>(parse_csv_u64(f[1], reader));
+    r.tasks_moved = static_cast<std::size_t>(parse_csv_u64(f[2], reader));
+    r.current_makespan = parse_csv_double(f[3], reader);
+    r.best_makespan = parse_csv_double(f[4], reader);
+    r.elapsed_seconds = parse_csv_double(f[5], reader);
+    trace.push_back(r);
+  });
+  return trace;
+}
+
+std::vector<GaIterationStats> read_full_ga_trace(std::istream& is) {
+  const std::string reader = "read_full_ga_trace";
+  expect_header(is, "generation,gen_best,gen_mean,best_makespan,elapsed_s",
+                reader);
+  std::vector<GaIterationStats> trace;
+  for_each_row(is, 5, reader, [&](const std::vector<std::string>& f) {
+    GaIterationStats r;
+    r.generation = static_cast<std::size_t>(parse_csv_u64(f[0], reader));
+    r.gen_best_makespan = parse_csv_double(f[1], reader);
+    r.gen_mean_makespan = parse_csv_double(f[2], reader);
+    r.best_makespan = parse_csv_double(f[3], reader);
+    r.elapsed_seconds = parse_csv_double(f[4], reader);
+    trace.push_back(r);
+  });
+  return trace;
+}
+
+std::vector<ScheduleCsvRow> read_schedule_csv(std::istream& is) {
+  const std::string reader = "read_schedule_csv";
+  expect_header(is, "task,name,machine,start,finish", reader);
+  std::vector<ScheduleCsvRow> rows;
+  for_each_row(is, 5, reader, [&](const std::vector<std::string>& f) {
+    ScheduleCsvRow r;
+    r.task = static_cast<TaskId>(parse_csv_u64(f[0], reader));
+    r.name = f[1];
+    r.machine = static_cast<MachineId>(parse_csv_u64(f[2], reader));
+    r.start = parse_csv_double(f[3], reader);
+    r.finish = parse_csv_double(f[4], reader);
+    rows.push_back(std::move(r));
+  });
+  return rows;
 }
 
 }  // namespace sehc

@@ -1,9 +1,17 @@
 // Persistent outputs: full (non-downsampled) trace CSVs for offline
-// plotting and a per-task schedule CSV. The figure benches print
-// downsampled series for the terminal; these writers dump everything.
+// plotting and a per-task schedule CSV, plus the matching readers so
+// persisted results can be loaded back exactly (the result-store layer and
+// the campaign subsystem reuse the same CSV parsing).
+//
+// The figure benches print downsampled series for the terminal; these
+// writers dump everything. Every writer here has a reader that round-trips
+// its output: read(write(x)) reproduces the written values bit-for-bit at
+// the emitted precision.
 #pragma once
 
+#include <istream>
 #include <ostream>
+#include <string>
 #include <vector>
 
 #include "ga/ga.h"
@@ -24,5 +32,47 @@ void write_full_ga_trace(std::ostream& os,
 /// task,name,machine,start,finish
 void write_schedule_csv(std::ostream& os, const Workload& w,
                         const Schedule& s);
+
+// --- CSV parsing (shared by the trace readers and ResultStore) -------------
+
+/// Splits one CSV line into fields. RFC-4180-ish: a field wrapped in double
+/// quotes may contain commas and doubled quotes ("" -> ").
+std::vector<std::string> split_csv_line(const std::string& line);
+
+/// Quotes `field` for CSV emission when it contains a comma, quote or
+/// newline; returns it unchanged otherwise.
+std::string csv_escape(const std::string& field);
+
+/// Parses a double field; throws sehc::Error (with `context`) on garbage.
+/// "inf" / "-inf" parse to the infinities, matching the writers.
+double parse_csv_double(const std::string& field, const std::string& context);
+
+/// Parses an unsigned integer field; throws sehc::Error on garbage.
+std::uint64_t parse_csv_u64(const std::string& field,
+                            const std::string& context);
+
+// --- Readers ---------------------------------------------------------------
+
+/// Reads a CSV produced by write_full_se_trace. Validates the header and
+/// every row; throws sehc::Error on malformed input.
+std::vector<SeIterationStats> read_full_se_trace(std::istream& is);
+
+/// Reads a CSV produced by write_full_ga_trace.
+std::vector<GaIterationStats> read_full_ga_trace(std::istream& is);
+
+/// One parsed row of a schedule CSV.
+struct ScheduleCsvRow {
+  TaskId task = 0;
+  std::string name;
+  MachineId machine = 0;
+  double start = 0.0;
+  double finish = 0.0;
+
+  friend bool operator==(const ScheduleCsvRow&,
+                         const ScheduleCsvRow&) = default;
+};
+
+/// Reads a CSV produced by write_schedule_csv.
+std::vector<ScheduleCsvRow> read_schedule_csv(std::istream& is);
 
 }  // namespace sehc

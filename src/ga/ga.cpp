@@ -24,6 +24,19 @@ GaEngine::GaEngine(const Workload& workload, GaParams params)
 
 namespace {
 
+/// First string position where two equal-length solutions differ (task or
+/// machine), or their size when identical. A mutation-only child differs
+/// from its parent only at positions >= this, so the evaluator's prepared
+/// per-parent snapshots apply (suffix-only re-evaluation, bit-identical).
+std::size_t first_difference(const SolutionString& a, const SolutionString& b) {
+  const auto sa = a.segments();
+  const auto sb = b.segments();
+  for (std::size_t pos = 0; pos < sa.size(); ++pos) {
+    if (sa[pos] != sb[pos]) return pos;
+  }
+  return sa.size();
+}
+
 /// Roulette-wheel pick: probability proportional to (worst - len) + eps.
 std::size_t roulette(const std::vector<double>& lengths, double worst,
                      Rng& rng) {
@@ -90,18 +103,25 @@ GaResult GaEngine::run() {
     const double worst = lengths[rank.back()];
 
     // Incremental evaluation: elites and untouched clones keep their cached
-    // lengths; only chromosomes actually altered by crossover or mutation
-    // are re-simulated after the generation is assembled.
+    // lengths; crossover children are re-simulated in full; mutation-only
+    // children are evaluated from their first difference with the parent
+    // via the evaluator's prepared per-parent snapshots (grouped by parent
+    // so each parent is prepared once). All three paths are bit-identical
+    // to full re-evaluation.
+    constexpr std::uint8_t kClean = 0, kFull = 1, kSuffix = 2;
     std::vector<SolutionString> next;
     std::vector<double> next_lengths;
     std::vector<std::uint8_t> next_dirty;
+    std::vector<std::size_t> next_parent;  // meaningful for kSuffix only
     next.reserve(pop.size());
     next_lengths.reserve(pop.size());
     next_dirty.reserve(pop.size());
+    next_parent.reserve(pop.size());
     for (std::size_t e = 0; e < params_.elite; ++e) {
       next.push_back(pop[rank[e]]);
       next_lengths.push_back(lengths[rank[e]]);
-      next_dirty.push_back(0);
+      next_dirty.push_back(kClean);
+      next_parent.push_back(rank[e]);
     }
 
     while (next.size() < pop.size()) {
@@ -130,26 +150,57 @@ GaResult GaEngine::run() {
       }
       next.push_back(std::move(ca));
       next_lengths.push_back(crossed || mutated_a ? 0.0 : lengths[ia]);
-      next_dirty.push_back(crossed || mutated_a ? 1 : 0);
+      next_dirty.push_back(crossed ? kFull : mutated_a ? kSuffix : kClean);
+      next_parent.push_back(ia);
       if (next.size() < pop.size()) {
         next.push_back(std::move(cb));
         next_lengths.push_back(crossed || mutated_b ? 0.0 : lengths[ib]);
-        next_dirty.push_back(crossed || mutated_b ? 1 : 0);
+        next_dirty.push_back(crossed ? kFull : mutated_b ? kSuffix : kClean);
+        next_parent.push_back(ib);
       }
     }
-    pop = std::move(next);
-    lengths = std::move(next_lengths);
 
     if (params_.verify_invariants) {
-      for (const auto& chrom : pop) {
+      for (const auto& chrom : next) {
         SEHC_ASSERT_MSG(chrom.is_valid(g),
                         "GA generation produced an invalid chromosome");
       }
     }
 
-    for (std::size_t i = 0; i < pop.size(); ++i) {
-      if (next_dirty[i]) lengths[i] = eval.makespan(pop[i]);
+    // Evaluate before the parents are replaced. Suffix evaluations are
+    // grouped by parent so a parent with several mutation-only children is
+    // prepared once; evaluation consumes no RNG, so the grouping does not
+    // perturb the stream.
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      if (next_dirty[i] == kFull) next_lengths[i] = eval.makespan(next[i]);
     }
+    std::vector<std::size_t> suffix_children;
+    for (std::size_t i = 0; i < next.size(); ++i) {
+      if (next_dirty[i] == kSuffix) suffix_children.push_back(i);
+    }
+    std::stable_sort(suffix_children.begin(), suffix_children.end(),
+                     [&](std::size_t a, std::size_t b) {
+                       return next_parent[a] < next_parent[b];
+                     });
+    constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
+    std::size_t prepared_parent = kNoParent;
+    for (const std::size_t i : suffix_children) {
+      const std::size_t parent = next_parent[i];
+      const std::size_t from = first_difference(next[i], pop[parent]);
+      if (from == next[i].size()) {
+        next_lengths[i] = lengths[parent];  // mutation was a no-op
+        continue;
+      }
+      if (prepared_parent != parent) {
+        eval.prepare(pop[parent]);
+        prepared_parent = parent;
+      }
+      next_lengths[i] = eval.prepared_trial(
+          next[i], from, std::numeric_limits<double>::infinity());
+    }
+
+    pop = std::move(next);
+    lengths = std::move(next_lengths);
     const auto best_it = std::min_element(lengths.begin(), lengths.end());
     const double gen_best = *best_it;
     const double gen_mean =

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "core/rng.h"
 #include "core/stats.h"
@@ -11,6 +12,21 @@
 #include "sched/evaluator.h"
 
 namespace sehc {
+
+namespace {
+
+/// First string position where two equal-length solutions differ, or their
+/// size when identical (see the GA engine's twin helper).
+std::size_t first_difference(const SolutionString& a, const SolutionString& b) {
+  const auto sa = a.segments();
+  const auto sb = b.segments();
+  for (std::size_t pos = 0; pos < sa.size(); ++pos) {
+    if (sa[pos] != sb[pos]) return pos;
+  }
+  return sa.size();
+}
+
+}  // namespace
 
 GsaEngine::GsaEngine(const Workload& workload, GsaParams params)
     : workload_(&workload), params_(params) {
@@ -57,6 +73,26 @@ GsaResult GsaEngine::run() {
   const double typical_delta = std::max(spread.stddev(), 1e-9);
   double temperature = -typical_delta / std::log(params_.initial_acceptance);
 
+  // Prepared-parent cache for mutation-only children: prepare(parent) is
+  // reused across children of the same population slot until a Metropolis
+  // acceptance overwrites any slot (conservative invalidation; evaluation
+  // consumes no RNG, so results stay bit-identical to full re-evaluation).
+  constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+  std::size_t prepared_slot = kNoSlot;
+  std::uint64_t pop_version = 0;
+  std::uint64_t prepared_version = 0;
+  auto suffix_makespan = [&](const SolutionString& child, std::size_t parent) {
+    const std::size_t from = first_difference(child, pop[parent]);
+    if (from == child.size()) return lengths[parent];  // mutation was a no-op
+    if (prepared_slot != parent || prepared_version != pop_version) {
+      eval.prepare(pop[parent]);
+      prepared_slot = parent;
+      prepared_version = pop_version;
+    }
+    return eval.prepared_trial(child, from,
+                               std::numeric_limits<double>::infinity());
+  };
+
   std::size_t generation = 0;
   for (; generation < params_.max_generations; ++generation) {
     if (timer.seconds() >= params_.time_limit_seconds) break;
@@ -74,23 +110,29 @@ GsaResult GsaEngine::run() {
         std::tie(ca, cb) = scheduling_crossover(pop[ia], pop[ib], rng);
         std::tie(ca, cb) = matching_crossover(ca, cb, rng);
       }
-      bool touched_a = crossed;
-      bool touched_b = crossed;
+      bool mutated_a = false;
+      bool mutated_b = false;
       if (rng.chance(params_.mutation_prob)) {
-        touched_a = true;
+        mutated_a = true;
         matching_mutation(ca, w.num_machines(), rng);
         scheduling_mutation(ca, g, rng);
       }
       if (rng.chance(params_.mutation_prob)) {
-        touched_b = true;
+        mutated_b = true;
         matching_mutation(cb, w.num_machines(), rng);
         scheduling_mutation(cb, g, rng);
       }
       // Untouched children are verbatim clones of their source parent:
-      // reuse the cached length instead of re-simulating. Lengths are read
+      // reuse the cached length. Mutation-only children differ from their
+      // parent in a suffix only: evaluate via the prepared snapshots.
+      // Crossover children are re-simulated in full. Lengths are read
       // before either Metropolis test can overwrite a population slot.
-      const double len_a = touched_a ? eval.makespan(ca) : lengths[ia];
-      const double len_b = touched_b ? eval.makespan(cb) : lengths[ib];
+      const double len_a = crossed    ? eval.makespan(ca)
+                           : mutated_a ? suffix_makespan(ca, ia)
+                                       : lengths[ia];
+      const double len_b = crossed    ? eval.makespan(cb)
+                           : mutated_b ? suffix_makespan(cb, ib)
+                                       : lengths[ib];
 
       // Metropolis survivor test: child vs the parent in its slot.
       auto metropolis = [&](SolutionString&& child, double child_len,
@@ -105,6 +147,7 @@ GsaResult GsaEngine::run() {
         ++accepted;
         pop[parent_idx] = std::move(child);
         lengths[parent_idx] = child_len;
+        ++pop_version;  // invalidates the prepared-parent cache
         if (child_len < result.best_makespan) {
           result.best_makespan = child_len;
           result.best_solution = pop[parent_idx];

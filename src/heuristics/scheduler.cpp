@@ -82,15 +82,7 @@ class SeScheduler final : public Scheduler {
       : iterations_(iterations), seed_(seed), y_limit_(y_limit) {}
   std::string name() const override { return "SE"; }
   Schedule schedule(const Workload& w) const override {
-    SeParams p;
-    p.max_iterations = iterations_;
-    p.seed = seed_;
-    p.y_limit = y_limit_;
-    // Comparison-suite configuration, matching the figure benches: slightly
-    // negative bias measurably dominates the non-negative range in this
-    // implementation (see bench/ablation_bias).
-    p.bias = -0.1;
-    p.record_trace = false;
+    const SeParams p = comparison_se_params(iterations_, seed_, y_limit_);
     return SeEngine(w, p).run().schedule;
   }
 
@@ -124,10 +116,7 @@ class GaScheduler final : public Scheduler {
       : generations_(generations), seed_(seed) {}
   std::string name() const override { return "GA"; }
   Schedule schedule(const Workload& w) const override {
-    GaParams p;
-    p.max_generations = generations_;
-    p.seed = seed_;
-    p.record_trace = false;
+    const GaParams p = comparison_ga_params(generations_, seed_);
     return GaEngine(w, p).run().schedule;
   }
 
@@ -137,6 +126,28 @@ class GaScheduler final : public Scheduler {
 };
 
 }  // namespace
+
+SeParams comparison_se_params(std::size_t iterations, std::uint64_t seed,
+                              std::size_t y_limit) {
+  SeParams p;
+  p.max_iterations = iterations;
+  p.seed = seed;
+  p.y_limit = y_limit;
+  // Comparison-suite configuration, matching the figure benches: slightly
+  // negative bias measurably dominates the non-negative range in this
+  // implementation (see bench/ablation_bias).
+  p.bias = -0.1;
+  p.record_trace = false;
+  return p;
+}
+
+GaParams comparison_ga_params(std::size_t generations, std::uint64_t seed) {
+  GaParams p;
+  p.max_generations = generations;
+  p.seed = seed;
+  p.record_trace = false;
+  return p;
+}
 
 std::unique_ptr<Scheduler> make_heft() {
   return std::make_unique<FunctionScheduler>("HEFT", &heft_schedule);

@@ -13,8 +13,10 @@
 #include <string>
 #include <vector>
 
+#include "ga/ga.h"
 #include "hc/workload.h"
 #include "sched/schedule.h"
+#include "se/se.h"
 
 namespace sehc {
 
@@ -47,6 +49,16 @@ std::unique_ptr<Scheduler> make_simulated_annealing(std::size_t iterations,
                                                     std::uint64_t seed);
 std::unique_ptr<Scheduler> make_tabu_search(std::size_t iterations,
                                             std::uint64_t seed);
+
+/// The comparison-suite SE configuration (selection bias, trace flags) —
+/// the single source of truth shared by make_se_scheduler and the campaign
+/// engine path, so curve-capturing engine runs stay bit-identical to the
+/// factory path.
+SeParams comparison_se_params(std::size_t iterations, std::uint64_t seed,
+                              std::size_t y_limit = 0);
+
+/// Same for the GA baseline.
+GaParams comparison_ga_params(std::size_t generations, std::uint64_t seed);
 
 /// SE and GA wrapped behind the common interface with iteration budgets.
 std::unique_ptr<Scheduler> make_se_scheduler(std::size_t iterations,

@@ -13,10 +13,16 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
+#include <numeric>
 #include <vector>
 
 #include "core/rng.h"
+#include "core/stats.h"
+#include "dag/topo.h"
+#include "ga/ga.h"
+#include "ga/operators.h"
 #include "heuristics/annealing.h"
+#include "heuristics/gsa.h"
 #include "heuristics/tabu.h"
 #include "se/allocation.h"
 #include "se/se.h"
@@ -439,6 +445,186 @@ TEST(IncrementalEval, AnnealingMatchesNaiveReference) {
     ap.seed = 77;
     const SaResult got = anneal_schedule(w, ap);
     ASSERT_EQ(got.best_makespan, reference_anneal_best(w, ap)) << p.describe();
+  }
+}
+
+/// Pre-engine GA: the same generational loop with every chromosome fully
+/// re-evaluated by the naive evaluator each generation — no cached lengths
+/// for elites/clones, no prepared-snapshot suffix evaluation for
+/// mutation-only children. RNG draw order matches GaEngine exactly
+/// (evaluation consumes no randomness).
+double reference_ga_best(const Workload& w, const GaParams& params) {
+  const TaskGraph& g = w.graph();
+  Rng rng(params.seed);
+
+  auto roulette = [](const std::vector<double>& lengths, double worst,
+                     Rng& r) {
+    const double eps = worst > 0.0 ? 1e-3 * worst : 1e-9;
+    double total = 0.0;
+    for (double len : lengths) total += (worst - len) + eps;
+    double spin = r.uniform() * total;
+    for (std::size_t i = 0; i < lengths.size(); ++i) {
+      spin -= (worst - lengths[i]) + eps;
+      if (spin <= 0.0) return i;
+    }
+    return lengths.size() - 1;
+  };
+
+  std::vector<SolutionString> pop;
+  pop.reserve(params.population);
+  for (std::size_t i = 0; i < params.population; ++i) {
+    std::vector<MachineId> assignment(w.num_tasks());
+    for (auto& m : assignment)
+      m = static_cast<MachineId>(rng.below(w.num_machines()));
+    auto order = random_topological_order(g, rng);
+    pop.emplace_back(*order, assignment);
+  }
+  std::vector<double> lengths(pop.size());
+  for (std::size_t i = 0; i < pop.size(); ++i)
+    lengths[i] = naive_makespan(w, pop[i]);
+
+  double best = *std::min_element(lengths.begin(), lengths.end());
+  for (std::size_t generation = 0; generation < params.max_generations;
+       ++generation) {
+    std::vector<std::size_t> rank(pop.size());
+    std::iota(rank.begin(), rank.end(), 0);
+    std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+      return lengths[a] < lengths[b];
+    });
+    const double worst = lengths[rank.back()];
+
+    std::vector<SolutionString> next;
+    next.reserve(pop.size());
+    for (std::size_t e = 0; e < params.elite; ++e) next.push_back(pop[rank[e]]);
+    while (next.size() < pop.size()) {
+      const std::size_t ia = roulette(lengths, worst, rng);
+      const std::size_t ib = roulette(lengths, worst, rng);
+      SolutionString ca = pop[ia];
+      SolutionString cb = pop[ib];
+      if (rng.chance(params.crossover_prob)) {
+        std::tie(ca, cb) = scheduling_crossover(pop[ia], pop[ib], rng);
+        std::tie(ca, cb) = matching_crossover(ca, cb, rng);
+      }
+      if (rng.chance(params.mutation_prob)) {
+        matching_mutation(ca, w.num_machines(), rng);
+        scheduling_mutation(ca, g, rng);
+      }
+      if (rng.chance(params.mutation_prob)) {
+        matching_mutation(cb, w.num_machines(), rng);
+        scheduling_mutation(cb, g, rng);
+      }
+      next.push_back(std::move(ca));
+      if (next.size() < pop.size()) next.push_back(std::move(cb));
+    }
+    pop = std::move(next);
+    for (std::size_t i = 0; i < pop.size(); ++i)
+      lengths[i] = naive_makespan(w, pop[i]);
+    best = std::min(best, *std::min_element(lengths.begin(), lengths.end()));
+  }
+  return best;
+}
+
+TEST(IncrementalEval, GaMatchesNaiveReference) {
+  for (WorkloadParams p : workload_classes()) {
+    p.seed = 17;
+    const Workload w = make_workload(p);
+    GaParams gp;
+    gp.population = 16;
+    gp.max_generations = 25;
+    // High mutation with moderate crossover exercises the mutation-only
+    // suffix-evaluation path (prepared per-parent snapshots) heavily.
+    gp.crossover_prob = 0.5;
+    gp.mutation_prob = 0.5;
+    gp.seed = 23;
+    gp.record_trace = false;
+    const GaResult got = GaEngine(w, gp).run();
+    ASSERT_EQ(got.best_makespan, reference_ga_best(w, gp)) << p.describe();
+  }
+}
+
+/// Pre-engine GSA: the same Metropolis-mediated generational loop with
+/// every touched child evaluated by the naive evaluator (no cached clone
+/// lengths, no prepared-parent suffix evaluation).
+double reference_gsa_best(const Workload& w, const GsaParams& params) {
+  const TaskGraph& g = w.graph();
+  Rng rng(params.seed);
+
+  std::vector<SolutionString> pop;
+  std::vector<double> lengths;
+  for (std::size_t i = 0; i < params.population; ++i) {
+    std::vector<MachineId> assignment(w.num_tasks());
+    for (auto& m : assignment)
+      m = static_cast<MachineId>(rng.below(w.num_machines()));
+    auto order = random_topological_order(g, rng);
+    pop.emplace_back(*order, assignment);
+    lengths.push_back(naive_makespan(w, pop.back()));
+  }
+  double best = *std::min_element(lengths.begin(), lengths.end());
+
+  const Accumulator spread = summarize(lengths);
+  const double typical_delta = std::max(spread.stddev(), 1e-9);
+  double temperature = -typical_delta / std::log(params.initial_acceptance);
+
+  for (std::size_t generation = 0; generation < params.max_generations;
+       ++generation) {
+    for (std::size_t slot = 0; slot + 1 < pop.size(); slot += 2) {
+      const std::size_t ia = rng.index(pop.size());
+      const std::size_t ib = rng.index(pop.size());
+      SolutionString ca = pop[ia];
+      SolutionString cb = pop[ib];
+      const bool crossed = rng.chance(params.crossover_prob);
+      if (crossed) {
+        std::tie(ca, cb) = scheduling_crossover(pop[ia], pop[ib], rng);
+        std::tie(ca, cb) = matching_crossover(ca, cb, rng);
+      }
+      bool touched_a = crossed;
+      bool touched_b = crossed;
+      if (rng.chance(params.mutation_prob)) {
+        touched_a = true;
+        matching_mutation(ca, w.num_machines(), rng);
+        scheduling_mutation(ca, g, rng);
+      }
+      if (rng.chance(params.mutation_prob)) {
+        touched_b = true;
+        matching_mutation(cb, w.num_machines(), rng);
+        scheduling_mutation(cb, g, rng);
+      }
+      const double len_a = touched_a ? naive_makespan(w, ca) : lengths[ia];
+      const double len_b = touched_b ? naive_makespan(w, cb) : lengths[ib];
+
+      auto metropolis = [&](SolutionString&& child, double child_len,
+                            std::size_t parent_idx) {
+        const double delta = child_len - lengths[parent_idx];
+        const bool accept =
+            delta <= 0.0 ||
+            (temperature > 0.0 &&
+             rng.uniform() < std::exp(-delta / temperature));
+        if (!accept) return;
+        pop[parent_idx] = std::move(child);
+        lengths[parent_idx] = child_len;
+        best = std::min(best, child_len);
+      };
+      metropolis(std::move(ca), len_a, ia);
+      metropolis(std::move(cb), len_b, ib);
+    }
+    temperature *= params.cooling;
+  }
+  return best;
+}
+
+TEST(IncrementalEval, GsaMatchesNaiveReference) {
+  for (WorkloadParams p : workload_classes()) {
+    p.seed = 19;
+    const Workload w = make_workload(p);
+    GsaParams gp;
+    gp.population = 16;
+    gp.max_generations = 25;
+    gp.crossover_prob = 0.5;   // leaves room for mutation-only children
+    gp.mutation_prob = 0.5;
+    gp.seed = 29;
+    gp.record_trace = false;
+    const GsaResult got = GsaEngine(w, gp).run();
+    ASSERT_EQ(got.best_makespan, reference_gsa_best(w, gp)) << p.describe();
   }
 }
 

@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "workload/generator.h"
@@ -52,6 +54,129 @@ TEST(TraceIo, ScheduleCsvListsEveryTask) {
   const std::string out = os.str();
   EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 8);  // header + 7
   EXPECT_NE(out.find("4,s4,0,1100.0000,2100.0000"), std::string::npos);
+}
+
+TEST(TraceIo, SeTraceRoundTrip) {
+  std::vector<SeIterationStats> trace(4);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].iteration = i;
+    trace[i].num_selected = 11 - i;
+    trace[i].tasks_moved = i * 2;
+    trace[i].current_makespan = 1234.5678 - static_cast<double>(i);
+    trace[i].best_makespan = 1230.25;
+    trace[i].elapsed_seconds = 0.125 * static_cast<double>(i);
+  }
+  std::ostringstream os;
+  write_full_se_trace(os, trace);
+
+  std::istringstream is(os.str());
+  const std::vector<SeIterationStats> back = read_full_se_trace(is);
+  ASSERT_EQ(back.size(), trace.size());
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    EXPECT_EQ(back[i].iteration, trace[i].iteration);
+    EXPECT_EQ(back[i].num_selected, trace[i].num_selected);
+    EXPECT_EQ(back[i].tasks_moved, trace[i].tasks_moved);
+    EXPECT_NEAR(back[i].current_makespan, trace[i].current_makespan, 5e-5);
+    EXPECT_NEAR(back[i].best_makespan, trace[i].best_makespan, 5e-5);
+    EXPECT_NEAR(back[i].elapsed_seconds, trace[i].elapsed_seconds, 5e-7);
+  }
+  // Re-serialization of the parsed trace is byte-identical: the reader
+  // loses nothing the writer emitted.
+  std::ostringstream os2;
+  write_full_se_trace(os2, back);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(TraceIo, GaTraceRoundTrip) {
+  std::vector<GaIterationStats> trace(3);
+  for (std::size_t i = 0; i < trace.size(); ++i) {
+    trace[i].generation = i;
+    trace[i].gen_best_makespan = 90.0 - static_cast<double>(i);
+    trace[i].gen_mean_makespan = 120.5;
+    trace[i].best_makespan = 90.0 - static_cast<double>(i);
+    trace[i].elapsed_seconds = 0.25 * static_cast<double>(i);
+  }
+  std::ostringstream os;
+  write_full_ga_trace(os, trace);
+
+  std::istringstream is(os.str());
+  const std::vector<GaIterationStats> back = read_full_ga_trace(is);
+  ASSERT_EQ(back.size(), trace.size());
+  std::ostringstream os2;
+  write_full_ga_trace(os2, back);
+  EXPECT_EQ(os.str(), os2.str());
+}
+
+TEST(TraceIo, ScheduleCsvRoundTrip) {
+  const Workload w = figure1_workload();
+  const SolutionString s(std::vector<TaskId>{0, 1, 2, 5, 6, 3, 4},
+                         std::vector<MachineId>{0, 1, 1, 0, 0, 1, 1});
+  const Schedule sched = Schedule::from_solution(w, s);
+  std::ostringstream os;
+  write_schedule_csv(os, w, sched);
+
+  std::istringstream is(os.str());
+  const std::vector<ScheduleCsvRow> rows = read_schedule_csv(is);
+  ASSERT_EQ(rows.size(), w.num_tasks());
+  for (TaskId t = 0; t < w.num_tasks(); ++t) {
+    EXPECT_EQ(rows[t].task, t);
+    EXPECT_EQ(rows[t].name, w.graph().name(t));
+    EXPECT_EQ(rows[t].machine, sched.assignment[t]);
+    EXPECT_NEAR(rows[t].start, sched.start[t], 5e-5);
+    EXPECT_NEAR(rows[t].finish, sched.finish[t], 5e-5);
+  }
+}
+
+TEST(TraceIo, ReadersRejectMalformedInput) {
+  {
+    std::istringstream is("not,the,header\n1,2,3,4,5,6\n");
+    EXPECT_THROW(read_full_se_trace(is), Error);
+  }
+  {
+    std::istringstream is(
+        "iteration,selected,moved,current_makespan,best_makespan,elapsed_s\n"
+        "1,2,3\n");
+    EXPECT_THROW(read_full_se_trace(is), Error);
+  }
+  {
+    std::istringstream is(
+        "generation,gen_best,gen_mean,best_makespan,elapsed_s\n"
+        "0,abc,1.0,1.0,0.0\n");
+    EXPECT_THROW(read_full_ga_trace(is), Error);
+  }
+  {
+    std::istringstream empty;
+    EXPECT_THROW(read_schedule_csv(empty), Error);
+  }
+}
+
+TEST(TraceIo, SplitCsvLineHandlesQuoting) {
+  EXPECT_EQ(split_csv_line("a,b,c"),
+            (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(split_csv_line("a,\"b,c\",d"),
+            (std::vector<std::string>{"a", "b,c", "d"}));
+  EXPECT_EQ(split_csv_line("\"say \"\"hi\"\"\",x"),
+            (std::vector<std::string>{"say \"hi\"", "x"}));
+  EXPECT_EQ(split_csv_line(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(split_csv_line("a,,b"),
+            (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_THROW(split_csv_line("\"unterminated"), Error);
+  // Escape round trip.
+  const std::string nasty = "a,\"b\"\nrest";
+  EXPECT_EQ(split_csv_line(csv_escape(nasty) + ",x")[0], nasty);
+}
+
+TEST(TraceIo, ParseHelpersAcceptInfAndRejectGarbage) {
+  EXPECT_TRUE(std::isinf(parse_csv_double("inf", "t")));
+  EXPECT_EQ(parse_csv_double("-inf", "t"),
+            -std::numeric_limits<double>::infinity());
+  EXPECT_DOUBLE_EQ(parse_csv_double("1.25", "t"), 1.25);
+  EXPECT_THROW(parse_csv_double("", "t"), Error);
+  EXPECT_THROW(parse_csv_double("12x", "t"), Error);
+  EXPECT_EQ(parse_csv_u64("18446744073709551615", "t"),
+            18446744073709551615ULL);
+  EXPECT_THROW(parse_csv_u64("-3", "t"), Error);
+  EXPECT_THROW(parse_csv_u64("1.5", "t"), Error);
 }
 
 TEST(TraceIo, ScheduleCsvRejectsMismatch) {

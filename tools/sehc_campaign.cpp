@@ -1,0 +1,247 @@
+// Campaign CLI: run, shard, resume, merge and tabulate persisted experiment
+// sweeps (see README "Campaigns").
+//
+//   sehc_campaign list
+//   sehc_campaign show  --spec NAME [overrides]
+//   sehc_campaign run   --spec NAME --store PATH [--shard I/N] [--threads T]
+//                       [--max-cells N] [--fresh] [--merged-out PATH]
+//                       [--bench-json PATH] [--progress] [overrides]
+//   sehc_campaign merge --out PATH STORE...
+//   sehc_campaign table --store PATH
+//
+// Overrides (run/show): --seeds R --iters I --curve-points P --base-seed B
+//                       --tasks K --machines L --budget SECONDS
+//
+// A shard writes one store; killing it loses at most the record being
+// written, and rerunning the same command resumes (cells already in the
+// store are skipped). `merge` combines shard stores into the canonical
+// byte-stable table; for an iteration-budget spec it is byte-identical to
+// the canonical output of one uninterrupted single-process run.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "core/options.h"
+#include "core/table.h"
+#include "exp/campaign.h"
+
+namespace {
+
+using namespace sehc;
+
+int usage() {
+  std::cerr
+      << "usage: sehc_campaign <list|show|run|merge|table> [options]\n"
+         "  list                      list built-in campaign specs\n"
+         "  show  --spec NAME         print a spec, its hash and cell count\n"
+         "  run   --spec NAME --store PATH [--shard I/N] [--threads T]\n"
+         "        [--max-cells N] [--fresh] [--merged-out PATH]\n"
+         "        [--bench-json PATH] [--progress]\n"
+         "  merge --out PATH STORE... merge shard stores (canonical output)\n"
+         "  table --store PATH        aggregate tables from a store\n"
+         "  spec overrides (run/show): --seeds --iters --curve-points\n"
+         "        --base-seed --tasks --machines --budget\n";
+  return 2;
+}
+
+/// Applies the CLI's spec overrides. The spec hash covers every overridden
+/// field, so a store produced with different overrides never mixes records.
+CampaignSpec spec_from_options(const Options& opts) {
+  CampaignSpec spec = make_builtin_campaign(opts.get("spec", ""));
+  if (opts.has("seeds")) {
+    spec.repetitions = static_cast<std::size_t>(opts.get_int("seeds", 3));
+  }
+  if (opts.has("iters")) {
+    spec.iterations = static_cast<std::size_t>(opts.get_int("iters", 150));
+  }
+  if (opts.has("curve-points")) {
+    spec.curve_points =
+        static_cast<std::size_t>(opts.get_int("curve-points", 0));
+  }
+  if (opts.has("base-seed")) spec.base_seed = opts.get_seed("base-seed", 42);
+  if (opts.has("budget")) {
+    spec.time_budget_seconds = opts.get_double("budget", 0.0);
+  }
+  if (opts.has("tasks") || opts.has("machines")) {
+    for (CampaignClass& c : spec.classes) {
+      c.params.tasks = static_cast<std::size_t>(
+          opts.get_int("tasks", static_cast<std::int64_t>(c.params.tasks)));
+      c.params.machines = static_cast<std::size_t>(opts.get_int(
+          "machines", static_cast<std::int64_t>(c.params.machines)));
+    }
+  }
+  spec.validate();
+  return spec;
+}
+
+int cmd_list() {
+  std::cout << "built-in campaign specs:\n";
+  for (const std::string& name : builtin_campaign_names()) {
+    const CampaignSpec spec = make_builtin_campaign(name);
+    std::cout << "  " << name << "  (" << spec.grid().num_cells()
+              << " cells: " << spec.classes.size() << " classes x "
+              << spec.repetitions << " seeds x " << spec.schedulers.size()
+              << " schedulers)\n";
+  }
+  return 0;
+}
+
+int cmd_show(const Options& opts) {
+  const CampaignSpec spec = spec_from_options(opts);
+  char hash_hex[17];
+  std::snprintf(hash_hex, sizeof hash_hex, "%016llx",
+                static_cast<unsigned long long>(spec.hash()));
+  std::cout << spec.canonical_string();
+  std::cout << "hash=" << hash_hex << '\n';
+  std::cout << "cells=" << spec.grid().num_cells() << '\n';
+  return 0;
+}
+
+int cmd_run(const Options& opts) {
+  const CampaignSpec spec = spec_from_options(opts);
+  const std::string store_path = opts.get("store", "");
+  SEHC_CHECK(!store_path.empty(), "run: --store PATH is required");
+  if (opts.has("fresh")) std::remove(store_path.c_str());
+
+  ResultStore store = ResultStore::open(store_path, spec.store_schema());
+
+  CampaignRunOptions run_opts;
+  run_opts.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
+  run_opts.shard = ShardPlan::parse(opts.get("shard", "0/1"));
+  run_opts.max_cells =
+      static_cast<std::size_t>(opts.get_int("max-cells", 0));
+  if (opts.has("progress")) {
+    run_opts.progress = [](std::size_t done, std::size_t total) {
+      std::cerr << "\r" << done << "/" << total << " cells" << std::flush;
+      if (done == total) std::cerr << '\n';
+    };
+  }
+
+  const CampaignRunSummary summary = run_campaign(spec, store, run_opts);
+  const double rate = summary.seconds > 0.0
+                          ? static_cast<double>(summary.executed_cells) /
+                                summary.seconds
+                          : 0.0;
+  std::cout << "campaign " << spec.name << ": " << summary.total_cells
+            << " cells total, shard " << run_opts.shard.index << "/"
+            << run_opts.shard.count << " owns " << summary.shard_cells
+            << ", resumed " << summary.resumed_cells << ", executed "
+            << summary.executed_cells << " in "
+            << format_fixed(summary.seconds, 2) << " s ("
+            << format_fixed(rate, 1) << " cells/s)\n";
+  std::cout << "store: " << store_path << " (" << store.size()
+            << " records)\n";
+
+  if (opts.has("merged-out")) {
+    const std::string out_path = opts.get("merged-out", "");
+    std::ofstream os(out_path, std::ios::binary);
+    SEHC_CHECK(static_cast<bool>(os), "run: cannot write " + out_path);
+    store.write_canonical(os);
+    std::cout << "canonical table: " << out_path << '\n';
+  }
+  if (opts.has("bench-json")) {
+    // Wall-time tracking next to BENCH_hotpath.json: cells/s here divided
+    // by the hot path's trials/s gives trials per cell, the quantity the
+    // perf baseline predicts.
+    const std::string out_path = opts.get("bench-json", "");
+    std::ofstream os(out_path, std::ios::binary);
+    SEHC_CHECK(static_cast<bool>(os), "run: cannot write " + out_path);
+    os << "{\n"
+       << "  \"bench\": \"campaign\",\n"
+       << "  \"spec\": \"" << spec.name << "\",\n"
+       << "  \"unit\": \"cells_per_sec\",\n"
+       << "  \"total_cells\": " << summary.total_cells << ",\n"
+       << "  \"shard_cells\": " << summary.shard_cells << ",\n"
+       << "  \"resumed_cells\": " << summary.resumed_cells << ",\n"
+       << "  \"executed_cells\": " << summary.executed_cells << ",\n"
+       << "  \"threads\": " << run_opts.threads << ",\n"
+       << "  \"seconds\": " << format_fixed(summary.seconds, 4) << ",\n"
+       << "  \"cells_per_sec\": " << format_fixed(rate, 2) << "\n"
+       << "}\n";
+    std::cout << "bench json: " << out_path << '\n';
+  }
+  return 0;
+}
+
+int cmd_merge(int argc, char** argv) {
+  std::string out_path;
+  std::vector<std::string> inputs;
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--out" || arg.rfind("--out=", 0) == 0) {
+      if (arg == "--out") {
+        SEHC_CHECK(i + 1 < argc, "merge: --out needs a path");
+        out_path = argv[++i];
+      } else {
+        out_path = arg.substr(6);
+      }
+    } else {
+      SEHC_CHECK(arg.rfind("--", 0) != 0, "merge: unknown option " + arg);
+      inputs.push_back(arg);
+    }
+  }
+  SEHC_CHECK(!out_path.empty(), "merge: --out PATH is required");
+  SEHC_CHECK(!inputs.empty(), "merge: no input stores");
+
+  const ResultStore merged = ResultStore::merge(inputs);
+  std::ofstream os(out_path, std::ios::binary);
+  SEHC_CHECK(static_cast<bool>(os), "merge: cannot write " + out_path);
+  merged.write_canonical(os);
+  std::cout << "merged " << inputs.size() << " store(s), " << merged.size()
+            << " records -> " << out_path << '\n';
+  return 0;
+}
+
+int cmd_table(const Options& opts) {
+  const std::string store_path = opts.get("store", "");
+  SEHC_CHECK(!store_path.empty(), "table: --store PATH is required");
+  const ResultStore store = ResultStore::load(store_path);
+  const std::vector<CampaignRecord> records = campaign_records(store);
+  SEHC_CHECK(!records.empty(), "table: store is empty");
+
+  std::cout << "spec: " << store.schema().spec_line << '\n';
+  std::cout << "records: " << records.size() << "\n\n";
+  campaign_mean_table(records).write_markdown(std::cout);
+
+  bool has_se = false, has_ga = false;
+  for (const CampaignRecord& r : records) {
+    has_se |= r.scheduler == "SE";
+    has_ga |= r.scheduler == "GA";
+  }
+  if (has_se && has_ga) {
+    std::cout << "\n";
+    se_vs_ga_table(records).write_markdown(std::cout);
+    std::cout << "\n(se/ga < 1 means SE found shorter schedules in the "
+                 "budget)\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  const std::string command = argv[1];
+  try {
+    if (command == "list") return cmd_list();
+    if (command == "merge") return cmd_merge(argc, argv);
+
+    const std::vector<std::string> known{
+        "spec",      "store",     "shard",        "threads",
+        "max-cells", "fresh",     "merged-out",   "bench-json",
+        "progress",  "seeds",     "iters",        "curve-points",
+        "base-seed", "tasks",     "machines",     "budget",
+        "out"};
+    const Options opts(argc - 1, argv + 1, known);
+    if (command == "show") return cmd_show(opts);
+    if (command == "run") return cmd_run(opts);
+    if (command == "table") return cmd_table(opts);
+    return usage();
+  } catch (const std::exception& e) {
+    std::cerr << "sehc_campaign " << command << ": " << e.what() << '\n';
+    return 1;
+  }
+}
