@@ -15,6 +15,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/report.h"
 #include "core/error.h"
 #include "core/options.h"
 #include "core/table.h"
@@ -91,17 +92,19 @@ inline int run_se_vs_ga(const SeVsGaConfig& cfg) {
 
   write_anytime_csv(std::cout, se_curve, ga_curve, grid);
 
+  // Summary + crossing via the analysis subsystem (same code path as
+  // sehc_report): when does SE durably overtake GA, and the head-to-head.
+  const CampaignDataset dataset = build_dataset(store);
+  const ReportOptions report_opts;
+  std::cout << "\n";
+  write_table(std::cout, crossing_table(dataset, report_opts),
+              ReportFormat::kMarkdown);
+  std::cout << "\n";
+  write_table(std::cout, pair_comparison_table(dataset, report_opts),
+              ReportFormat::kMarkdown);
+
   const double se_final = value_at(se_curve, cfg.budget_seconds);
   const double ga_final = value_at(ga_curve, cfg.budget_seconds);
-  const double se_half = value_at(se_curve, cfg.budget_seconds / 2.0);
-  const double ga_half = value_at(ga_curve, cfg.budget_seconds / 2.0);
-
-  Table summary({"heuristic", "best@half_budget", "best@budget"});
-  summary.begin_row().add("SE").add(se_half, 1).add(se_final, 1);
-  summary.begin_row().add("GA").add(ga_half, 1).add(ga_final, 1);
-  std::cout << "\n";
-  summary.write_markdown(std::cout);
-
   const char* winner = se_final < ga_final   ? "SE"
                        : ga_final < se_final ? "GA"
                                              : "tie";

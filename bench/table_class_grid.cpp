@@ -19,6 +19,7 @@
 #include <iostream>
 #include <thread>
 
+#include "analysis/report.h"
 #include "core/options.h"
 #include "core/table.h"
 #include "exp/campaign.h"
@@ -58,8 +59,13 @@ int main(int argc, char** argv) {
   run_opts.threads = static_cast<std::size_t>(opts.get_int("threads", 1));
   const CampaignRunSummary summary = run_campaign(spec, store, run_opts);
 
-  se_vs_ga_table(campaign_records(store)).write_markdown(std::cout);
-  std::cout << "\n(se/ga < 1 means SE found shorter schedules in the budget; "
+  // The head-to-head aggregation (means, ratio, wins, paired sign /
+  // Wilcoxon p-values) comes from the analysis subsystem; sehc_report
+  // renders the full report (CIs, crossings, profiles) from --store files.
+  const CampaignDataset dataset = build_dataset(store);
+  write_table(std::cout, pair_comparison_table(dataset, ReportOptions{}),
+              ReportFormat::kMarkdown);
+  std::cout << "\n(SE/GA < 1 means SE found shorter schedules in the budget; "
                "class = connectivity-heterogeneity-ccr)\n";
 
   const std::size_t threads = run_opts.threads;

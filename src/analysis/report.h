@@ -1,0 +1,132 @@
+// Report generator over campaign stores: turns merged ResultStores into
+// publication-grade comparison tables (per-class mean +/- bootstrap CI,
+// pairwise win/loss/tie with sign and Wilcoxon p-values, SE-vs-GA crossing
+// points on the mean anytime curve, and Dolan-Moré performance profiles),
+// rendered as Markdown or CSV.
+//
+// Every table is a byte-deterministic function of the store's canonical
+// records and the ReportOptions: records are consumed in sorted cell order,
+// bootstrap streams are seeded from stable group identity, and no
+// wall-clock or environment data enters the output. Reports are therefore
+// diffable, and CI cmp's a generated report against a committed golden.
+#pragma once
+
+#include <cstddef>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "analysis/curves.h"
+#include "analysis/stats.h"
+#include "core/table.h"
+#include "exp/campaign.h"
+#include "exp/result_store.h"
+
+namespace sehc {
+
+enum class ReportFormat { kMarkdown, kCsv };
+
+/// Parses "md" / "markdown" / "csv"; throws sehc::Error otherwise.
+ReportFormat parse_report_format(const std::string& name);
+
+/// Renders one table in the requested format.
+void write_table(std::ostream& os, const Table& table, ReportFormat format);
+
+/// All repetitions of one (class, scheduler) pair, in ascending repetition
+/// order (which is also cell order, so the layout is decomposition-proof).
+struct CampaignGroup {
+  std::string class_name;
+  std::string scheduler;
+  std::vector<std::size_t> reps;
+  std::vector<double> makespans;
+  std::vector<double> lower_bounds;
+  /// Sampled anytime curves (empty vectors when the spec captured none).
+  std::vector<std::vector<double>> curves;
+};
+
+/// Campaign records grouped for analysis. Built from any campaign store —
+/// including partially-filled shard stores; pairwise statistics intersect
+/// repetitions, so missing cells shrink `n` instead of poisoning tables.
+struct CampaignDataset {
+  StoreSchema schema;
+  std::vector<std::string> classes;     // first-appearance (cell) order
+  std::vector<std::string> schedulers;  // first-appearance (cell) order
+  std::vector<CampaignGroup> groups;    // class-major, scheduler-minor
+  /// Anytime samples per record (0 = the spec captured no curves).
+  std::size_t curve_points = 0;
+  /// Shared budget grid of the curves: the iteration or wall-clock grid
+  /// reconstructed from the store's spec line, or a 1..N index grid when
+  /// the spec line is not parseable. Empty when curve_points == 0.
+  std::vector<double> grid;
+  /// Curve x-axis label: "iterations", "seconds" or "sample".
+  std::string axis = "sample";
+
+  bool has_curves() const { return curve_points > 0; }
+  const CampaignGroup* find_group(const std::string& class_name,
+                                  const std::string& scheduler) const;
+  /// The group's curves as a CurveBundle on the shared grid.
+  CurveBundle bundle(const CampaignGroup& group) const;
+};
+
+/// Groups a campaign store's records (throws unless kind == "campaign").
+CampaignDataset build_dataset(const ResultStore& store);
+
+/// True when some class has challenger and baseline records sharing at
+/// least one repetition — the precondition of the head-to-head and
+/// crossing tables. Callers that degrade to a note (write_report,
+/// sehc_campaign table) share this check so partial shard stores never
+/// fail mid-output.
+bool has_paired_records(const CampaignDataset& dataset,
+                        const std::string& challenger,
+                        const std::string& baseline);
+
+struct ReportOptions {
+  BootstrapOptions bootstrap;
+  /// Tau breakpoints tabulated by the performance profile.
+  std::vector<double> profile_taus{1.0, 1.01, 1.02, 1.05,
+                                   1.1, 1.2,  1.5,  2.0};
+  /// The pair the crossing and head-to-head tables compare: "when does
+  /// `challenger` overtake `baseline`".
+  std::string challenger = "SE";
+  std::string baseline = "GA";
+};
+
+/// Per-(class, scheduler) means with seeded-bootstrap confidence intervals:
+/// class, scheduler, n, mean, ci_lo, ci_hi, mean_vs_lb. The bootstrap seed
+/// of each row is derived from the (class, scheduler) names, so the table
+/// is invariant to record order, thread count and shard composition.
+Table summary_table(const CampaignDataset& dataset,
+                    const ReportOptions& options);
+
+/// Per-class win/loss/tie counts for every scheduler pair over the class's
+/// common repetitions, with paired sign-test and Wilcoxon p-values.
+Table win_loss_table(const CampaignDataset& dataset);
+
+/// Head-to-head challenger-vs-baseline table (the §5.3 comparison shape):
+/// class, n, means, ratio (sum/sum, < 1 means the challenger found shorter
+/// schedules), win record and paired p-values. Classes missing either
+/// scheduler are skipped; throws if no class has both.
+Table pair_comparison_table(const CampaignDataset& dataset,
+                            const ReportOptions& options);
+
+/// Per-class first-crossing table over the mean anytime curves: at which
+/// budget does the challenger durably overtake the baseline, the means at
+/// that point, the final means, and the AUC ratio. Requires curve capture
+/// (throws when the store has none).
+Table crossing_table(const CampaignDataset& dataset,
+                     const ReportOptions& options);
+
+/// Dolan-Moré performance profile over the whole grid: one row per
+/// scheduler, one column per tau, cells = fraction of (class, repetition)
+/// problems solved within tau x the problem's best cost.
+Table profile_table(const CampaignDataset& dataset,
+                    const ReportOptions& options);
+
+/// The full report: header metadata plus every applicable section above.
+/// Sections that need schedulers the store lacks (head-to-head, crossings)
+/// degrade to a one-line note instead of failing, so `full` works on any
+/// campaign store.
+void write_report(std::ostream& os, const CampaignDataset& dataset,
+                  const ReportOptions& options, ReportFormat format);
+
+}  // namespace sehc

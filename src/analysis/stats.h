@@ -1,0 +1,95 @@
+// Statistics engine for campaign analysis: seeded-bootstrap confidence
+// intervals, paired sign / Wilcoxon signed-rank tests, and win/loss/tie
+// matrices over method pairs.
+//
+// Everything here is deterministic for fixed inputs: the bootstrap is
+// driven by the library's own Rng (never std distributions), the sign test
+// uses exact binomial arithmetic, and the Wilcoxon p-value comes from a
+// tie-corrected normal approximation whose only libm dependency is
+// std::exp (no erf/erfc/lgamma, whose accuracy varies far more across
+// implementations). Reports print these numbers at fixed precision, so
+// they are diffable and CI-enforceable.
+//
+// Convention: samples are costs (schedule lengths), so LOWER IS BETTER and
+// "a wins pair i" means a[i] < b[i].
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace sehc {
+
+struct BootstrapOptions {
+  /// Bootstrap resample count; more resamples narrow the Monte-Carlo error
+  /// of the interval endpoints, not the interval itself.
+  std::size_t resamples = 2000;
+  /// Two-sided confidence level in (0, 1).
+  double confidence = 0.95;
+  /// Seed of the resampling stream. Callers that tabulate several groups
+  /// should derive a per-group seed from stable group identity (not table
+  /// order) so reports stay byte-identical under reordering.
+  std::uint64_t seed = 0x5ebc0a11ULL;
+};
+
+/// A mean with a two-sided bootstrap percentile interval.
+struct ConfidenceInterval {
+  std::size_t n = 0;
+  double mean = 0.0;
+  double lo = 0.0;
+  double hi = 0.0;
+};
+
+/// Seeded-bootstrap percentile CI of the sample mean. Deterministic for a
+/// fixed (values, options) input. Throws sehc::Error on an empty sample;
+/// a single-value sample yields the degenerate interval lo == hi == mean.
+ConfidenceInterval bootstrap_mean_ci(std::span<const double> values,
+                                     const BootstrapOptions& options = {});
+
+/// Result of a paired two-sided test between cost samples a and b.
+struct PairedTest {
+  /// Informative pairs actually used by the test (ties are dropped).
+  std::size_t pairs = 0;
+  std::size_t a_wins = 0;  // a[i] < b[i]
+  std::size_t b_wins = 0;  // b[i] < a[i]
+  std::size_t ties = 0;    // a[i] == b[i] (excluded from `pairs`)
+  /// Sign test: a_wins. Wilcoxon: W+, the rank sum of pairs where a wins.
+  double statistic = 0.0;
+  /// Two-sided p-value; 1.0 when there are no informative pairs.
+  double p_value = 1.0;
+};
+
+/// Exact two-sided paired sign test (binomial, p = 1/2). Uses exact pmf
+/// summation up to 1000 informative pairs and a continuity-corrected normal
+/// approximation beyond. Requires a.size() == b.size().
+PairedTest sign_test(std::span<const double> a, std::span<const double> b);
+
+/// Two-sided Wilcoxon signed-rank test with average ranks for tied
+/// |differences|, tie-corrected variance and continuity correction.
+/// Requires a.size() == b.size().
+PairedTest wilcoxon_signed_rank(std::span<const double> a,
+                                std::span<const double> b);
+
+/// One cell of a pairwise comparison matrix (row method vs column method).
+struct WinLossTie {
+  std::size_t wins = 0;
+  std::size_t losses = 0;
+  std::size_t ties = 0;
+};
+
+/// Pairwise win/loss/tie matrix over methods: costs[m][p] is the cost of
+/// method m on problem p (all rows the same length; lower is better).
+/// result[i][j] counts problems where method i beats / loses to / ties
+/// method j; the matrix is antisymmetric (result[i][j].wins ==
+/// result[j][i].losses) and the diagonal is all ties.
+std::vector<std::vector<WinLossTie>> win_loss_matrix(
+    const std::vector<std::vector<double>>& costs);
+
+/// Standard normal CDF via the Abramowitz-Stegun 26.2.17 rational
+/// approximation (|error| < 7.5e-8). The only libm call is std::exp;
+/// its last-ulp variation across libm versions is ~9 orders of magnitude
+/// below the 4-decimal precision reports print p-values at.
+double normal_cdf(double z);
+
+}  // namespace sehc

@@ -95,10 +95,13 @@ StoreSchema CampaignSpec::store_schema() const {
   schema.kind = "campaign";
   schema.spec_hash = hash();
   std::ostringstream line;
+  // budget_s echoes the same 6-decimal form canonical_string() hashes, so
+  // the analysis layer's grid reconstruction from this line is exact to
+  // spec identity (two budgets equal at 6 decimals ARE the same spec).
   line << "name=" << name << " classes=" << classes.size()
        << " schedulers=" << join(schedulers, ';')
        << " reps=" << repetitions << " iters=" << iterations
-       << " budget_s=" << format_fixed(time_budget_seconds, 3)
+       << " budget_s=" << format_fixed(time_budget_seconds, 6)
        << " curve_points=" << curve_points << " base_seed=" << base_seed;
   schema.spec_line = line.str();
   schema.columns = campaign_columns();
@@ -386,80 +389,6 @@ std::vector<CampaignRecord> campaign_records(const ResultStore& store) {
     records.push_back(CampaignRecord::from_row(row));
   }
   return records;
-}
-
-namespace {
-
-/// Class names in first-appearance (cell) order plus a per-class record
-/// index, the shared shape of both aggregate tables.
-std::vector<std::string> class_order(const std::vector<CampaignRecord>& records) {
-  std::vector<std::string> order;
-  for (const CampaignRecord& r : records) {
-    if (std::find(order.begin(), order.end(), r.class_name) == order.end()) {
-      order.push_back(r.class_name);
-    }
-  }
-  return order;
-}
-
-}  // namespace
-
-Table campaign_mean_table(const std::vector<CampaignRecord>& records) {
-  Table table({"class", "scheduler", "reps", "mean_makespan", "mean_vs_lb"});
-  std::vector<std::pair<std::string, std::string>> keys;  // cell order
-  std::map<std::pair<std::string, std::string>, std::pair<double, double>> sums;
-  std::map<std::pair<std::string, std::string>, std::size_t> counts;
-  for (const CampaignRecord& r : records) {
-    const auto key = std::make_pair(r.class_name, r.scheduler);
-    if (counts.emplace(key, 0).second) keys.push_back(key);
-    ++counts[key];
-    sums[key].first += r.makespan;
-    sums[key].second += r.lower_bound > 0.0 ? r.makespan / r.lower_bound : 0.0;
-  }
-  for (const auto& key : keys) {
-    const double n = static_cast<double>(counts[key]);
-    table.begin_row()
-        .add(key.first)
-        .add(key.second)
-        .add(counts[key])
-        .add(sums[key].first / n, 1)
-        .add(sums[key].second / n, 3);
-  }
-  return table;
-}
-
-Table se_vs_ga_table(const std::vector<CampaignRecord>& records) {
-  Table table({"class", "se_mean", "ga_mean", "se/ga", "se_wins"});
-  for (const std::string& cls : class_order(records)) {
-    std::map<std::size_t, double> se, ga;  // rep -> makespan
-    for (const CampaignRecord& r : records) {
-      if (r.class_name != cls) continue;
-      if (r.scheduler == "SE") se[r.repetition] = r.makespan;
-      if (r.scheduler == "GA") ga[r.repetition] = r.makespan;
-    }
-    SEHC_CHECK(!se.empty() && se.size() == ga.size(),
-               "se_vs_ga_table: class '" + cls +
-                   "' needs matching SE and GA records");
-    double se_sum = 0.0, ga_sum = 0.0;
-    std::size_t se_wins = 0;
-    for (const auto& [rep, se_len] : se) {
-      const auto it = ga.find(rep);
-      SEHC_CHECK(it != ga.end(), "se_vs_ga_table: class '" + cls +
-                                     "' misses GA repetition " +
-                                     std::to_string(rep));
-      se_sum += se_len;
-      ga_sum += it->second;
-      se_wins += se_len < it->second;
-    }
-    const double n = static_cast<double>(se.size());
-    table.begin_row()
-        .add(cls)
-        .add(se_sum / n, 1)
-        .add(ga_sum / n, 1)
-        .add(se_sum / ga_sum, 3)
-        .add(std::to_string(se_wins) + "/" + std::to_string(se.size()));
-  }
-  return table;
 }
 
 namespace {

@@ -26,7 +26,6 @@
 #include <string>
 #include <vector>
 
-#include "core/table.h"
 #include "exp/result_store.h"
 #include "exp/sweep.h"
 #include "workload/params.h"
@@ -156,17 +155,10 @@ CampaignRunSummary run_campaign(const CampaignSpec& spec, ResultStore& store,
                                 const CampaignRunOptions& options);
 
 /// All records of a campaign store, sorted by cell index.
+/// Aggregation (means, CIs, win/loss, crossings, profiles) lives in the
+/// analysis subsystem: build_dataset() + the table builders of
+/// analysis/report.h consume these records.
 std::vector<CampaignRecord> campaign_records(const ResultStore& store);
-
-/// Mean makespan and mean makespan/lower-bound ratio per (class, scheduler)
-/// over repetitions, classes in cell order. Deterministic for
-/// iteration-budget campaigns (no wall-clock column).
-Table campaign_mean_table(const std::vector<CampaignRecord>& records);
-
-/// The §5.3 comparison shape: per class, SE and GA mean makespans, their
-/// ratio (sum(SE)/sum(GA), < 1 means SE found shorter schedules) and the
-/// per-repetition win count. Requires SE and GA records for every class.
-Table se_vs_ga_table(const std::vector<CampaignRecord>& records);
 
 // --- Built-in campaign configurations --------------------------------------
 

@@ -245,11 +245,18 @@ ResultStore ResultStore::merge(const std::vector<std::string>& paths) {
           merged.rows_.begin(), merged.rows_.end(),
           [&](const StoreRow& r) { return r.cell == row.cell; });
       for (std::size_t c = 0; c < deterministic; ++c) {
+        // The full rows go into the message: at campaign scale (hundreds
+        // of cells) the leading fields are the cell's grid coordinates
+        // (class, scheduler, repetition), which is what one needs to find
+        // the offending run.
         SEHC_CHECK(it->fields[c] == row.fields[c],
                    "ResultStore::merge: cell " + std::to_string(row.cell) +
                        " disagrees between stores on column '" +
-                       merged.schema_.columns[c] + "' ('" + it->fields[c] +
-                       "' vs '" + row.fields[c] + "' from " + path + ")");
+                       merged.schema_.columns[c] + "': '" + it->fields[c] +
+                       "' (kept, from an earlier input) vs '" +
+                       row.fields[c] + "' (from " + path + ")\n  kept row: " +
+                       merged.format_row(*it) + "\n  new row:  " +
+                       merged.format_row(row));
       }
     }
   };

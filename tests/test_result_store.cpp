@@ -202,6 +202,38 @@ TEST(ResultStore, MergeUnionsDedupsAndDetectsConflicts) {
   std::remove(p3.c_str());
 }
 
+TEST(ResultStore, MergeConflictMessageCarriesBothRows) {
+  // At campaign scale the flat cell index alone is useless for debugging;
+  // the error must carry the differing column, both values and both full
+  // rows (whose leading fields are the cell's grid coordinates).
+  const std::string p1 = temp_store_path("conflict1");
+  const std::string p2 = temp_store_path("conflict2");
+  {
+    ResultStore s1 = ResultStore::open(p1, test_schema());
+    s1.append({5, {"low-low-0.1", "101.5", "0.1"}});
+    ResultStore s2 = ResultStore::open(p2, test_schema());
+    s2.append({5, {"low-low-0.1", "999.9", "0.2"}});
+  }
+  try {
+    ResultStore::merge({p1, p2});
+    FAIL() << "conflicting merge did not throw";
+  } catch (const Error& e) {
+    const std::string what = e.what();
+    EXPECT_NE(what.find("cell 5"), std::string::npos) << what;
+    EXPECT_NE(what.find("column 'value'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'101.5'"), std::string::npos) << what;
+    EXPECT_NE(what.find("'999.9'"), std::string::npos) << what;
+    EXPECT_NE(what.find(p2), std::string::npos) << what;
+    // Both full rows, coordinates included.
+    EXPECT_NE(what.find("kept row: 5,low-low-0.1,101.5"), std::string::npos)
+        << what;
+    EXPECT_NE(what.find("new row:  5,low-low-0.1,999.9"), std::string::npos)
+        << what;
+  }
+  std::remove(p1.c_str());
+  std::remove(p2.c_str());
+}
+
 TEST(ResultStore, LoadedStoreIsReadOnly) {
   const std::string path = temp_store_path("readonly");
   { ResultStore store = ResultStore::open(path, test_schema()); }

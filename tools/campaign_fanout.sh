@@ -1,0 +1,106 @@
+#!/usr/bin/env bash
+# Multi-machine campaign launcher: fan a campaign's shards out over hosts
+# (or local processes), collect the shard stores, and merge them into one
+# canonical table.
+#
+#   tools/campaign_fanout.sh --spec scaled-class-grid --shards 4 \
+#       --out grid.csv [--hosts "alpha,beta"] [--bin PATH] [--threads T] \
+#       [--workdir DIR] [-- EXTRA_RUN_ARGS...]
+#
+# Without --hosts every shard runs as a local background process (useful to
+# saturate one big machine, and what CI smoke-tests). With --hosts the
+# shards round-robin over the comma-separated SSH hosts: each host must
+# have the sehc_campaign binary at --bin and a writable --workdir; shard
+# stores are copied back with scp before merging.
+#
+# Shards are deterministic (cell seeds derive from grid coordinates), so
+# the merged output is byte-identical to a single-process run of the same
+# spec — rerunning after a partial failure resumes: completed cells are
+# skipped, and the merge only happens once every shard store is present.
+set -euo pipefail
+
+usage() {
+  sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+  exit 2
+}
+
+SPEC=""
+SHARDS=""
+OUT=""
+HOSTS=""
+BIN="./build/sehc_campaign"
+WORKDIR=""
+THREADS=0
+EXTRA_ARGS=()
+
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --spec)    SPEC="$2"; shift 2 ;;
+    --shards)  SHARDS="$2"; shift 2 ;;
+    --out)     OUT="$2"; shift 2 ;;
+    --hosts)   HOSTS="$2"; shift 2 ;;
+    --bin)     BIN="$2"; shift 2 ;;
+    --workdir) WORKDIR="$2"; shift 2 ;;
+    --threads) THREADS="$2"; shift 2 ;;
+    --)        shift; EXTRA_ARGS=("$@"); break ;;
+    -h|--help) usage ;;
+    *) echo "campaign_fanout: unknown option '$1'" >&2; usage ;;
+  esac
+done
+
+[[ -n "$SPEC" && -n "$SHARDS" && -n "$OUT" ]] || usage
+[[ "$SHARDS" =~ ^[0-9]+$ && "$SHARDS" -ge 1 ]] || {
+  echo "campaign_fanout: --shards must be a positive integer" >&2; exit 2; }
+WORKDIR="${WORKDIR:-$(pwd)/fanout-$SPEC}"
+mkdir -p "$WORKDIR"
+
+IFS=',' read -r -a HOST_LIST <<< "$HOSTS"
+NUM_HOSTS=0
+[[ -n "$HOSTS" ]] && NUM_HOSTS="${#HOST_LIST[@]}"
+
+echo "campaign_fanout: spec=$SPEC shards=$SHARDS" \
+     "mode=$([[ $NUM_HOSTS -gt 0 ]] && echo "ssh ($NUM_HOSTS hosts)" || echo local)"
+
+PIDS=()
+SHARD_STORES=()
+for ((i = 0; i < SHARDS; ++i)); do
+  store="$WORKDIR/shard_${i}_of_${SHARDS}.csv"
+  SHARD_STORES+=("$store")
+  run_args=(run --spec "$SPEC" --shard "$i/$SHARDS" --threads "$THREADS")
+  [[ ${#EXTRA_ARGS[@]} -gt 0 ]] && run_args+=("${EXTRA_ARGS[@]}")
+  if [[ $NUM_HOSTS -gt 0 ]]; then
+    host="${HOST_LIST[$((i % NUM_HOSTS))]}"
+    remote_store="$WORKDIR/shard_${i}_of_${SHARDS}.csv"
+    # %q-quote every word so spaces/metacharacters survive the remote shell.
+    remote_cmd=$(printf '%q ' mkdir -p "$WORKDIR")
+    remote_cmd+=" && $(printf '%q ' "$BIN" "${run_args[@]}" --store "$remote_store")"
+    # shellcheck disable=SC2029  # expansion on the client side is intended
+    ssh "$host" "$remote_cmd" > "$WORKDIR/shard_$i.log" 2>&1 &
+  else
+    "$BIN" "${run_args[@]}" --store "$store" \
+      > "$WORKDIR/shard_$i.log" 2>&1 &
+  fi
+  PIDS+=($!)
+done
+
+FAILED=0
+for ((i = 0; i < SHARDS; ++i)); do
+  if ! wait "${PIDS[$i]}"; then
+    echo "campaign_fanout: shard $i/$SHARDS FAILED (log: $WORKDIR/shard_$i.log)" >&2
+    FAILED=1
+  fi
+done
+if [[ $FAILED -ne 0 ]]; then
+  echo "campaign_fanout: rerun the same command to resume failed shards" >&2
+  exit 1
+fi
+
+if [[ $NUM_HOSTS -gt 0 ]]; then
+  for ((i = 0; i < SHARDS; ++i)); do
+    host="${HOST_LIST[$((i % NUM_HOSTS))]}"
+    scp -q "$host:$WORKDIR/shard_${i}_of_${SHARDS}.csv" "${SHARD_STORES[$i]}"
+  done
+fi
+
+"$BIN" merge --out "$OUT" "${SHARD_STORES[@]}"
+echo "campaign_fanout: merged $SHARDS shard store(s) -> $OUT"

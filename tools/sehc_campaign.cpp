@@ -7,7 +7,7 @@
 //                       [--max-cells N] [--fresh] [--merged-out PATH]
 //                       [--bench-json PATH] [--progress] [overrides]
 //   sehc_campaign merge --out PATH STORE...
-//   sehc_campaign table --store PATH
+//   sehc_campaign table --store PATH [--format md|csv]
 //
 // Overrides (run/show): --seeds R --iters I --curve-points P --base-seed B
 //                       --tasks K --machines L --budget SECONDS
@@ -23,6 +23,7 @@
 #include <string>
 #include <vector>
 
+#include "analysis/report.h"
 #include "core/error.h"
 #include "core/options.h"
 #include "core/table.h"
@@ -41,7 +42,8 @@ int usage() {
          "        [--max-cells N] [--fresh] [--merged-out PATH]\n"
          "        [--bench-json PATH] [--progress]\n"
          "  merge --out PATH STORE... merge shard stores (canonical output)\n"
-         "  table --store PATH        aggregate tables from a store\n"
+         "  table --store PATH [--format md|csv]\n"
+         "                            aggregate tables from a store\n"
          "  spec overrides (run/show): --seeds --iters --curve-points\n"
          "        --base-seed --tasks --machines --budget\n";
   return 2;
@@ -195,27 +197,34 @@ int cmd_merge(int argc, char** argv) {
   return 0;
 }
 
+/// Aggregate tables, rendered by the analysis subsystem's report layer
+/// (sehc_report gives the full report; this stays the quick look).
 int cmd_table(const Options& opts) {
   const std::string store_path = opts.get("store", "");
   SEHC_CHECK(!store_path.empty(), "table: --store PATH is required");
+  const ReportFormat format = parse_report_format(opts.get("format", "md"));
   const ResultStore store = ResultStore::load(store_path);
-  const std::vector<CampaignRecord> records = campaign_records(store);
-  SEHC_CHECK(!records.empty(), "table: store is empty");
+  const CampaignDataset dataset = build_dataset(store);
+  const ReportOptions report_opts;
 
-  std::cout << "spec: " << store.schema().spec_line << '\n';
-  std::cout << "records: " << records.size() << "\n\n";
-  campaign_mean_table(records).write_markdown(std::cout);
-
-  bool has_se = false, has_ga = false;
-  for (const CampaignRecord& r : records) {
-    has_se |= r.scheduler == "SE";
-    has_ga |= r.scheduler == "GA";
+  if (format == ReportFormat::kMarkdown) {
+    std::cout << "spec: " << dataset.schema.spec_line << '\n';
+    std::cout << "records: " << store.size() << "\n\n";
+  } else {
+    std::cout << "# spec: " << dataset.schema.spec_line << '\n';
+    std::cout << "# records: " << store.size() << '\n';
   }
-  if (has_se && has_ga) {
+  write_table(std::cout, summary_table(dataset, report_opts), format);
+
+  if (has_paired_records(dataset, report_opts.challenger,
+                         report_opts.baseline)) {
     std::cout << "\n";
-    se_vs_ga_table(records).write_markdown(std::cout);
-    std::cout << "\n(se/ga < 1 means SE found shorter schedules in the "
-                 "budget)\n";
+    write_table(std::cout, pair_comparison_table(dataset, report_opts),
+                format);
+    if (format == ReportFormat::kMarkdown) {
+      std::cout << "\n(SE/GA < 1 means SE found shorter schedules in the "
+                   "budget; sehc_report adds crossings and profiles)\n";
+    }
   }
   return 0;
 }
@@ -234,7 +243,7 @@ int main(int argc, char** argv) {
         "max-cells", "fresh",     "merged-out",   "bench-json",
         "progress",  "seeds",     "iters",        "curve-points",
         "base-seed", "tasks",     "machines",     "budget",
-        "out"};
+        "out",       "format"};
     const Options opts(argc - 1, argv + 1, known);
     if (command == "show") return cmd_show(opts);
     if (command == "run") return cmd_run(opts);

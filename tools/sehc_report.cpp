@@ -1,0 +1,169 @@
+// Report CLI: publication-grade comparisons from campaign stores (see
+// README "Analysis").
+//
+//   sehc_report summary   STORE...   per-class mean +/- bootstrap CI
+//   sehc_report winloss   STORE...   win/loss/tie per scheduler pair
+//   sehc_report crossings STORE...   when the challenger overtakes the
+//                                    baseline on the mean anytime curve
+//   sehc_report profile   STORE...   Dolan-Moré performance profile
+//   sehc_report full      STORE...   the full Markdown/CSV report
+//
+// Options: --format md|csv (default md), --out PATH (default stdout),
+//          --challenger NAME (default SE), --baseline NAME (default GA),
+//          --resamples N, --confidence C, --boot-seed S, --taus t1,t2,...
+//
+// Several STORE arguments are merged first (they must carry the same spec
+// hash), so per-shard stores can be analyzed without a separate merge
+// step. Output is byte-deterministic for fixed inputs: CI diffs a
+// generated report against a committed golden.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "analysis/report.h"
+#include "core/error.h"
+#include "exp/result_store.h"
+
+namespace {
+
+using namespace sehc;
+
+int usage() {
+  std::cerr << "usage: sehc_report <summary|winloss|crossings|profile|full>"
+               " [options] STORE...\n"
+               "  --format md|csv      output format (default md)\n"
+               "  --out PATH           write to PATH instead of stdout\n"
+               "  --challenger NAME    comparison challenger (default SE)\n"
+               "  --baseline NAME      comparison baseline (default GA)\n"
+               "  --resamples N        bootstrap resamples (default 2000)\n"
+               "  --confidence C       CI level in (0,1) (default 0.95)\n"
+               "  --boot-seed S        bootstrap seed\n"
+               "  --taus t1,t2,...     profile tau breakpoints\n";
+  return 2;
+}
+
+std::vector<double> parse_taus(const std::string& text) {
+  std::vector<double> taus;
+  std::string::size_type pos = 0;
+  while (pos <= text.size()) {
+    auto comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    const std::string item = text.substr(pos, comma - pos);
+    SEHC_CHECK(!item.empty(), "--taus: empty element in '" + text + "'");
+    std::size_t used = 0;
+    double value = 0.0;
+    try {
+      value = std::stod(item, &used);
+    } catch (const std::exception&) {
+      used = 0;
+    }
+    SEHC_CHECK(used == item.size(), "--taus: bad number '" + item + "'");
+    taus.push_back(value);
+    pos = comma + 1;
+  }
+  return taus;
+}
+
+struct Cli {
+  std::string command;
+  std::vector<std::string> stores;
+  std::string out_path;
+  ReportFormat format = ReportFormat::kMarkdown;
+  ReportOptions options;
+};
+
+Cli parse_cli(int argc, char** argv) {
+  Cli cli;
+  cli.command = argv[1];
+  SEHC_CHECK(cli.command == "summary" || cli.command == "winloss" ||
+                 cli.command == "crossings" || cli.command == "profile" ||
+                 cli.command == "full",
+             "unknown command '" + cli.command +
+                 "' (expected summary|winloss|crossings|profile|full)");
+  for (int i = 2; i < argc; ++i) {
+    std::string arg = argv[i];
+    std::string value;
+    const auto eq = arg.find('=');
+    const bool has_inline = arg.rfind("--", 0) == 0 && eq != std::string::npos;
+    if (has_inline) {
+      value = arg.substr(eq + 1);
+      arg = arg.substr(0, eq);
+    }
+    auto take = [&]() -> std::string {
+      if (has_inline) return value;
+      SEHC_CHECK(i + 1 < argc, arg + " needs a value");
+      return argv[++i];
+    };
+    if (arg == "--format") cli.format = parse_report_format(take());
+    else if (arg == "--out") cli.out_path = take();
+    else if (arg == "--challenger") cli.options.challenger = take();
+    else if (arg == "--baseline") cli.options.baseline = take();
+    else if (arg == "--resamples") {
+      cli.options.bootstrap.resamples =
+          static_cast<std::size_t>(std::stoull(take()));
+    } else if (arg == "--confidence") {
+      cli.options.bootstrap.confidence = std::stod(take());
+    } else if (arg == "--boot-seed") {
+      cli.options.bootstrap.seed = std::stoull(take());
+    } else if (arg == "--taus") {
+      cli.options.profile_taus = parse_taus(take());
+    } else {
+      SEHC_CHECK(arg.rfind("--", 0) != 0, "unknown option " + arg);
+      cli.stores.push_back(arg);
+    }
+  }
+  SEHC_CHECK(!cli.stores.empty(), cli.command + ": no input stores");
+  return cli;
+}
+
+int run(const Cli& cli) {
+  // merge() handles the single-store case too and rejects mixed specs.
+  const ResultStore store = ResultStore::merge(cli.stores);
+  const CampaignDataset dataset = build_dataset(store);
+
+  // Render fully before touching --out: a failing command must not
+  // truncate or replace a previous good report file.
+  std::ostringstream os;
+  if (cli.command == "summary") {
+    write_table(os, summary_table(dataset, cli.options), cli.format);
+  } else if (cli.command == "winloss") {
+    const Table table = win_loss_table(dataset);
+    SEHC_CHECK(table.rows() > 0,
+               "winloss: fewer than two schedulers share seeds");
+    write_table(os, table, cli.format);
+  } else if (cli.command == "crossings") {
+    write_table(os, crossing_table(dataset, cli.options), cli.format);
+  } else if (cli.command == "profile") {
+    write_table(os, profile_table(dataset, cli.options), cli.format);
+  } else {
+    write_report(os, dataset, cli.options, cli.format);
+  }
+
+  if (cli.out_path.empty()) {
+    std::cout << os.str();
+  } else {
+    std::ofstream file(cli.out_path, std::ios::binary);
+    SEHC_CHECK(static_cast<bool>(file),
+               "cannot write '" + cli.out_path + "'");
+    file << os.str();
+    file.flush();
+    SEHC_CHECK(static_cast<bool>(file),
+               "write to '" + cli.out_path + "' failed");
+    std::cout << "report: " << cli.out_path << '\n';
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return usage();
+  try {
+    return run(parse_cli(argc, argv));
+  } catch (const std::exception& e) {
+    std::cerr << "sehc_report " << argv[1] << ": " << e.what() << '\n';
+    return 1;
+  }
+}

@@ -1,0 +1,18 @@
+#!/usr/bin/env bash
+# Regenerates tests/golden/paper_small_report.md, the committed golden that
+# the report_golden_cmp test and CI byte-compare against. Run it (from the
+# repo root, with a built tree in ./build) after an INTENTIONAL change to
+# the report renderer or to the campaign cell computation, and commit the
+# diff together with the change that caused it.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+BIN="${1:-./build}"
+STORE="$(mktemp -t sehc_report_golden_XXXX.csv)"
+trap 'rm -f "$STORE"' EXIT
+rm -f "$STORE"
+"$BIN/sehc_campaign" run --spec paper-class-grid --iters 6 --seeds 2 \
+    --tasks 20 --machines 4 --curve-points 6 --threads 2 --fresh \
+    --store "$STORE"
+mkdir -p tests/golden
+"$BIN/sehc_report" full --out tests/golden/paper_small_report.md "$STORE"
+echo "updated tests/golden/paper_small_report.md"
