@@ -60,13 +60,13 @@ int main(int argc, char** argv) {
 
         CellResult r;
         r.index = measure_consistency(w.exec_matrix());
-        SeParams sp;
-        sp.seed = wp.seed;
-        sp.bias = -0.1;
-        r.se = value_at(run_se_anytime(w, sp, budget), budget);
-        GaParams gp;
-        gp.seed = wp.seed;
-        r.ga = value_at(run_ga_anytime(w, gp, budget), budget);
+        // Engines in the comparison-suite configuration under the shared
+        // wall-clock budget (the generic anytime driver enforces it).
+        const Budget time_budget = Budget::seconds(budget);
+        const auto se = make_search_engine("SE", w, time_budget, wp.seed);
+        r.se = value_at(run_anytime(*se, time_budget), budget);
+        const auto ga = make_search_engine("GA", w, time_budget, wp.seed);
+        r.ga = value_at(run_anytime(*ga, time_budget), budget);
         r.heft = make_heft()->schedule(w).makespan;
         r.minmin =
             make_level_mapper(LevelMapperKind::kMinMin)->schedule(w).makespan;

@@ -186,17 +186,26 @@ CampaignDataset build_dataset(const ResultStore& store) {
 
   if (ds.curve_points > 0) {
     // Rebuild the sampling grid the campaign layer used (exp/campaign.cpp:
-    // time_grid over the wall-clock or iteration budget). The budgets are
-    // echoed in the store's spec line; an unparseable line degrades to a
-    // 1..N index grid rather than failing the analysis.
+    // time_grid over the wall-clock, evaluator-trial or iteration budget).
+    // The budgets are echoed in the store's spec line; an unparseable line
+    // degrades to a 1..N index grid rather than failing the analysis.
     const double budget = parse_double_or(
         spec_line_value(ds.schema.spec_line, "budget_s"), 0.0);
+    const double evals = parse_double_or(
+        spec_line_value(ds.schema.spec_line, "evals"), 0.0);
     const double iters = parse_double_or(
         spec_line_value(ds.schema.spec_line, "iters"), 0.0);
     if (budget > 0.0) {
       ds.axis = "seconds";
       ds.grid = time_grid(budget, ds.curve_points);
+    } else if (evals > 0.0) {
+      ds.axis = "evals";
+      ds.grid = time_grid(evals, ds.curve_points);
     } else if (iters > 0.0) {
+      // SE/GA/GSA step budgets equal `iters` literally; SA/tabu/random run
+      // the comparison suite's scaled step counts, so for them this shared
+      // grid reads as equal budget *fractions* (each sample i is best at
+      // fraction i/N of the searcher's own step budget).
       ds.axis = "iterations";
       ds.grid = time_grid(iters, ds.curve_points);
     } else {
@@ -329,7 +338,7 @@ Table crossing_table(const CampaignDataset& dataset,
              "campaign with curve_points > 0)");
   const std::string& c = options.challenger;
   const std::string& b = options.baseline;
-  const int x_precision = dataset.axis == "iterations" ? 0 : 3;
+  const int x_precision = dataset.axis == "seconds" ? 3 : 0;
   Table table({"class", "n", "crosses_at_" + dataset.axis, c + "@cross",
                b + "@cross", c + "_final", b + "_final", "auc_ratio"});
   for (const std::string& cls : dataset.classes) {
@@ -485,22 +494,37 @@ void write_report(std::ostream& os, const CampaignDataset& dataset,
   }
   os << '\n';
 
-  section_heading(os, format,
-                  "Crossing points (" + options.challenger +
-                      " durably overtakes " + options.baseline +
-                      " on the mean anytime curve)",
-                  "crossings");
-  if (!dataset.has_curves()) {
-    note_line(os, format,
-              "store has no anytime curves; rerun the campaign with "
-              "curve_points > 0");
-  } else if (!has_pair) {
-    note_line(os, format, "store has no paired " + options.challenger +
-                              " and " + options.baseline + " records");
-  } else {
-    write_table(os, crossing_table(dataset, options), format);
+  // One crossing section per challenger: the configured one first, then
+  // every other scheduler with curves (so multi-searcher stores — e.g. the
+  // equal-evals grid — get tabu/annealing/GSA crossings, while two-method
+  // stores render exactly the single section they always did).
+  std::vector<std::string> challengers{options.challenger};
+  for (const std::string& sched : dataset.schedulers) {
+    if (sched != options.challenger && sched != options.baseline) {
+      challengers.push_back(sched);
+    }
   }
-  os << '\n';
+  for (const std::string& challenger : challengers) {
+    ReportOptions pair_options = options;
+    pair_options.challenger = challenger;
+    section_heading(os, format,
+                    "Crossing points (" + challenger + " durably overtakes " +
+                        options.baseline + " on the mean anytime curve)",
+                    "crossings-" + challenger);
+    if (!dataset.has_curves()) {
+      note_line(os, format,
+                "store has no anytime curves; rerun the campaign with "
+                "curve_points > 0");
+    } else if (!has_paired_records(dataset, challenger, options.baseline)) {
+      note_line(os, format, "store has no paired " + challenger + " and " +
+                                options.baseline + " records");
+    } else {
+      write_table(os, crossing_table(dataset, pair_options), format);
+    }
+    os << '\n';
+    // Curve-less stores would repeat the identical note per challenger.
+    if (!dataset.has_curves()) break;
+  }
 
   section_heading(os, format,
                   "Performance profile (Dolan-Moré: fraction of problems "

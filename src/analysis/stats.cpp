@@ -113,6 +113,46 @@ PairedTest sign_test(std::span<const double> a, std::span<const double> b) {
   return t;
 }
 
+namespace {
+
+/// Exact two-sided p-value of the Wilcoxon signed-rank statistic for the
+/// observed rank multiset, via the permutation distribution over all 2^n
+/// sign assignments. Works in DOUBLED ranks so average ranks for ties
+/// (half-integers) become integers: counts[s] = number of sign assignments
+/// whose positive doubled-rank sum is s. The counts are integers <= 2^n
+/// (exact in a double for n <= 25), and the distribution is symmetric
+/// about half the total, so the two-sided tail is
+/// P(|W2 - total/2| >= |w2 - total/2|).
+double wilcoxon_exact_two_sided_p(const std::vector<int>& doubled_ranks,
+                                  double w_plus) {
+  int total = 0;
+  for (const int r : doubled_ranks) total += r;
+  std::vector<double> counts(static_cast<std::size_t>(total) + 1, 0.0);
+  counts[0] = 1.0;
+  int reached = 0;
+  for (const int r : doubled_ranks) {
+    reached += r;
+    for (int s = reached; s >= r; --s) {
+      counts[static_cast<std::size_t>(s)] +=
+          counts[static_cast<std::size_t>(s - r)];
+    }
+  }
+  // w_plus is a sum of (possibly half-integer) ranks: 2 * w_plus is an
+  // integer up to rounding noise.
+  const int w2 = static_cast<int>(std::lround(2.0 * w_plus));
+  const int dev = std::abs(2 * w2 - total);  // |W2 - total/2| doubled again
+  double tail = 0.0;
+  double all = 0.0;
+  for (int s = 0; s <= total; ++s) {
+    const double c = counts[static_cast<std::size_t>(s)];
+    all += c;
+    if (std::abs(2 * s - total) >= dev) tail += c;
+  }
+  return std::min(1.0, tail / all);
+}
+
+}  // namespace
+
 PairedTest wilcoxon_signed_rank(std::span<const double> a,
                                 std::span<const double> b) {
   PairedTest t = tally_pairs(a, b, "wilcoxon_signed_rank");
@@ -137,19 +177,30 @@ PairedTest wilcoxon_signed_rank(std::span<const double> a,
   const double n = static_cast<double>(diffs.size());
   double w_plus = 0.0;       // rank sum of pairs where a wins
   double tie_correction = 0.0;  // sum over tie groups of (g^3 - g)
+  std::vector<int> doubled_ranks;  // 2 x rank of every pair (integers)
+  doubled_ranks.reserve(diffs.size());
   for (std::size_t i = 0; i < diffs.size();) {
     std::size_t j = i;
     while (j < diffs.size() && diffs[j].magnitude == diffs[i].magnitude) ++j;
     const double group = static_cast<double>(j - i);
-    // Average 1-based rank of positions [i, j).
+    // Average 1-based rank of positions [i, j); doubled it is the exact
+    // integer (i + 1) + j.
     const double rank = (static_cast<double>(i + 1) + static_cast<double>(j)) / 2.0;
     for (std::size_t k = i; k < j; ++k) {
       if (diffs[k].a_wins) w_plus += rank;
+      doubled_ranks.push_back(static_cast<int>(i + 1 + j));
     }
     tie_correction += group * group * group - group;
     i = j;
   }
   t.statistic = w_plus;
+
+  if (diffs.size() <= kWilcoxonExactMaxPairs) {
+    // Small-n regime: the normal approximation is visibly off (at n = 2 it
+    // reports 0.37 where the exact answer is 0.50); enumerate instead.
+    t.p_value = wilcoxon_exact_two_sided_p(doubled_ranks, w_plus);
+    return t;
+  }
 
   const double mu = n * (n + 1.0) / 4.0;
   const double sigma2 =

@@ -4,11 +4,13 @@
 //
 // Everything here is deterministic for fixed inputs: the bootstrap is
 // driven by the library's own Rng (never std distributions), the sign test
-// uses exact binomial arithmetic, and the Wilcoxon p-value comes from a
-// tie-corrected normal approximation whose only libm dependency is
-// std::exp (no erf/erfc/lgamma, whose accuracy varies far more across
-// implementations). Reports print these numbers at fixed precision, so
-// they are diffable and CI-enforceable.
+// uses exact binomial arithmetic, and the Wilcoxon p-value is exact for
+// n <= 25 informative pairs (the full 2^n sign-permutation distribution,
+// computed by integer DP — pure arithmetic) with a tie-corrected normal
+// approximation beyond, whose only libm dependency is std::exp (no
+// erf/erfc/lgamma, whose accuracy varies far more across implementations).
+// Reports print these numbers at fixed precision, so they are diffable and
+// CI-enforceable.
 //
 // Convention: samples are costs (schedule lengths), so LOWER IS BETTER and
 // "a wins pair i" means a[i] < b[i].
@@ -66,10 +68,20 @@ struct PairedTest {
 PairedTest sign_test(std::span<const double> a, std::span<const double> b);
 
 /// Two-sided Wilcoxon signed-rank test with average ranks for tied
-/// |differences|, tie-corrected variance and continuity correction.
-/// Requires a.size() == b.size().
+/// |differences|. Up to 25 informative pairs the p-value is EXACT: the
+/// permutation distribution of W+ over all 2^n sign assignments
+/// (conditional on the observed |difference| ranks, average ranks kept for
+/// ties) is enumerated by dynamic programming and
+/// p = P(|W+ - mu| >= |w - mu|), which the distribution's symmetry makes
+/// the standard two-sided tail sum. Beyond 25 pairs: tie-corrected,
+/// continuity-corrected normal approximation. Requires
+/// a.size() == b.size().
 PairedTest wilcoxon_signed_rank(std::span<const double> a,
                                 std::span<const double> b);
+
+/// The largest informative-pair count for which wilcoxon_signed_rank is
+/// exact (25: 2^25 sign assignments, enumerated in O(n^3) by DP).
+inline constexpr std::size_t kWilcoxonExactMaxPairs = 25;
 
 /// One cell of a pairwise comparison matrix (row method vs column method).
 struct WinLossTie {

@@ -1,5 +1,6 @@
 #include "exp/anytime.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
@@ -7,81 +8,38 @@
 
 namespace sehc {
 
-std::vector<AnytimePoint> run_se_anytime(const Workload& w, SeParams params,
-                                         double time_budget_seconds) {
-  SEHC_CHECK(time_budget_seconds > 0.0, "run_se_anytime: bad budget");
-  params.time_limit_seconds = time_budget_seconds;
-  params.max_iterations = std::numeric_limits<std::size_t>::max();
-  params.record_trace = false;
-
+std::vector<AnytimePoint> run_anytime(SearchEngine& engine,
+                                      const Budget& budget) {
   CurveRecorder recorder;
-  SeEngine engine(w, params);
-  engine.set_observer([&recorder](const SeIterationStats& stats) {
-    recorder.record(stats.elapsed_seconds, stats.best_makespan);
+  run_search(engine, budget, [&](const StepStats& stats) {
+    double x = budget_axis_value(budget, stats);
+    // Steps are atomic, so the final step of an eval-budget run can land
+    // past the budget; its improvement counts at the budget itself —
+    // clamping here keeps the curve's x axis monotone and matches the
+    // terminal point below.
+    if (budget.kind == Budget::Kind::kEvals) {
+      x = std::min(x, static_cast<double>(budget.count));
+    }
+    recorder.record(x, stats.best_makespan);
     return true;
   });
-  const SeResult result = engine.run();
-  recorder.finish(result.seconds, result.best_makespan);
-  return recorder.take();
-}
 
-std::vector<AnytimePoint> run_ga_anytime(const Workload& w, GaParams params,
-                                         double time_budget_seconds) {
-  SEHC_CHECK(time_budget_seconds > 0.0, "run_ga_anytime: bad budget");
-  params.time_limit_seconds = time_budget_seconds;
-  params.max_generations = std::numeric_limits<std::size_t>::max();
-  params.record_trace = false;
-
-  CurveRecorder recorder;
-  GaEngine engine(w, params);
-  engine.set_observer([&recorder](const GaIterationStats& stats) {
-    recorder.record(stats.elapsed_seconds, stats.best_makespan);
-    return true;
-  });
-  const GaResult result = engine.run();
-  recorder.finish(result.seconds, result.best_makespan);
-  return recorder.take();
-}
-
-std::vector<AnytimePoint> run_se_anytime_iters(const Workload& w,
-                                               SeParams params,
-                                               std::size_t max_iterations) {
-  SEHC_CHECK(max_iterations > 0, "run_se_anytime_iters: bad budget");
-  params.time_limit_seconds = std::numeric_limits<double>::infinity();
-  params.max_iterations = max_iterations;
-  params.record_trace = false;
-
-  CurveRecorder recorder;
-  SeEngine engine(w, params);
-  engine.set_observer([&recorder](const SeIterationStats& stats) {
-    recorder.record(static_cast<double>(stats.iteration + 1),
-                    stats.best_makespan);
-    return true;
-  });
-  const SeResult result = engine.run();
-  recorder.finish(static_cast<double>(result.iterations),
-                  result.best_makespan);
-  return recorder.take();
-}
-
-std::vector<AnytimePoint> run_ga_anytime_iters(const Workload& w,
-                                               GaParams params,
-                                               std::size_t max_generations) {
-  SEHC_CHECK(max_generations > 0, "run_ga_anytime_iters: bad budget");
-  params.time_limit_seconds = std::numeric_limits<double>::infinity();
-  params.max_generations = max_generations;
-  params.record_trace = false;
-
-  CurveRecorder recorder;
-  GaEngine engine(w, params);
-  engine.set_observer([&recorder](const GaIterationStats& stats) {
-    recorder.record(static_cast<double>(stats.generation + 1),
-                    stats.best_makespan);
-    return true;
-  });
-  const GaResult result = engine.run();
-  recorder.finish(static_cast<double>(result.generations),
-                  result.best_makespan);
+  double terminal = 0.0;
+  switch (budget.kind) {
+    case Budget::Kind::kSteps:
+      terminal = static_cast<double>(engine.steps_done());
+      break;
+    case Budget::Kind::kEvals:
+      // The final step may overshoot the trial budget (steps are atomic);
+      // its result counts at the budget itself.
+      terminal = static_cast<double>(
+          std::min(engine.evals_used(), budget.count));
+      break;
+    case Budget::Kind::kSeconds:
+      terminal = engine.elapsed_seconds();
+      break;
+  }
+  recorder.finish(terminal, engine.best_makespan());
   return recorder.take();
 }
 

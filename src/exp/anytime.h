@@ -1,30 +1,33 @@
 // Anytime-curve capture: best schedule length as a function of a progress
 // coordinate — real time for the paper's Figures 5-7 (SE vs GA under equal
-// wall-clock budgets) or completed iterations for deterministic campaign
-// cells (where curves must be a pure function of the cell coordinates so
-// sharded runs merge byte-for-byte).
+// wall-clock budgets), or completed steps / evaluator trials for
+// deterministic campaign cells (where curves must be a pure function of the
+// cell coordinates so sharded runs merge byte-for-byte).
+//
+// One generic driver serves every searcher: run_anytime(engine, budget)
+// drives any stepwise SearchEngine (SE, GA, GSA, tabu, annealing, random
+// search — see search/engine.h) and records the curve on the budget's own
+// axis. The per-searcher run_se/ga_anytime* helpers this replaces are gone.
 #pragma once
 
 #include <vector>
 
-#include "ga/ga.h"
-#include "hc/workload.h"
-#include "se/se.h"
+#include "search/engine.h"
 
 namespace sehc {
 
 /// One point of an anytime curve: the best makespan known at coordinate
-/// `seconds` (wall-clock seconds or completed iterations, depending on the
-/// capture mode).
+/// `seconds` (wall-clock seconds, completed steps or evaluator trials,
+/// depending on the capture axis; the field name is historical).
 struct AnytimePoint {
   double seconds = 0.0;
   double best = 0.0;
 };
 
-/// Improvement recorder used inside sweep/campaign cells and by the
-/// run_*_anytime helpers: record() appends a point only when it improves on
-/// the last recorded best; finish() appends the terminal point
-/// unconditionally (so every curve ends at the budget).
+/// Improvement recorder used inside sweep/campaign cells and by
+/// run_anytime: record() appends a point only when it improves on the last
+/// recorded best; finish() appends the terminal point unconditionally (so
+/// every curve ends at the budget).
 class CurveRecorder {
  public:
   /// Appends (x, best) iff the curve is empty or `best` improves on the
@@ -43,27 +46,22 @@ class CurveRecorder {
   std::vector<AnytimePoint> curve_;
 };
 
-/// Runs SE with a wall-clock budget, recording a point whenever the best
-/// makespan improves (plus the final point at the budget).
-std::vector<AnytimePoint> run_se_anytime(const Workload& w, SeParams params,
-                                         double time_budget_seconds);
-
-/// Same for the GA baseline.
-std::vector<AnytimePoint> run_ga_anytime(const Workload& w, GaParams params,
-                                         double time_budget_seconds);
-
-/// Deterministic variant used by campaign cells: the curve's x coordinate is
-/// the number of completed iterations (1-based), so equal seeds produce
-/// bit-identical curves on any machine and thread count. The curve ends with
-/// a terminal point at x = iterations actually run.
-std::vector<AnytimePoint> run_se_anytime_iters(const Workload& w,
-                                               SeParams params,
-                                               std::size_t max_iterations);
-
-/// Same for the GA baseline (x = completed generations).
-std::vector<AnytimePoint> run_ga_anytime_iters(const Workload& w,
-                                               GaParams params,
-                                               std::size_t max_generations);
+/// Drives `engine` (init + steps) under `budget`, recording a point
+/// whenever the best makespan improves, plus the unconditional terminal
+/// point. The x axis is the budget's own currency:
+///
+///   * kSteps   — completed steps, 1-based; terminal at the steps actually
+///                run (== the budget unless the engine stopped early);
+///   * kEvals   — cumulative evaluator trials; steps are atomic, so the
+///                final step may overshoot the budget — its result counts
+///                and the terminal x is clamped to the budget;
+///   * kSeconds — wall-clock seconds as measured inside each step;
+///                terminal at the seconds actually elapsed.
+///
+/// With step or eval budgets the curve is a pure function of the engine's
+/// seed (bit-identical across machines, threads and shards).
+std::vector<AnytimePoint> run_anytime(SearchEngine& engine,
+                                      const Budget& budget);
 
 /// Step-function sample: the best value achieved at or before `seconds`.
 /// Defined on every curve, including an empty one: with no point at or

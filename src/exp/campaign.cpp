@@ -25,7 +25,8 @@ const std::vector<std::string>& campaign_columns() {
   static const std::vector<std::string> columns{
       "class",        "scheduler",  "rep",
       "workload_seed", "scheduler_seed", "makespan",
-      "lower_bound",  "curve",      "seconds"};
+      "lower_bound",  "evals",      "curve",
+      "seconds"};
   return columns;
 }
 
@@ -51,10 +52,6 @@ std::map<std::string, SchedulerFactory> scheduler_registry(
   return registry;
 }
 
-bool is_engine_scheduler(const std::string& name) {
-  return name == "SE" || name == "GA";
-}
-
 }  // namespace
 
 SweepGrid CampaignSpec::grid() const {
@@ -71,6 +68,8 @@ std::string CampaignSpec::canonical_string() const {
   os << "repetitions=" << repetitions << '\n';
   os << "iterations=" << iterations << '\n';
   os << "time_budget=" << format_fixed(time_budget_seconds, 6) << '\n';
+  // Appended only when set so pre-eval-budget spec hashes are unchanged.
+  if (eval_budget > 0) os << "eval_budget=" << eval_budget << '\n';
   os << "curve_points=" << curve_points << '\n';
   os << "schedulers=" << join(schedulers, ',') << '\n';
   for (const CampaignClass& c : classes) {
@@ -101,8 +100,12 @@ StoreSchema CampaignSpec::store_schema() const {
   line << "name=" << name << " classes=" << classes.size()
        << " schedulers=" << join(schedulers, ';')
        << " reps=" << repetitions << " iters=" << iterations
-       << " budget_s=" << format_fixed(time_budget_seconds, 6)
-       << " curve_points=" << curve_points << " base_seed=" << base_seed;
+       << " budget_s=" << format_fixed(time_budget_seconds, 6);
+  // Echoed only when set, so spec lines (and the reports that print them)
+  // of pre-eval-budget specs are byte-identical. The analysis layer's grid
+  // reconstruction keys on this token for the evals axis.
+  if (eval_budget > 0) line << " evals=" << eval_budget;
+  line << " curve_points=" << curve_points << " base_seed=" << base_seed;
   schema.spec_line = line.str();
   schema.columns = campaign_columns();
   schema.volatile_columns = 1;  // seconds
@@ -113,10 +116,12 @@ void CampaignSpec::validate() const {
   SEHC_CHECK(!classes.empty(), "CampaignSpec: no workload classes");
   SEHC_CHECK(!schedulers.empty(), "CampaignSpec: no schedulers");
   SEHC_CHECK(repetitions > 0, "CampaignSpec: repetitions must be >= 1");
-  SEHC_CHECK(iterations > 0 || time_budget_seconds > 0.0,
-             "CampaignSpec: need an iteration or time budget");
+  SEHC_CHECK(iterations > 0 || time_budget_seconds > 0.0 || eval_budget > 0,
+             "CampaignSpec: need an iteration, time or eval budget");
   SEHC_CHECK(time_budget_seconds >= 0.0,
              "CampaignSpec: time budget must be >= 0");
+  SEHC_CHECK(time_budget_seconds == 0.0 || eval_budget == 0,
+             "CampaignSpec: time and eval budgets are mutually exclusive");
 
   const auto registry = scheduler_registry(iterations);
   std::vector<std::string> seen;
@@ -125,9 +130,12 @@ void CampaignSpec::validate() const {
                "CampaignSpec: unknown scheduler '" + s + "'");
     SEHC_CHECK(std::find(seen.begin(), seen.end(), s) == seen.end(),
                "CampaignSpec: duplicate scheduler '" + s + "'");
-    SEHC_CHECK(time_budget_seconds == 0.0 || is_engine_scheduler(s),
-               "CampaignSpec: time budgets support only SE/GA, got '" + s +
-                   "'");
+    SEHC_CHECK(time_budget_seconds == 0.0 || is_search_engine_name(s),
+               "CampaignSpec: time budgets support only the stepwise "
+               "searchers (SE/GA/GSA/SA/Tabu/Random), got '" + s + "'");
+    SEHC_CHECK(eval_budget == 0 || is_search_engine_name(s),
+               "CampaignSpec: eval budgets support only the stepwise "
+               "searchers (SE/GA/GSA/SA/Tabu/Random), got '" + s + "'");
     seen.push_back(s);
   }
 
@@ -189,16 +197,23 @@ StoreRow CampaignRecord::to_row() const {
                 std::to_string(scheduler_seed),
                 format_fixed(makespan, 4),
                 format_fixed(lower_bound, 4),
+                std::to_string(evals),
                 join(curve_parts, ';'),
                 format_fixed(seconds, 6)};
   return row;
 }
 
 CampaignRecord CampaignRecord::from_row(const StoreRow& row) {
-  SEHC_CHECK(row.fields.size() == campaign_columns().size(),
+  // Shard stores carry every column; canonical stores (write_canonical /
+  // `sehc_campaign merge` output) drop the trailing volatile `seconds`
+  // column. Accept both widths so the analysis layer reads merged
+  // canonical tables directly.
+  const std::size_t full = campaign_columns().size();
+  SEHC_CHECK(row.fields.size() == full || row.fields.size() == full - 1,
              "CampaignRecord: row has " + std::to_string(row.fields.size()) +
-                 " fields, expected " +
-                 std::to_string(campaign_columns().size()));
+                 " fields, expected " + std::to_string(full) +
+                 " (shard store) or " + std::to_string(full - 1) +
+                 " (canonical store)");
   const std::string ctx = "CampaignRecord";
   CampaignRecord rec;
   rec.cell = row.cell;
@@ -209,7 +224,8 @@ CampaignRecord CampaignRecord::from_row(const StoreRow& row) {
   rec.scheduler_seed = parse_csv_u64(row.fields[4], ctx);
   rec.makespan = parse_csv_double(row.fields[5], ctx);
   rec.lower_bound = parse_csv_double(row.fields[6], ctx);
-  const std::string& curve = row.fields[7];
+  rec.evals = parse_csv_u64(row.fields[7], ctx);
+  const std::string& curve = row.fields[8];
   std::string::size_type pos = 0;
   while (pos < curve.size()) {
     auto sep = curve.find(';', pos);
@@ -217,7 +233,8 @@ CampaignRecord CampaignRecord::from_row(const StoreRow& row) {
     rec.curve.push_back(parse_csv_double(curve.substr(pos, sep - pos), ctx));
     pos = sep + 1;
   }
-  rec.seconds = parse_csv_double(row.fields[8], ctx);
+  rec.seconds =
+      row.fields.size() == full ? parse_csv_double(row.fields[9], ctx) : 0.0;
   return rec;
 }
 
@@ -259,10 +276,13 @@ CampaignRunSummary run_store_grid(
 
 namespace {
 
-/// Executes one campaign cell and returns its record. Iteration-budget SE/GA
-/// cells with curve capture run the engines directly (the observer consumes
-/// no RNG, so the makespan is bit-identical to the factory path); everything
-/// else goes through the SchedulerFactory registry.
+/// Executes one campaign cell and returns its record. Every stepwise
+/// searcher (SE, GA, GSA, SA, Tabu, Random) runs through the engine's
+/// step core via the generic anytime driver — the same loop for iteration,
+/// eval and wall-clock budgets, so curve capture never changes a makespan
+/// bit relative to the Scheduler adapters (which are wrappers over the
+/// identical core). One-shot schedulers (HEFT, CPOP, ...) go through the
+/// SchedulerFactory registry as before.
 CampaignRecord run_campaign_cell(
     const CampaignSpec& spec,
     const std::map<std::string, SchedulerFactory>& registry,
@@ -270,7 +290,6 @@ CampaignRecord run_campaign_cell(
   const std::size_t class_idx = cell.at(0);
   const std::size_t rep = cell.at(1);
   const std::string& scheduler_name = spec.schedulers[cell.at(2)];
-  const bool time_mode = spec.time_budget_seconds > 0.0;
 
   CampaignRecord rec;
   rec.cell = cell.index;
@@ -290,65 +309,39 @@ CampaignRecord run_campaign_cell(
   const Workload w = make_workload(params);
   rec.lower_bound = makespan_lower_bound(w);
 
-  const std::vector<double> grid =
-      time_mode ? time_grid(spec.time_budget_seconds, spec.curve_points)
-                : time_grid(static_cast<double>(spec.iterations),
-                            spec.curve_points);
+  const SchedulerFactory& factory = registry.at(scheduler_name);
 
   WallTimer timer;
   Schedule schedule;
-  if (is_engine_scheduler(scheduler_name) &&
-      (time_mode || spec.curve_points > 0)) {
-    CurveRecorder recorder;
-    if (scheduler_name == "SE") {
-      // The factory path's exact configuration (same source of truth), so
-      // curve capture never changes a makespan bit.
-      SeParams p = comparison_se_params(spec.iterations, cell.seed);
-      if (time_mode) {
-        p.time_limit_seconds = spec.time_budget_seconds;
-        p.max_iterations = std::numeric_limits<std::size_t>::max();
-      }
-      SeEngine engine(w, p);
-      engine.set_observer([&](const SeIterationStats& stats) {
-        recorder.record(time_mode
-                            ? stats.elapsed_seconds
-                            : static_cast<double>(stats.iteration + 1),
-                        stats.best_makespan);
-        return true;
-      });
-      const SeResult result = engine.run();
-      recorder.finish(time_mode ? result.seconds
-                                : static_cast<double>(result.iterations),
-                      result.best_makespan);
-      rec.makespan = result.best_makespan;
-      schedule = result.schedule;
-    } else {
-      GaParams p = comparison_ga_params(spec.iterations, cell.seed);
-      if (time_mode) {
-        p.time_limit_seconds = spec.time_budget_seconds;
-        p.max_generations = std::numeric_limits<std::size_t>::max();
-      }
-      GaEngine engine(w, p);
-      engine.set_observer([&](const GaIterationStats& stats) {
-        recorder.record(time_mode
-                            ? stats.elapsed_seconds
-                            : static_cast<double>(stats.generation + 1),
-                        stats.best_makespan);
-        return true;
-      });
-      const GaResult result = engine.run();
-      recorder.finish(time_mode ? result.seconds
-                                : static_cast<double>(result.generations),
-                      result.best_makespan);
-      rec.makespan = result.best_makespan;
-      schedule = result.schedule;
-    }
-    rec.curve = sample_curve(recorder.curve(), grid);
+  if (factory.make_engine != nullptr) {
+    // Budget and curve axis in the spec's currency; step budgets use each
+    // searcher's own comparison-suite step count (SE/GA/GSA: iterations;
+    // SA/tabu/random: the suite's x50/x10 scalings), so the shared grid of
+    // a step-budget spec reads as equal budget fractions.
+    const Budget budget =
+        spec.eval_budget > 0 ? Budget::evals(spec.eval_budget)
+        : spec.time_budget_seconds > 0.0
+            ? Budget::seconds(spec.time_budget_seconds)
+            : Budget::steps(factory.step_budget);
+    const std::vector<double> grid =
+        time_grid(budget.axis_end(), spec.curve_points);
+
+    const std::unique_ptr<SearchEngine> engine =
+        factory.make_engine(w, budget, cell.seed);
+    const std::vector<AnytimePoint> curve = run_anytime(*engine, budget);
+    rec.makespan = engine->best_makespan();
+    rec.evals = engine->evals_used();
+    rec.curve = sample_curve(curve, grid);
+    schedule = engine->best_schedule();
   } else {
-    const std::unique_ptr<Scheduler> scheduler =
-        registry.at(scheduler_name).make(cell.seed);
+    // validate() confines time and eval budgets to engine schedulers, so a
+    // one-shot scheduler cell is always in iteration mode.
+    const std::vector<double> grid = time_grid(
+        static_cast<double>(spec.iterations), spec.curve_points);
+    const std::unique_ptr<Scheduler> scheduler = factory.make(cell.seed);
     schedule = scheduler->schedule(w);
     rec.makespan = schedule.makespan;
+    rec.evals = 0;  // one-shot schedulers consume no search trials
     // Non-engine schedulers have no anytime trajectory; their curve is the
     // final value at every grid point.
     rec.curve.assign(grid.size(), rec.makespan);
@@ -429,9 +422,30 @@ CampaignSpec make_fig_campaign(const std::string& name,
 }  // namespace
 
 std::vector<std::string> builtin_campaign_names() {
-  return {"paper-class-grid", "scaled-class-grid", "consistency-grid",
-          "fig5-anytime",     "fig6-anytime",      "fig7-anytime"};
+  return {"paper-class-grid", "equal-evals-grid", "scaled-class-grid",
+          "consistency-grid", "fig5-anytime",     "fig6-anytime",
+          "fig7-anytime"};
 }
+
+namespace {
+
+/// The paper's 8-class cube (conn x het x CCR at 100 tasks / 20 machines),
+/// shared by paper-class-grid and equal-evals-grid.
+std::vector<CampaignClass> paper_cube_classes() {
+  std::vector<CampaignClass> classes;
+  for (Level conn : {Level::kLow, Level::kHigh}) {
+    for (Level het : {Level::kLow, Level::kHigh}) {
+      for (double ccr : {0.1, 1.0}) {
+        classes.push_back(make_class(
+            level_token(conn) + "-" + level_token(het) + "-" + ccr_token(ccr),
+            100, 20, conn, het, ccr, Consistency::kInconsistent));
+      }
+    }
+  }
+  return classes;
+}
+
+}  // namespace
 
 CampaignSpec make_builtin_campaign(const std::string& name) {
   if (name == "paper-class-grid") {
@@ -439,18 +453,26 @@ CampaignSpec make_builtin_campaign(const std::string& name) {
     // connectivity x heterogeneity x CCR under an equal iteration budget.
     CampaignSpec spec;
     spec.name = name;
-    for (Level conn : {Level::kLow, Level::kHigh}) {
-      for (Level het : {Level::kLow, Level::kHigh}) {
-        for (double ccr : {0.1, 1.0}) {
-          spec.classes.push_back(make_class(
-              level_token(conn) + "-" + level_token(het) + "-" + ccr_token(ccr),
-              100, 20, conn, het, ccr, Consistency::kInconsistent));
-        }
-      }
-    }
+    spec.classes = paper_cube_classes();
     spec.schedulers = {"SE", "GA"};
     spec.repetitions = 3;
     spec.iterations = 150;
+    return spec;
+  }
+  if (name == "equal-evals-grid") {
+    // The first apples-to-apples equal-evaluation-count comparison across
+    // every stepwise searcher: each cell stops once its cumulative
+    // evaluator-trial count reaches the budget, no matter how those trials
+    // are spent (SE allocation scans, GA/GSA generations, tabu samples, SA
+    // moves, random draws). Deterministic; curves sample on the evals axis.
+    CampaignSpec spec;
+    spec.name = name;
+    spec.classes = paper_cube_classes();
+    spec.schedulers = {"SE", "GA", "GSA", "SA", "Tabu", "Random"};
+    spec.repetitions = 5;
+    spec.iterations = 0;
+    spec.eval_budget = 200000;
+    spec.curve_points = 20;
     return spec;
   }
   if (name == "scaled-class-grid") {

@@ -53,14 +53,27 @@ struct CampaignSpec {
   /// Seeded repetitions per (class, scheduler).
   std::size_t repetitions = 3;
   /// Per-cell iteration budget (SE iterations == GA generations; the other
-  /// iterative methods scale from it exactly as in the comparison suite).
+  /// iterative methods scale from it exactly as in the comparison suite:
+  /// SA x50, tabu/random x10 steps).
   std::size_t iterations = 150;
-  /// When > 0, SE/GA cells run under this wall-clock budget instead of the
-  /// iteration budget (Figs. 5-7). Only "SE" and "GA" support time budgets.
+  /// When > 0, searcher cells run under this wall-clock budget instead of
+  /// the iteration budget (Figs. 5-7). Only the six stepwise searchers
+  /// (SE, GA, GSA, SA, Tabu, Random) support time budgets.
   double time_budget_seconds = 0.0;
-  /// Anytime samples persisted per record (0 = no curve). Iteration-budget
-  /// cells sample on the iteration axis (deterministic); time-budget cells
-  /// sample on the wall-clock axis.
+  /// When > 0, every cell runs its searcher under this evaluator-trial
+  /// budget — the first apples-to-apples equal-evaluation-count comparison
+  /// across all searchers (each one stops once its cumulative trial count
+  /// reaches the budget; steps are atomic, so the final step may overshoot).
+  /// Only the six stepwise searchers are allowed; `iterations` is ignored.
+  /// Deterministic like the iteration budget: curves sample on the evals
+  /// axis and shards merge byte-for-byte.
+  std::size_t eval_budget = 0;
+  /// Anytime samples persisted per record (0 = no curve). Step-budget cells
+  /// sample on each searcher's own step axis (deterministic; for SE/GA/GSA
+  /// that axis is `iterations` literally, for SA/tabu/random it is their
+  /// scaled step count, so shared-grid tables read as equal budget
+  /// *fractions*); eval-budget cells sample on the shared evals axis;
+  /// time-budget cells sample on the wall-clock axis.
   std::size_t curve_points = 0;
   std::uint64_t base_seed = 42;
 
@@ -74,7 +87,9 @@ struct CampaignSpec {
 
   /// Store layout for this spec's records:
   /// class,scheduler,rep,workload_seed,scheduler_seed,makespan,lower_bound,
-  /// curve,seconds — with `seconds` volatile.
+  /// evals,curve,seconds — with `seconds` volatile. (`evals` arrived with
+  /// the stepwise-engine rewire; stores written before it fail loudly on
+  /// open/merge instead of silently mixing layouts.)
   StoreSchema store_schema() const;
 
   /// Throws sehc::Error if the spec is malformed (empty axes, unknown
@@ -112,6 +127,10 @@ struct CampaignRecord {
   std::uint64_t scheduler_seed = 0;
   double makespan = 0.0;
   double lower_bound = 0.0;
+  /// Evaluator trials the cell's searcher consumed (0 for one-shot
+  /// schedulers like HEFT). Deterministic for step/eval budgets, so
+  /// equal-evals grids are auditable from the store alone.
+  std::uint64_t evals = 0;
   /// Anytime samples on the spec's grid (empty when curve_points == 0;
   /// +infinity for grid points before the first improvement).
   std::vector<double> curve;
@@ -168,6 +187,11 @@ std::vector<std::string> builtin_campaign_names();
 /// Returns a named built-in campaign:
 ///   paper-class-grid    the paper's 8-class SE-vs-GA grid (conn x het x CCR,
 ///                       3 seeds) under an equal iteration budget;
+///   equal-evals-grid    the same 8 classes, all six stepwise searchers
+///                       (SE/GA/GSA/SA/Tabu/Random), 5 seeds, under an
+///                       equal evaluator-trial budget with 20-point
+///                       evals-axis curves — the first apples-to-apples
+///                       equal-evaluation comparison across every searcher;
 ///   scaled-class-grid   the same axes at campaign scale: 27 classes
 ///                       (3 conn x 3 het x 3 CCR), 10 seeds, SE/GA/HEFT —
 ///                       ~34x the paper grid's cell count;

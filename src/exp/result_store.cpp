@@ -127,6 +127,43 @@ ParsedFile parse_store_text(const std::string& text, const std::string& path) {
   return out;
 }
 
+std::string join_columns(const std::vector<std::string>& columns) {
+  std::string out;
+  for (std::size_t i = 0; i < columns.size(); ++i) {
+    if (i > 0) out += ",";
+    out += columns[i];
+  }
+  return out;
+}
+
+/// Human-readable description of why `found` does not match `expected` —
+/// merge and resume failures must say WHAT differs (a schema-version bump
+/// such as the `evals` column reads very differently from a changed spec).
+std::string describe_schema_mismatch(const StoreSchema& found,
+                                     const StoreSchema& expected) {
+  if (found.kind != expected.kind) {
+    return "store kind is '" + found.kind + "', expected '" + expected.kind +
+           "'";
+  }
+  if (found.spec_hash != expected.spec_hash) {
+    return "it was produced by a different spec (hash " +
+           hash_to_hex(found.spec_hash) + " != " +
+           hash_to_hex(expected.spec_hash) + ")";
+  }
+  if (found.columns != expected.columns) {
+    return "same spec but a different record layout: columns [" +
+           join_columns(found.columns) + "] vs expected [" +
+           join_columns(expected.columns) +
+           "] — the store was likely written by a different sehc version "
+           "(schema bump); rerun the campaign into a fresh store";
+  }
+  if (found.volatile_columns != expected.volatile_columns) {
+    return "volatile column count " + std::to_string(found.volatile_columns) +
+           " != expected " + std::to_string(expected.volatile_columns);
+  }
+  return "schemas are compatible";
+}
+
 std::string read_file(const std::string& path) {
   std::ifstream is(path, std::ios::binary);
   SEHC_CHECK(static_cast<bool>(is), "ResultStore: cannot read '" + path + "'");
@@ -173,11 +210,9 @@ ResultStore ResultStore::open(const std::string& path, StoreSchema schema) {
   if (!fresh) {
     ParsedFile parsed = parse_store_text(read_file(path), path);
     SEHC_CHECK(parsed.schema.compatible_with(store.schema_),
-               "ResultStore: '" + path +
-                   "' was produced by a different spec (hash " +
-                   hash_to_hex(parsed.schema.spec_hash) + " != " +
-                   hash_to_hex(store.schema_.spec_hash) +
-                   "); refusing to mix records");
+               "ResultStore: cannot append to '" + path + "': " +
+                   describe_schema_mismatch(parsed.schema, store.schema_) +
+                   "; refusing to mix records");
     for (StoreRow& row : parsed.rows) {
       SEHC_CHECK(store.cells_.insert(row.cell).second,
                  "ResultStore: duplicate cell " + std::to_string(row.cell) +
@@ -232,8 +267,9 @@ ResultStore ResultStore::merge(const std::vector<std::string>& paths) {
 
   auto absorb = [&](const ResultStore& input, const std::string& path) {
     SEHC_CHECK(input.schema().compatible_with(merged.schema_),
-               "ResultStore::merge: '" + path +
-                   "' is incompatible with '" + paths.front() + "'");
+               "ResultStore::merge: '" + path + "' is incompatible with '" +
+                   paths.front() + "': " +
+                   describe_schema_mismatch(input.schema(), merged.schema_));
     for (const StoreRow& row : input.rows()) {
       if (!merged.contains(row.cell)) {
         merged.append(row);

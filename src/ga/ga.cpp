@@ -3,16 +3,13 @@
 #include <algorithm>
 #include <numeric>
 
-#include "core/rng.h"
-#include "core/timer.h"
 #include "dag/topo.h"
 #include "ga/operators.h"
-#include "sched/evaluator.h"
 
 namespace sehc {
 
 GaEngine::GaEngine(const Workload& workload, GaParams params)
-    : workload_(&workload), params_(params) {
+    : workload_(&workload), params_(params), eval_(workload) {
   SEHC_CHECK(params_.population >= 2, "GaEngine: population must be >= 2");
   SEHC_CHECK(params_.elite < params_.population,
              "GaEngine: elite must be < population");
@@ -55,186 +52,208 @@ std::size_t roulette(const std::vector<double>& lengths, double worst,
 
 }  // namespace
 
-GaResult GaEngine::run() {
+void GaEngine::init() {
   const Workload& w = *workload_;
   const TaskGraph& g = w.graph();
-  Rng rng(params_.seed);
-  Evaluator eval(w);
-  WallTimer timer;
+  rng_ = Rng(params_.seed);
+  eval_.reset_trial_count();
+  timer_.reset();
 
   // Initial population: random assignment + random topological order.
-  std::vector<SolutionString> pop;
-  pop.reserve(params_.population);
+  pop_.clear();
+  pop_.reserve(params_.population);
   for (std::size_t i = 0; i < params_.population; ++i) {
     std::vector<MachineId> assignment(w.num_tasks());
     for (auto& m : assignment)
-      m = static_cast<MachineId>(rng.below(w.num_machines()));
-    auto order = random_topological_order(g, rng);
+      m = static_cast<MachineId>(rng_.below(w.num_machines()));
+    auto order = random_topological_order(g, rng_);
     SEHC_CHECK(order.has_value(), "GaEngine: cyclic graph");
-    pop.emplace_back(*order, assignment);
+    pop_.emplace_back(*order, assignment);
   }
 
-  std::vector<double> lengths(pop.size());
-  auto evaluate_all = [&] {
-    for (std::size_t i = 0; i < pop.size(); ++i)
-      lengths[i] = eval.makespan(pop[i]);
-  };
-  evaluate_all();
+  lengths_.assign(pop_.size(), 0.0);
+  for (std::size_t i = 0; i < pop_.size(); ++i)
+    lengths_[i] = eval_.makespan(pop_[i]);
 
+  const auto best_it = std::min_element(lengths_.begin(), lengths_.end());
+  best_makespan_ = *best_it;
+  best_solution_ = pop_[static_cast<std::size_t>(best_it - lengths_.begin())];
+
+  generation_ = 0;
+  stall_ = 0;
+  stop_requested_ = false;
+  trace_.clear();
+  initialized_ = true;
+}
+
+bool GaEngine::done() const {
+  SEHC_CHECK(initialized_, "GaEngine: init() not called");
+  return stop_requested_ || generation_ >= params_.max_generations ||
+         (params_.stall_generations > 0 &&
+          stall_ >= params_.stall_generations) ||
+         timer_.seconds() >= params_.time_limit_seconds;
+}
+
+StepStats GaEngine::step() {
+  SEHC_CHECK(initialized_, "GaEngine: init() not called");
+  const Workload& w = *workload_;
+  const TaskGraph& g = w.graph();
+
+  // Rank indices by length for elitism.
+  std::vector<std::size_t> rank(pop_.size());
+  std::iota(rank.begin(), rank.end(), 0);
+  std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
+    return lengths_[a] < lengths_[b];
+  });
+  const double worst = lengths_[rank.back()];
+
+  // Incremental evaluation: elites and untouched clones keep their cached
+  // lengths; crossover children are re-simulated in full; mutation-only
+  // children are evaluated from their first difference with the parent
+  // via the evaluator's prepared per-parent snapshots (grouped by parent
+  // so each parent is prepared once). All three paths are bit-identical
+  // to full re-evaluation.
+  constexpr std::uint8_t kClean = 0, kFull = 1, kSuffix = 2;
+  std::vector<SolutionString> next;
+  std::vector<double> next_lengths;
+  std::vector<std::uint8_t> next_dirty;
+  std::vector<std::size_t> next_parent;  // meaningful for kSuffix only
+  next.reserve(pop_.size());
+  next_lengths.reserve(pop_.size());
+  next_dirty.reserve(pop_.size());
+  next_parent.reserve(pop_.size());
+  for (std::size_t e = 0; e < params_.elite; ++e) {
+    next.push_back(pop_[rank[e]]);
+    next_lengths.push_back(lengths_[rank[e]]);
+    next_dirty.push_back(kClean);
+    next_parent.push_back(rank[e]);
+  }
+
+  while (next.size() < pop_.size()) {
+    const std::size_t ia = roulette(lengths_, worst, rng_);
+    const std::size_t ib = roulette(lengths_, worst, rng_);
+    const SolutionString& pa = pop_[ia];
+    const SolutionString& pb = pop_[ib];
+    SolutionString ca = pa;
+    SolutionString cb = pb;
+    const bool crossed = rng_.chance(params_.crossover_prob);
+    if (crossed) {
+      std::tie(ca, cb) = scheduling_crossover(pa, pb, rng_);
+      std::tie(ca, cb) = matching_crossover(ca, cb, rng_);
+    }
+    bool mutated_a = false;
+    bool mutated_b = false;
+    if (rng_.chance(params_.mutation_prob)) {
+      mutated_a = true;
+      matching_mutation(ca, w.num_machines(), rng_);
+      scheduling_mutation(ca, g, rng_);
+    }
+    if (rng_.chance(params_.mutation_prob)) {
+      mutated_b = true;
+      matching_mutation(cb, w.num_machines(), rng_);
+      scheduling_mutation(cb, g, rng_);
+    }
+    next.push_back(std::move(ca));
+    next_lengths.push_back(crossed || mutated_a ? 0.0 : lengths_[ia]);
+    next_dirty.push_back(crossed ? kFull : mutated_a ? kSuffix : kClean);
+    next_parent.push_back(ia);
+    if (next.size() < pop_.size()) {
+      next.push_back(std::move(cb));
+      next_lengths.push_back(crossed || mutated_b ? 0.0 : lengths_[ib]);
+      next_dirty.push_back(crossed ? kFull : mutated_b ? kSuffix : kClean);
+      next_parent.push_back(ib);
+    }
+  }
+
+  if (params_.verify_invariants) {
+    for (const auto& chrom : next) {
+      SEHC_ASSERT_MSG(chrom.is_valid(g),
+                      "GA generation produced an invalid chromosome");
+    }
+  }
+
+  // Evaluate before the parents are replaced. Suffix evaluations are
+  // grouped by parent so a parent with several mutation-only children is
+  // prepared once; evaluation consumes no RNG, so the grouping does not
+  // perturb the stream.
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    if (next_dirty[i] == kFull) next_lengths[i] = eval_.makespan(next[i]);
+  }
+  std::vector<std::size_t> suffix_children;
+  for (std::size_t i = 0; i < next.size(); ++i) {
+    if (next_dirty[i] == kSuffix) suffix_children.push_back(i);
+  }
+  std::stable_sort(suffix_children.begin(), suffix_children.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return next_parent[a] < next_parent[b];
+                   });
+  constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
+  std::size_t prepared_parent = kNoParent;
+  for (const std::size_t i : suffix_children) {
+    const std::size_t parent = next_parent[i];
+    const std::size_t from = first_difference(next[i], pop_[parent]);
+    if (from == next[i].size()) {
+      next_lengths[i] = lengths_[parent];  // mutation was a no-op
+      continue;
+    }
+    if (prepared_parent != parent) {
+      eval_.prepare(pop_[parent]);
+      prepared_parent = parent;
+    }
+    next_lengths[i] = eval_.prepared_trial(
+        next[i], from, std::numeric_limits<double>::infinity());
+  }
+
+  pop_ = std::move(next);
+  lengths_ = std::move(next_lengths);
+  const auto best_it = std::min_element(lengths_.begin(), lengths_.end());
+  const double gen_best = *best_it;
+  const double gen_mean =
+      std::accumulate(lengths_.begin(), lengths_.end(), 0.0) /
+      static_cast<double>(lengths_.size());
+  if (gen_best < best_makespan_) {
+    best_makespan_ = gen_best;
+    best_solution_ = pop_[static_cast<std::size_t>(best_it - lengths_.begin())];
+    stall_ = 0;
+  } else {
+    ++stall_;
+  }
+
+  GaIterationStats stats;
+  stats.generation = generation_;
+  stats.best_makespan = best_makespan_;
+  stats.gen_best_makespan = gen_best;
+  stats.gen_mean_makespan = gen_mean;
+  stats.elapsed_seconds = timer_.seconds();
+  if (params_.record_trace) trace_.push_back(stats);
+  ++generation_;
+  if (observer_ && !observer_(stats)) stop_requested_ = true;
+
+  StepStats out;
+  out.step = generation_ - 1;
+  out.current_makespan = gen_best;
+  out.best_makespan = best_makespan_;
+  out.evals_used = eval_.trial_count();
+  out.elapsed_seconds = stats.elapsed_seconds;
+  return out;
+}
+
+Schedule GaEngine::best_schedule() const {
+  SEHC_CHECK(initialized_, "GaEngine: init() not called");
+  return Schedule::from_solution(*workload_, best_solution_);
+}
+
+GaResult GaEngine::run() {
+  init();
+  while (!done()) step();
   GaResult result;
-  {
-    const auto best_it = std::min_element(lengths.begin(), lengths.end());
-    result.best_makespan = *best_it;
-    result.best_solution =
-        pop[static_cast<std::size_t>(best_it - lengths.begin())];
-  }
-
-  std::size_t stall = 0;
-  std::size_t generation = 0;
-  for (; generation < params_.max_generations; ++generation) {
-    if (timer.seconds() >= params_.time_limit_seconds) break;
-
-    // Rank indices by length for elitism.
-    std::vector<std::size_t> rank(pop.size());
-    std::iota(rank.begin(), rank.end(), 0);
-    std::sort(rank.begin(), rank.end(), [&](std::size_t a, std::size_t b) {
-      return lengths[a] < lengths[b];
-    });
-    const double worst = lengths[rank.back()];
-
-    // Incremental evaluation: elites and untouched clones keep their cached
-    // lengths; crossover children are re-simulated in full; mutation-only
-    // children are evaluated from their first difference with the parent
-    // via the evaluator's prepared per-parent snapshots (grouped by parent
-    // so each parent is prepared once). All three paths are bit-identical
-    // to full re-evaluation.
-    constexpr std::uint8_t kClean = 0, kFull = 1, kSuffix = 2;
-    std::vector<SolutionString> next;
-    std::vector<double> next_lengths;
-    std::vector<std::uint8_t> next_dirty;
-    std::vector<std::size_t> next_parent;  // meaningful for kSuffix only
-    next.reserve(pop.size());
-    next_lengths.reserve(pop.size());
-    next_dirty.reserve(pop.size());
-    next_parent.reserve(pop.size());
-    for (std::size_t e = 0; e < params_.elite; ++e) {
-      next.push_back(pop[rank[e]]);
-      next_lengths.push_back(lengths[rank[e]]);
-      next_dirty.push_back(kClean);
-      next_parent.push_back(rank[e]);
-    }
-
-    while (next.size() < pop.size()) {
-      const std::size_t ia = roulette(lengths, worst, rng);
-      const std::size_t ib = roulette(lengths, worst, rng);
-      const SolutionString& pa = pop[ia];
-      const SolutionString& pb = pop[ib];
-      SolutionString ca = pa;
-      SolutionString cb = pb;
-      const bool crossed = rng.chance(params_.crossover_prob);
-      if (crossed) {
-        std::tie(ca, cb) = scheduling_crossover(pa, pb, rng);
-        std::tie(ca, cb) = matching_crossover(ca, cb, rng);
-      }
-      bool mutated_a = false;
-      bool mutated_b = false;
-      if (rng.chance(params_.mutation_prob)) {
-        mutated_a = true;
-        matching_mutation(ca, w.num_machines(), rng);
-        scheduling_mutation(ca, g, rng);
-      }
-      if (rng.chance(params_.mutation_prob)) {
-        mutated_b = true;
-        matching_mutation(cb, w.num_machines(), rng);
-        scheduling_mutation(cb, g, rng);
-      }
-      next.push_back(std::move(ca));
-      next_lengths.push_back(crossed || mutated_a ? 0.0 : lengths[ia]);
-      next_dirty.push_back(crossed ? kFull : mutated_a ? kSuffix : kClean);
-      next_parent.push_back(ia);
-      if (next.size() < pop.size()) {
-        next.push_back(std::move(cb));
-        next_lengths.push_back(crossed || mutated_b ? 0.0 : lengths[ib]);
-        next_dirty.push_back(crossed ? kFull : mutated_b ? kSuffix : kClean);
-        next_parent.push_back(ib);
-      }
-    }
-
-    if (params_.verify_invariants) {
-      for (const auto& chrom : next) {
-        SEHC_ASSERT_MSG(chrom.is_valid(g),
-                        "GA generation produced an invalid chromosome");
-      }
-    }
-
-    // Evaluate before the parents are replaced. Suffix evaluations are
-    // grouped by parent so a parent with several mutation-only children is
-    // prepared once; evaluation consumes no RNG, so the grouping does not
-    // perturb the stream.
-    for (std::size_t i = 0; i < next.size(); ++i) {
-      if (next_dirty[i] == kFull) next_lengths[i] = eval.makespan(next[i]);
-    }
-    std::vector<std::size_t> suffix_children;
-    for (std::size_t i = 0; i < next.size(); ++i) {
-      if (next_dirty[i] == kSuffix) suffix_children.push_back(i);
-    }
-    std::stable_sort(suffix_children.begin(), suffix_children.end(),
-                     [&](std::size_t a, std::size_t b) {
-                       return next_parent[a] < next_parent[b];
-                     });
-    constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
-    std::size_t prepared_parent = kNoParent;
-    for (const std::size_t i : suffix_children) {
-      const std::size_t parent = next_parent[i];
-      const std::size_t from = first_difference(next[i], pop[parent]);
-      if (from == next[i].size()) {
-        next_lengths[i] = lengths[parent];  // mutation was a no-op
-        continue;
-      }
-      if (prepared_parent != parent) {
-        eval.prepare(pop[parent]);
-        prepared_parent = parent;
-      }
-      next_lengths[i] = eval.prepared_trial(
-          next[i], from, std::numeric_limits<double>::infinity());
-    }
-
-    pop = std::move(next);
-    lengths = std::move(next_lengths);
-    const auto best_it = std::min_element(lengths.begin(), lengths.end());
-    const double gen_best = *best_it;
-    const double gen_mean =
-        std::accumulate(lengths.begin(), lengths.end(), 0.0) /
-        static_cast<double>(lengths.size());
-    if (gen_best < result.best_makespan) {
-      result.best_makespan = gen_best;
-      result.best_solution =
-          pop[static_cast<std::size_t>(best_it - lengths.begin())];
-      stall = 0;
-    } else {
-      ++stall;
-    }
-
-    GaIterationStats stats;
-    stats.generation = generation;
-    stats.best_makespan = result.best_makespan;
-    stats.gen_best_makespan = gen_best;
-    stats.gen_mean_makespan = gen_mean;
-    stats.elapsed_seconds = timer.seconds();
-    if (params_.record_trace) result.trace.push_back(stats);
-    if (observer_ && !observer_(stats)) {
-      ++generation;
-      break;
-    }
-    if (params_.stall_generations > 0 && stall >= params_.stall_generations) {
-      ++generation;
-      break;
-    }
-  }
-
-  result.generations = generation;
-  result.seconds = timer.seconds();
-  result.schedule = Schedule::from_solution(w, result.best_solution);
+  result.best_solution = best_solution_;
+  result.best_makespan = best_makespan_;
+  result.trace = std::move(trace_);
+  trace_.clear();
+  result.generations = generation_;
+  result.seconds = timer_.seconds();
+  result.schedule = Schedule::from_solution(*workload_, result.best_solution);
   return result;
 }
 

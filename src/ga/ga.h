@@ -12,6 +12,10 @@
 // family (population 50, crossover 0.6, mutation 0.1, stop after 150
 // stagnant generations) and are configurable. DESIGN.md records this
 // substitution.
+//
+// GaEngine implements the stepwise SearchEngine interface (search/engine.h):
+// one step() is one generation, and run() is a thin wrapper over the step
+// core (bit-identical at fixed seeds).
 #pragma once
 
 #include <cstdint>
@@ -19,9 +23,13 @@
 #include <limits>
 #include <vector>
 
+#include "core/rng.h"
+#include "core/timer.h"
 #include "hc/workload.h"
 #include "sched/encoding.h"
+#include "sched/evaluator.h"
 #include "sched/schedule.h"
+#include "search/engine.h"
 
 namespace sehc {
 
@@ -58,20 +66,46 @@ struct GaResult {
   double seconds = 0.0;
 };
 
-class GaEngine {
+class GaEngine final : public SearchEngine {
  public:
   GaEngine(const Workload& workload, GaParams params);
 
-  /// Called after every generation; return false to stop early.
+  /// Called after every generation; return false to stop early (honored by
+  /// both run() and externally-driven step() loops).
   using Observer = std::function<bool(const GaIterationStats&)>;
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
   GaResult run();
 
+  // --- SearchEngine interface ----------------------------------------------
+  std::string name() const override { return "GA"; }
+  void init() override;
+  StepStats step() override;
+  bool done() const override;
+  double best_makespan() const override { return best_makespan_; }
+  std::size_t steps_done() const override { return generation_; }
+  std::size_t evals_used() const override { return eval_.trial_count(); }
+  double elapsed_seconds() const override { return timer_.seconds(); }
+  Schedule best_schedule() const override;
+
  private:
   const Workload* workload_;
   GaParams params_;
   Observer observer_;
+  Evaluator eval_;
+
+  // Stepwise state (valid after init()).
+  bool initialized_ = false;
+  bool stop_requested_ = false;
+  Rng rng_{1};
+  WallTimer timer_;
+  std::vector<SolutionString> pop_;
+  std::vector<double> lengths_;
+  SolutionString best_solution_;
+  double best_makespan_ = 0.0;
+  std::size_t generation_ = 0;  // completed generations
+  std::size_t stall_ = 0;
+  std::vector<GaIterationStats> trace_;
 };
 
 }  // namespace sehc

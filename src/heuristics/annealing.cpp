@@ -4,10 +4,6 @@
 #include <cmath>
 #include <limits>
 
-#include "core/rng.h"
-#include "sched/encoding.h"
-#include "sched/evaluator.h"
-
 namespace sehc {
 
 namespace {
@@ -54,78 +50,111 @@ void undo_move(SolutionString& s, const Move& m) {
 
 }  // namespace
 
-SaResult anneal_schedule(const Workload& w, const SaParams& params) {
-  SEHC_CHECK(params.cooling > 0.0 && params.cooling < 1.0,
+SaEngine::SaEngine(const Workload& workload, SaParams params)
+    : workload_(&workload), params_(params), eval_(workload) {
+  SEHC_CHECK(params_.cooling > 0.0 && params_.cooling < 1.0,
              "anneal_schedule: cooling must be in (0,1)");
-  Rng rng(params.seed);
-  Evaluator eval(w);
-  SolutionString current =
-      random_initial_solution(w.graph(), w.num_machines(), rng);
-  double current_len = eval.makespan(current);
+}
 
-  SolutionString best = current;
-  double best_len = current_len;
+void SaEngine::init() {
+  const Workload& w = *workload_;
+  rng_ = Rng(params_.seed);
+  eval_.reset_trial_count();
+  timer_.reset();
+
+  current_ = random_initial_solution(w.graph(), w.num_machines(), rng_);
+  current_len_ = eval_.makespan(current_);
+  best_ = current_;
+  best_len_ = current_len_;
 
   // Incremental engine: trials re-simulate only [suffix_start, k) on top of
   // the prepared per-position snapshots. Annealing needs the exact length
   // of every trial (the Metropolis probability depends on the uphill
   // delta), so trials are never pruned; the saving is the skipped prefix.
-  eval.prepare(current);
+  eval_.prepare(current_);
 
   // Calibrate T0 so an average uphill move is accepted with p ~ 0.8.
   double mean_uphill = 0.0;
   std::size_t uphill_count = 0;
   for (std::size_t i = 0; i < 50; ++i) {
-    const Move move = propose_move(current, w.graph(), w.num_machines(), rng);
-    apply_move(current, move);
-    const double len = eval.prepared_trial(current, move.suffix_start(),
-                                           kNoBound);
-    if (len > current_len) {
-      mean_uphill += len - current_len;
+    const Move move = propose_move(current_, w.graph(), w.num_machines(), rng_);
+    apply_move(current_, move);
+    const double len = eval_.prepared_trial(current_, move.suffix_start(),
+                                            kNoBound);
+    if (len > current_len_) {
+      mean_uphill += len - current_len_;
       ++uphill_count;
     }
-    undo_move(current, move);
+    undo_move(current_, move);
   }
   if (uphill_count > 0) mean_uphill /= static_cast<double>(uphill_count);
-  double temperature =
-      mean_uphill > 0.0 ? -mean_uphill / std::log(0.8) : 1.0;
+  temperature_ = mean_uphill > 0.0 ? -mean_uphill / std::log(0.8) : 1.0;
 
-  const std::size_t steps_per_temp =
-      params.steps_per_temp > 0
-          ? params.steps_per_temp
-          : std::max<std::size_t>(1, params.iterations / 200);
+  steps_per_temp_ =
+      params_.steps_per_temp > 0
+          ? params_.steps_per_temp
+          : std::max<std::size_t>(1, params_.iterations / 200);
 
-  std::size_t iteration = 0;
-  std::size_t since_cool = 0;
-  for (; iteration < params.iterations; ++iteration) {
-    const Move move = propose_move(current, w.graph(), w.num_machines(), rng);
-    apply_move(current, move);
-    const double len = eval.prepared_trial(current, move.suffix_start(),
-                                           kNoBound);
-    const double delta = len - current_len;
-    const bool accept =
-        delta <= 0.0 ||
-        (temperature > 0.0 && rng.uniform() < std::exp(-delta / temperature));
-    if (accept) {
-      current_len = len;
-      eval.refresh_from(current, move.suffix_start());
-      if (len < best_len) {
-        best_len = len;
-        best = current;
-      }
-    } else {
-      undo_move(current, move);
+  since_cool_ = 0;
+  iteration_ = 0;
+  initialized_ = true;
+}
+
+bool SaEngine::done() const {
+  SEHC_CHECK(initialized_, "SaEngine: init() not called");
+  return iteration_ >= params_.iterations;
+}
+
+StepStats SaEngine::step() {
+  SEHC_CHECK(initialized_, "SaEngine: init() not called");
+  const Workload& w = *workload_;
+
+  const Move move = propose_move(current_, w.graph(), w.num_machines(), rng_);
+  apply_move(current_, move);
+  const double len = eval_.prepared_trial(current_, move.suffix_start(),
+                                          kNoBound);
+  const double delta = len - current_len_;
+  const bool accept =
+      delta <= 0.0 ||
+      (temperature_ > 0.0 && rng_.uniform() < std::exp(-delta / temperature_));
+  if (accept) {
+    current_len_ = len;
+    eval_.refresh_from(current_, move.suffix_start());
+    if (len < best_len_) {
+      best_len_ = len;
+      best_ = current_;
     }
-    if (++since_cool >= steps_per_temp) {
-      since_cool = 0;
-      temperature *= params.cooling;
-    }
+  } else {
+    undo_move(current_, move);
+  }
+  if (++since_cool_ >= steps_per_temp_) {
+    since_cool_ = 0;
+    temperature_ *= params_.cooling;
   }
 
+  ++iteration_;
+  StepStats out;
+  out.step = iteration_ - 1;
+  out.current_makespan = current_len_;
+  out.best_makespan = best_len_;
+  out.evals_used = eval_.trial_count();
+  out.elapsed_seconds = timer_.seconds();
+  return out;
+}
+
+Schedule SaEngine::best_schedule() const {
+  SEHC_CHECK(initialized_, "SaEngine: init() not called");
+  return Schedule::from_solution(*workload_, best_);
+}
+
+SaResult anneal_schedule(const Workload& w, const SaParams& params) {
+  SaEngine engine(w, params);
+  engine.init();
+  while (!engine.done()) engine.step();
   SaResult result;
-  result.schedule = Schedule::from_solution(w, best);
-  result.best_makespan = best_len;
-  result.iterations = iteration;
+  result.schedule = engine.best_schedule();
+  result.best_makespan = engine.best_makespan();
+  result.iterations = engine.steps_done();
   return result;
 }
 

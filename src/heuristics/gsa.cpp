@@ -4,16 +4,15 @@
 #include <cmath>
 #include <limits>
 
-#include "core/rng.h"
 #include "core/stats.h"
-#include "core/timer.h"
 #include "dag/topo.h"
 #include "ga/operators.h"
-#include "sched/evaluator.h"
 
 namespace sehc {
 
 namespace {
+
+constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
 
 /// First string position where two equal-length solutions differ, or their
 /// size when identical (see the GA engine's twin helper).
@@ -29,7 +28,7 @@ std::size_t first_difference(const SolutionString& a, const SolutionString& b) {
 }  // namespace
 
 GsaEngine::GsaEngine(const Workload& workload, GsaParams params)
-    : workload_(&workload), params_(params) {
+    : workload_(&workload), params_(params), eval_(workload) {
   SEHC_CHECK(params_.population >= 2, "GsaEngine: population must be >= 2");
   SEHC_CHECK(params_.cooling > 0.0 && params_.cooling < 1.0,
              "GsaEngine: cooling must be in (0,1)");
@@ -38,146 +37,173 @@ GsaEngine::GsaEngine(const Workload& workload, GsaParams params)
              "GsaEngine: initial_acceptance must be in (0,1)");
 }
 
-GsaResult GsaEngine::run() {
+void GsaEngine::init() {
   const Workload& w = *workload_;
   const TaskGraph& g = w.graph();
-  Rng rng(params_.seed);
-  Evaluator eval(w);
-  WallTimer timer;
+  rng_ = Rng(params_.seed);
+  eval_.reset_trial_count();
+  timer_.reset();
 
-  std::vector<SolutionString> pop;
-  std::vector<double> lengths;
-  pop.reserve(params_.population);
-  lengths.reserve(params_.population);
+  pop_.clear();
+  lengths_.clear();
+  pop_.reserve(params_.population);
+  lengths_.reserve(params_.population);
   for (std::size_t i = 0; i < params_.population; ++i) {
     std::vector<MachineId> assignment(w.num_tasks());
     for (auto& m : assignment)
-      m = static_cast<MachineId>(rng.below(w.num_machines()));
-    auto order = random_topological_order(g, rng);
+      m = static_cast<MachineId>(rng_.below(w.num_machines()));
+    auto order = random_topological_order(g, rng_);
     SEHC_CHECK(order.has_value(), "GsaEngine: cyclic graph");
-    pop.emplace_back(*order, assignment);
-    lengths.push_back(eval.makespan(pop.back()));
+    pop_.emplace_back(*order, assignment);
+    lengths_.push_back(eval_.makespan(pop_.back()));
   }
 
-  GsaResult result;
-  {
-    const auto best_it = std::min_element(lengths.begin(), lengths.end());
-    result.best_makespan = *best_it;
-    result.best_solution =
-        pop[static_cast<std::size_t>(best_it - lengths.begin())];
-  }
+  const auto best_it = std::min_element(lengths_.begin(), lengths_.end());
+  best_makespan_ = *best_it;
+  best_solution_ = pop_[static_cast<std::size_t>(best_it - lengths_.begin())];
 
   // Calibrate T0 so a typical population-spread delta is accepted with the
   // configured probability.
-  const Accumulator spread = summarize(lengths);
+  const Accumulator spread = summarize(lengths_);
   const double typical_delta = std::max(spread.stddev(), 1e-9);
-  double temperature = -typical_delta / std::log(params_.initial_acceptance);
+  temperature_ = -typical_delta / std::log(params_.initial_acceptance);
+
+  prepared_slot_ = kNoSlot;
+  pop_version_ = 0;
+  prepared_version_ = 0;
+  generation_ = 0;
+  stop_requested_ = false;
+  trace_.clear();
+  initialized_ = true;
+}
+
+bool GsaEngine::done() const {
+  SEHC_CHECK(initialized_, "GsaEngine: init() not called");
+  return stop_requested_ || generation_ >= params_.max_generations ||
+         timer_.seconds() >= params_.time_limit_seconds;
+}
+
+StepStats GsaEngine::step() {
+  SEHC_CHECK(initialized_, "GsaEngine: init() not called");
+  const Workload& w = *workload_;
+  const TaskGraph& g = w.graph();
 
   // Prepared-parent cache for mutation-only children: prepare(parent) is
   // reused across children of the same population slot until a Metropolis
   // acceptance overwrites any slot (conservative invalidation; evaluation
   // consumes no RNG, so results stay bit-identical to full re-evaluation).
-  constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
-  std::size_t prepared_slot = kNoSlot;
-  std::uint64_t pop_version = 0;
-  std::uint64_t prepared_version = 0;
   auto suffix_makespan = [&](const SolutionString& child, std::size_t parent) {
-    const std::size_t from = first_difference(child, pop[parent]);
-    if (from == child.size()) return lengths[parent];  // mutation was a no-op
-    if (prepared_slot != parent || prepared_version != pop_version) {
-      eval.prepare(pop[parent]);
-      prepared_slot = parent;
-      prepared_version = pop_version;
+    const std::size_t from = first_difference(child, pop_[parent]);
+    if (from == child.size()) return lengths_[parent];  // mutation was a no-op
+    if (prepared_slot_ != parent || prepared_version_ != pop_version_) {
+      eval_.prepare(pop_[parent]);
+      prepared_slot_ = parent;
+      prepared_version_ = pop_version_;
     }
-    return eval.prepared_trial(child, from,
-                               std::numeric_limits<double>::infinity());
+    return eval_.prepared_trial(child, from,
+                                std::numeric_limits<double>::infinity());
   };
 
-  std::size_t generation = 0;
-  for (; generation < params_.max_generations; ++generation) {
-    if (timer.seconds() >= params_.time_limit_seconds) break;
-
-    std::size_t accepted = 0;
-    std::size_t offspring = 0;
-    // One Metropolis-mediated mating per pair slot per generation.
-    for (std::size_t slot = 0; slot + 1 < pop.size(); slot += 2) {
-      const std::size_t ia = rng.index(pop.size());
-      const std::size_t ib = rng.index(pop.size());
-      SolutionString ca = pop[ia];
-      SolutionString cb = pop[ib];
-      const bool crossed = rng.chance(params_.crossover_prob);
-      if (crossed) {
-        std::tie(ca, cb) = scheduling_crossover(pop[ia], pop[ib], rng);
-        std::tie(ca, cb) = matching_crossover(ca, cb, rng);
-      }
-      bool mutated_a = false;
-      bool mutated_b = false;
-      if (rng.chance(params_.mutation_prob)) {
-        mutated_a = true;
-        matching_mutation(ca, w.num_machines(), rng);
-        scheduling_mutation(ca, g, rng);
-      }
-      if (rng.chance(params_.mutation_prob)) {
-        mutated_b = true;
-        matching_mutation(cb, w.num_machines(), rng);
-        scheduling_mutation(cb, g, rng);
-      }
-      // Untouched children are verbatim clones of their source parent:
-      // reuse the cached length. Mutation-only children differ from their
-      // parent in a suffix only: evaluate via the prepared snapshots.
-      // Crossover children are re-simulated in full. Lengths are read
-      // before either Metropolis test can overwrite a population slot.
-      const double len_a = crossed    ? eval.makespan(ca)
-                           : mutated_a ? suffix_makespan(ca, ia)
-                                       : lengths[ia];
-      const double len_b = crossed    ? eval.makespan(cb)
-                           : mutated_b ? suffix_makespan(cb, ib)
-                                       : lengths[ib];
-
-      // Metropolis survivor test: child vs the parent in its slot.
-      auto metropolis = [&](SolutionString&& child, double child_len,
-                            std::size_t parent_idx) {
-        ++offspring;
-        const double delta = child_len - lengths[parent_idx];
-        const bool accept =
-            delta <= 0.0 ||
-            (temperature > 0.0 &&
-             rng.uniform() < std::exp(-delta / temperature));
-        if (!accept) return;
-        ++accepted;
-        pop[parent_idx] = std::move(child);
-        lengths[parent_idx] = child_len;
-        ++pop_version;  // invalidates the prepared-parent cache
-        if (child_len < result.best_makespan) {
-          result.best_makespan = child_len;
-          result.best_solution = pop[parent_idx];
-        }
-      };
-      metropolis(std::move(ca), len_a, ia);
-      metropolis(std::move(cb), len_b, ib);
+  std::size_t accepted = 0;
+  std::size_t offspring = 0;
+  // One Metropolis-mediated mating per pair slot per generation.
+  for (std::size_t slot = 0; slot + 1 < pop_.size(); slot += 2) {
+    const std::size_t ia = rng_.index(pop_.size());
+    const std::size_t ib = rng_.index(pop_.size());
+    SolutionString ca = pop_[ia];
+    SolutionString cb = pop_[ib];
+    const bool crossed = rng_.chance(params_.crossover_prob);
+    if (crossed) {
+      std::tie(ca, cb) = scheduling_crossover(pop_[ia], pop_[ib], rng_);
+      std::tie(ca, cb) = matching_crossover(ca, cb, rng_);
     }
-
-    temperature *= params_.cooling;
-
-    GsaIterationStats stats;
-    stats.generation = generation;
-    stats.best_makespan = result.best_makespan;
-    stats.temperature = temperature;
-    stats.accept_rate =
-        offspring == 0 ? 0.0
-                       : static_cast<double>(accepted) /
-                             static_cast<double>(offspring);
-    stats.elapsed_seconds = timer.seconds();
-    if (params_.record_trace) result.trace.push_back(stats);
-    if (observer_ && !observer_(stats)) {
-      ++generation;
-      break;
+    bool mutated_a = false;
+    bool mutated_b = false;
+    if (rng_.chance(params_.mutation_prob)) {
+      mutated_a = true;
+      matching_mutation(ca, w.num_machines(), rng_);
+      scheduling_mutation(ca, g, rng_);
     }
+    if (rng_.chance(params_.mutation_prob)) {
+      mutated_b = true;
+      matching_mutation(cb, w.num_machines(), rng_);
+      scheduling_mutation(cb, g, rng_);
+    }
+    // Untouched children are verbatim clones of their source parent:
+    // reuse the cached length. Mutation-only children differ from their
+    // parent in a suffix only: evaluate via the prepared snapshots.
+    // Crossover children are re-simulated in full. Lengths are read
+    // before either Metropolis test can overwrite a population slot.
+    const double len_a = crossed    ? eval_.makespan(ca)
+                         : mutated_a ? suffix_makespan(ca, ia)
+                                     : lengths_[ia];
+    const double len_b = crossed    ? eval_.makespan(cb)
+                         : mutated_b ? suffix_makespan(cb, ib)
+                                     : lengths_[ib];
+
+    // Metropolis survivor test: child vs the parent in its slot.
+    auto metropolis = [&](SolutionString&& child, double child_len,
+                          std::size_t parent_idx) {
+      ++offspring;
+      const double delta = child_len - lengths_[parent_idx];
+      const bool accept =
+          delta <= 0.0 ||
+          (temperature_ > 0.0 &&
+           rng_.uniform() < std::exp(-delta / temperature_));
+      if (!accept) return;
+      ++accepted;
+      pop_[parent_idx] = std::move(child);
+      lengths_[parent_idx] = child_len;
+      ++pop_version_;  // invalidates the prepared-parent cache
+      if (child_len < best_makespan_) {
+        best_makespan_ = child_len;
+        best_solution_ = pop_[parent_idx];
+      }
+    };
+    metropolis(std::move(ca), len_a, ia);
+    metropolis(std::move(cb), len_b, ib);
   }
 
-  result.generations = generation;
-  result.seconds = timer.seconds();
-  result.schedule = Schedule::from_solution(w, result.best_solution);
+  temperature_ *= params_.cooling;
+
+  GsaIterationStats stats;
+  stats.generation = generation_;
+  stats.best_makespan = best_makespan_;
+  stats.temperature = temperature_;
+  stats.accept_rate =
+      offspring == 0 ? 0.0
+                     : static_cast<double>(accepted) /
+                           static_cast<double>(offspring);
+  stats.elapsed_seconds = timer_.seconds();
+  if (params_.record_trace) trace_.push_back(stats);
+  ++generation_;
+  if (observer_ && !observer_(stats)) stop_requested_ = true;
+
+  StepStats out;
+  out.step = generation_ - 1;
+  out.current_makespan = best_makespan_;
+  out.best_makespan = best_makespan_;
+  out.evals_used = eval_.trial_count();
+  out.elapsed_seconds = stats.elapsed_seconds;
+  return out;
+}
+
+Schedule GsaEngine::best_schedule() const {
+  SEHC_CHECK(initialized_, "GsaEngine: init() not called");
+  return Schedule::from_solution(*workload_, best_solution_);
+}
+
+GsaResult GsaEngine::run() {
+  init();
+  while (!done()) step();
+  GsaResult result;
+  result.best_solution = best_solution_;
+  result.best_makespan = best_makespan_;
+  result.trace = std::move(trace_);
+  trace_.clear();
+  result.generations = generation_;
+  result.seconds = timer_.seconds();
+  result.schedule = Schedule::from_solution(*workload_, result.best_solution);
   return result;
 }
 

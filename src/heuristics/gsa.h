@@ -7,6 +7,10 @@
 // parent and replaces it if better, or with probability exp(-delta / T)
 // if worse; T follows a geometric cooling schedule. This hybrid keeps the
 // GA's recombination while inheriting SA's controllable uphill acceptance.
+//
+// GsaEngine implements the stepwise SearchEngine interface
+// (search/engine.h): one step() is one generation, and run() is a thin
+// wrapper over the step core (bit-identical at fixed seeds).
 #pragma once
 
 #include <cstdint>
@@ -14,9 +18,13 @@
 #include <limits>
 #include <vector>
 
+#include "core/rng.h"
+#include "core/timer.h"
 #include "hc/workload.h"
 #include "sched/encoding.h"
+#include "sched/evaluator.h"
 #include "sched/schedule.h"
+#include "search/engine.h"
 
 namespace sehc {
 
@@ -52,7 +60,7 @@ struct GsaResult {
   double seconds = 0.0;
 };
 
-class GsaEngine {
+class GsaEngine final : public SearchEngine {
  public:
   GsaEngine(const Workload& workload, GsaParams params);
 
@@ -61,10 +69,39 @@ class GsaEngine {
 
   GsaResult run();
 
+  // --- SearchEngine interface ----------------------------------------------
+  std::string name() const override { return "GSA"; }
+  void init() override;
+  StepStats step() override;
+  bool done() const override;
+  double best_makespan() const override { return best_makespan_; }
+  std::size_t steps_done() const override { return generation_; }
+  std::size_t evals_used() const override { return eval_.trial_count(); }
+  double elapsed_seconds() const override { return timer_.seconds(); }
+  Schedule best_schedule() const override;
+
  private:
   const Workload* workload_;
   GsaParams params_;
   Observer observer_;
+  Evaluator eval_;
+
+  // Stepwise state (valid after init()).
+  bool initialized_ = false;
+  bool stop_requested_ = false;
+  Rng rng_{1};
+  WallTimer timer_;
+  std::vector<SolutionString> pop_;
+  std::vector<double> lengths_;
+  SolutionString best_solution_;
+  double best_makespan_ = 0.0;
+  double temperature_ = 0.0;
+  std::size_t generation_ = 0;  // completed generations
+  std::vector<GsaIterationStats> trace_;
+  // Prepared-parent cache (see gsa.cpp).
+  std::size_t prepared_slot_ = 0;
+  std::uint64_t pop_version_ = 0;
+  std::uint64_t prepared_version_ = 0;
 };
 
 }  // namespace sehc

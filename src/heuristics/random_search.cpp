@@ -1,31 +1,66 @@
 #include "heuristics/random_search.h"
 
-#include <limits>
-
-#include "core/rng.h"
-#include "sched/encoding.h"
-#include "sched/evaluator.h"
-
 namespace sehc {
+
+RandomSearchEngine::RandomSearchEngine(const Workload& workload,
+                                       std::size_t evaluations,
+                                       std::uint64_t seed)
+    : workload_(&workload),
+      evaluations_(evaluations),
+      seed_(seed),
+      eval_(workload) {
+  SEHC_CHECK(evaluations_ > 0, "random_search: need at least one evaluation");
+}
+
+void RandomSearchEngine::init() {
+  rng_ = Rng(seed_);
+  eval_.reset_trial_count();
+  timer_.reset();
+  best_ = SolutionString();
+  best_len_ = std::numeric_limits<double>::infinity();
+  iteration_ = 0;
+  initialized_ = true;
+}
+
+bool RandomSearchEngine::done() const {
+  SEHC_CHECK(initialized_, "RandomSearchEngine: init() not called");
+  return iteration_ >= evaluations_;
+}
+
+StepStats RandomSearchEngine::step() {
+  SEHC_CHECK(initialized_, "RandomSearchEngine: init() not called");
+  const Workload& w = *workload_;
+  SolutionString candidate =
+      random_initial_solution(w.graph(), w.num_machines(), rng_);
+  const double len = eval_.makespan(candidate);
+  if (len < best_len_) {
+    best_len_ = len;
+    best_ = std::move(candidate);
+  }
+
+  ++iteration_;
+  StepStats out;
+  out.step = iteration_ - 1;
+  out.current_makespan = len;
+  out.best_makespan = best_len_;
+  out.evals_used = eval_.trial_count();
+  out.elapsed_seconds = timer_.seconds();
+  return out;
+}
+
+Schedule RandomSearchEngine::best_schedule() const {
+  SEHC_CHECK(initialized_, "RandomSearchEngine: init() not called");
+  SEHC_CHECK(iteration_ > 0,
+             "RandomSearchEngine: no samples drawn yet (best is undefined)");
+  return Schedule::from_solution(*workload_, best_);
+}
 
 Schedule random_search_schedule(const Workload& w, std::size_t evaluations,
                                 std::uint64_t seed) {
-  SEHC_CHECK(evaluations > 0, "random_search: need at least one evaluation");
-  Rng rng(seed);
-  Evaluator eval(w);
-
-  SolutionString best;
-  double best_len = std::numeric_limits<double>::infinity();
-  for (std::size_t i = 0; i < evaluations; ++i) {
-    SolutionString candidate =
-        random_initial_solution(w.graph(), w.num_machines(), rng);
-    const double len = eval.makespan(candidate);
-    if (len < best_len) {
-      best_len = len;
-      best = std::move(candidate);
-    }
-  }
-  return Schedule::from_solution(w, best);
+  RandomSearchEngine engine(w, evaluations, seed);
+  engine.init();
+  while (!engine.done()) engine.step();
+  return engine.best_schedule();
 }
 
 }  // namespace sehc

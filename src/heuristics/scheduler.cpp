@@ -1,19 +1,18 @@
 #include "heuristics/scheduler.h"
 
-#include "ga/ga.h"
-#include "heuristics/annealing.h"
+#include <limits>
+
 #include "heuristics/cpop.h"
 #include "heuristics/dls.h"
-#include "heuristics/gsa.h"
 #include "heuristics/heft.h"
 #include "heuristics/level_mappers.h"
 #include "heuristics/random_search.h"
-#include "heuristics/tabu.h"
-#include "se/se.h"
 
 namespace sehc {
 
 namespace {
+
+constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
 
 /// Adapter for plain function schedulers.
 class FunctionScheduler final : public Scheduler {
@@ -28,101 +27,25 @@ class FunctionScheduler final : public Scheduler {
   Fn fn_;
 };
 
-class RandomSearchScheduler final : public Scheduler {
+/// Adapter running any of the six searchers to its step budget through the
+/// stepwise core — the single loop behind every iterative Scheduler.
+class EngineScheduler final : public Scheduler {
  public:
-  RandomSearchScheduler(std::size_t evaluations, std::uint64_t seed)
-      : evaluations_(evaluations), seed_(seed) {}
-  std::string name() const override { return "Random"; }
+  EngineScheduler(std::string name, std::size_t steps, std::uint64_t seed,
+                  std::size_t y_limit = 0)
+      : name_(std::move(name)), steps_(steps), seed_(seed), y_limit_(y_limit) {}
+  std::string name() const override { return name_; }
   Schedule schedule(const Workload& w) const override {
-    return random_search_schedule(w, evaluations_, seed_);
+    const std::unique_ptr<SearchEngine> engine =
+        make_search_engine(name_, w, Budget::steps(steps_), seed_, y_limit_);
+    return run_search(*engine, Budget::steps(steps_)).schedule;
   }
 
  private:
-  std::size_t evaluations_;
-  std::uint64_t seed_;
-};
-
-class TabuScheduler final : public Scheduler {
- public:
-  TabuScheduler(std::size_t iterations, std::uint64_t seed)
-      : iterations_(iterations), seed_(seed) {}
-  std::string name() const override { return "Tabu"; }
-  Schedule schedule(const Workload& w) const override {
-    TabuParams p;
-    p.iterations = iterations_;
-    p.seed = seed_;
-    return tabu_schedule(w, p).schedule;
-  }
-
- private:
-  std::size_t iterations_;
-  std::uint64_t seed_;
-};
-
-class SaScheduler final : public Scheduler {
- public:
-  SaScheduler(std::size_t iterations, std::uint64_t seed)
-      : iterations_(iterations), seed_(seed) {}
-  std::string name() const override { return "SA"; }
-  Schedule schedule(const Workload& w) const override {
-    SaParams p;
-    p.iterations = iterations_;
-    p.seed = seed_;
-    return anneal_schedule(w, p).schedule;
-  }
-
- private:
-  std::size_t iterations_;
-  std::uint64_t seed_;
-};
-
-class SeScheduler final : public Scheduler {
- public:
-  SeScheduler(std::size_t iterations, std::uint64_t seed, std::size_t y_limit)
-      : iterations_(iterations), seed_(seed), y_limit_(y_limit) {}
-  std::string name() const override { return "SE"; }
-  Schedule schedule(const Workload& w) const override {
-    const SeParams p = comparison_se_params(iterations_, seed_, y_limit_);
-    return SeEngine(w, p).run().schedule;
-  }
-
- private:
-  std::size_t iterations_;
+  std::string name_;
+  std::size_t steps_;
   std::uint64_t seed_;
   std::size_t y_limit_;
-};
-
-class GsaScheduler final : public Scheduler {
- public:
-  GsaScheduler(std::size_t generations, std::uint64_t seed)
-      : generations_(generations), seed_(seed) {}
-  std::string name() const override { return "GSA"; }
-  Schedule schedule(const Workload& w) const override {
-    GsaParams p;
-    p.max_generations = generations_;
-    p.seed = seed_;
-    p.record_trace = false;
-    return GsaEngine(w, p).run().schedule;
-  }
-
- private:
-  std::size_t generations_;
-  std::uint64_t seed_;
-};
-
-class GaScheduler final : public Scheduler {
- public:
-  GaScheduler(std::size_t generations, std::uint64_t seed)
-      : generations_(generations), seed_(seed) {}
-  std::string name() const override { return "GA"; }
-  Schedule schedule(const Workload& w) const override {
-    const GaParams p = comparison_ga_params(generations_, seed_);
-    return GaEngine(w, p).run().schedule;
-  }
-
- private:
-  std::size_t generations_;
-  std::uint64_t seed_;
 };
 
 }  // namespace
@@ -149,6 +72,88 @@ GaParams comparison_ga_params(std::size_t generations, std::uint64_t seed) {
   return p;
 }
 
+GsaParams comparison_gsa_params(std::size_t generations, std::uint64_t seed) {
+  GsaParams p;
+  p.max_generations = generations;
+  p.seed = seed;
+  p.record_trace = false;
+  return p;
+}
+
+TabuParams comparison_tabu_params(std::size_t iterations, std::uint64_t seed) {
+  TabuParams p;
+  p.iterations = iterations;
+  p.seed = seed;
+  return p;
+}
+
+SaParams comparison_sa_params(std::size_t iterations, std::uint64_t seed) {
+  SaParams p;
+  p.iterations = iterations;
+  p.seed = seed;
+  return p;
+}
+
+bool is_search_engine_name(const std::string& name) {
+  return name == "SE" || name == "GA" || name == "GSA" || name == "SA" ||
+         name == "Tabu" || name == "Random";
+}
+
+std::unique_ptr<SearchEngine> make_search_engine(const std::string& name,
+                                                 const Workload& w,
+                                                 const Budget& budget,
+                                                 std::uint64_t seed,
+                                                 std::size_t se_y_limit) {
+  budget.validate();
+  const bool steps_mode = budget.kind == Budget::Kind::kSteps;
+  const std::size_t step_cap = steps_mode ? budget.count : kUnbounded;
+
+  if (name == "SE") {
+    SeParams p = comparison_se_params(step_cap, seed, se_y_limit);
+    if (budget.kind == Budget::Kind::kSeconds) {
+      p.time_limit_seconds = budget.wall_seconds;
+    }
+    return std::make_unique<SeEngine>(w, p);
+  }
+  if (name == "GA") {
+    GaParams p = comparison_ga_params(step_cap, seed);
+    if (budget.kind == Budget::Kind::kSeconds) {
+      p.time_limit_seconds = budget.wall_seconds;
+    }
+    return std::make_unique<GaEngine>(w, p);
+  }
+  if (name == "GSA") {
+    GsaParams p = comparison_gsa_params(step_cap, seed);
+    if (budget.kind == Budget::Kind::kSeconds) {
+      p.time_limit_seconds = budget.wall_seconds;
+    }
+    return std::make_unique<GsaEngine>(w, p);
+  }
+  if (name == "SA") {
+    SaParams p = comparison_sa_params(step_cap, seed);
+    // SA's auto cooling ladder divides the step cap by 200; with an
+    // unbounded cap the ladder must come from the budget instead: an eval
+    // budget maps ~1:1 to moves, a wall-clock budget has no deterministic
+    // move count, so a fixed 100-move rung keeps cooling well-defined.
+    if (budget.kind == Budget::Kind::kEvals) {
+      p.steps_per_temp = std::max<std::size_t>(1, budget.count / 200);
+    } else if (budget.kind == Budget::Kind::kSeconds) {
+      p.steps_per_temp = 100;
+    }
+    return std::make_unique<SaEngine>(w, p);
+  }
+  if (name == "Tabu") {
+    return std::make_unique<TabuEngine>(w, comparison_tabu_params(step_cap,
+                                                                  seed));
+  }
+  if (name == "Random") {
+    return std::make_unique<RandomSearchEngine>(w, step_cap, seed);
+  }
+  throw Error("make_search_engine: '" + name +
+              "' is not a stepwise searcher (expected SE, GA, GSA, SA, Tabu "
+              "or Random)");
+}
+
 std::unique_ptr<Scheduler> make_heft() {
   return std::make_unique<FunctionScheduler>("HEFT", &heft_schedule);
 }
@@ -163,7 +168,7 @@ std::unique_ptr<Scheduler> make_dls() {
 
 std::unique_ptr<Scheduler> make_tabu_search(std::size_t iterations,
                                             std::uint64_t seed) {
-  return std::make_unique<TabuScheduler>(iterations, seed);
+  return std::make_unique<EngineScheduler>("Tabu", iterations, seed);
 }
 
 std::unique_ptr<Scheduler> make_level_mapper(LevelMapperKind kind) {
@@ -182,65 +187,83 @@ std::unique_ptr<Scheduler> make_level_mapper(LevelMapperKind kind) {
 
 std::unique_ptr<Scheduler> make_random_search(std::size_t evaluations,
                                               std::uint64_t seed) {
-  return std::make_unique<RandomSearchScheduler>(evaluations, seed);
+  return std::make_unique<EngineScheduler>("Random", evaluations, seed);
 }
 
 std::unique_ptr<Scheduler> make_simulated_annealing(std::size_t iterations,
                                                     std::uint64_t seed) {
-  return std::make_unique<SaScheduler>(iterations, seed);
+  return std::make_unique<EngineScheduler>("SA", iterations, seed);
 }
 
 std::unique_ptr<Scheduler> make_se_scheduler(std::size_t iterations,
                                              std::uint64_t seed,
                                              std::size_t y_limit) {
-  return std::make_unique<SeScheduler>(iterations, seed, y_limit);
+  return std::make_unique<EngineScheduler>("SE", iterations, seed, y_limit);
 }
 
 std::unique_ptr<Scheduler> make_ga_scheduler(std::size_t generations,
                                              std::uint64_t seed) {
-  return std::make_unique<GaScheduler>(generations, seed);
+  return std::make_unique<EngineScheduler>("GA", generations, seed);
 }
 
 std::unique_ptr<Scheduler> make_gsa_scheduler(std::size_t generations,
                                               std::uint64_t seed) {
-  return std::make_unique<GsaScheduler>(generations, seed);
+  return std::make_unique<EngineScheduler>("GSA", generations, seed);
 }
 
 std::vector<SchedulerFactory> make_all_scheduler_factories(std::size_t budget) {
   const auto seedless = [](std::unique_ptr<Scheduler> (*fn)()) {
     return [fn](std::uint64_t) { return fn(); };
   };
+  const auto engine_builder = [](std::string name) {
+    return [name](const Workload& w, const Budget& b, std::uint64_t seed) {
+      return make_search_engine(name, w, b, seed);
+    };
+  };
   std::vector<SchedulerFactory> out;
-  out.push_back({"SE", [budget](std::uint64_t seed) {
+  out.push_back({"SE",
+                 [budget](std::uint64_t seed) {
                    return make_se_scheduler(budget, seed);
-                 }});
-  out.push_back({"GA", [budget](std::uint64_t seed) {
+                 },
+                 budget, engine_builder("SE")});
+  out.push_back({"GA",
+                 [budget](std::uint64_t seed) {
                    return make_ga_scheduler(budget, seed);
-                 }});
-  out.push_back({"GSA", [budget](std::uint64_t seed) {
+                 },
+                 budget, engine_builder("GA")});
+  out.push_back({"GSA",
+                 [budget](std::uint64_t seed) {
                    return make_gsa_scheduler(budget, seed);
-                 }});
-  out.push_back({"HEFT", seedless(&make_heft)});
-  out.push_back({"CPOP", seedless(&make_cpop)});
-  out.push_back({"DLS", seedless(&make_dls)});
+                 },
+                 budget, engine_builder("GSA")});
+  out.push_back({"HEFT", seedless(&make_heft), 0, nullptr});
+  out.push_back({"CPOP", seedless(&make_cpop), 0, nullptr});
+  out.push_back({"DLS", seedless(&make_dls), 0, nullptr});
   for (LevelMapperKind kind :
        {LevelMapperKind::kMinMin, LevelMapperKind::kMaxMin,
         LevelMapperKind::kMct, LevelMapperKind::kOlb}) {
     auto mapper = make_level_mapper(kind);
     std::string name = mapper->name();
     out.push_back({std::move(name),
-                   [kind](std::uint64_t) { return make_level_mapper(kind); }});
+                   [kind](std::uint64_t) { return make_level_mapper(kind); },
+                   0, nullptr});
   }
   // SA, tabu and random search get budgets comparable to SE's move count.
-  out.push_back({"SA", [budget](std::uint64_t seed) {
+  out.push_back({"SA",
+                 [budget](std::uint64_t seed) {
                    return make_simulated_annealing(budget * 50, seed);
-                 }});
-  out.push_back({"Tabu", [budget](std::uint64_t seed) {
+                 },
+                 budget * 50, engine_builder("SA")});
+  out.push_back({"Tabu",
+                 [budget](std::uint64_t seed) {
                    return make_tabu_search(budget * 10, seed);
-                 }});
-  out.push_back({"Random", [budget](std::uint64_t seed) {
+                 },
+                 budget * 10, engine_builder("Tabu")});
+  out.push_back({"Random",
+                 [budget](std::uint64_t seed) {
                    return make_random_search(budget * 10, seed);
-                 }});
+                 },
+                 budget * 10, engine_builder("Random")});
   return out;
 }
 

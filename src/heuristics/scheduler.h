@@ -5,6 +5,12 @@
 // motivate the baseline set: list schedulers (HEFT, CPOP), levelized
 // meta-task mappers (min-min, max-min, MCT, OLB) and generic iterative
 // search (simulated annealing, random search) alongside SE and GA.
+//
+// Every iterative searcher is also constructible as a stepwise SearchEngine
+// (search/engine.h) under any Budget currency via make_search_engine / the
+// factories' make_engine hook; the one-shot Scheduler adapters below are
+// thin wrappers over those engines, so both paths are bit-identical at
+// fixed seeds.
 #pragma once
 
 #include <cstdint>
@@ -15,8 +21,12 @@
 
 #include "ga/ga.h"
 #include "hc/workload.h"
+#include "heuristics/annealing.h"
+#include "heuristics/gsa.h"
+#include "heuristics/tabu.h"
 #include "sched/schedule.h"
 #include "se/se.h"
+#include "search/engine.h"
 
 namespace sehc {
 
@@ -60,6 +70,15 @@ SeParams comparison_se_params(std::size_t iterations, std::uint64_t seed,
 /// Same for the GA baseline.
 GaParams comparison_ga_params(std::size_t generations, std::uint64_t seed);
 
+/// Same for GSA (paper ref [8]).
+GsaParams comparison_gsa_params(std::size_t generations, std::uint64_t seed);
+
+/// Same for tabu search (tenure 25, 24 samples per iteration).
+TabuParams comparison_tabu_params(std::size_t iterations, std::uint64_t seed);
+
+/// Same for simulated annealing.
+SaParams comparison_sa_params(std::size_t iterations, std::uint64_t seed);
+
 /// SE and GA wrapped behind the common interface with iteration budgets.
 std::unique_ptr<Scheduler> make_se_scheduler(std::size_t iterations,
                                              std::uint64_t seed,
@@ -71,12 +90,48 @@ std::unique_ptr<Scheduler> make_ga_scheduler(std::size_t generations,
 std::unique_ptr<Scheduler> make_gsa_scheduler(std::size_t generations,
                                               std::uint64_t seed);
 
+/// True iff `name` is one of the six stepwise searchers ("SE", "GA",
+/// "GSA", "SA", "Tabu", "Random") — i.e. make_search_engine accepts it.
+bool is_search_engine_name(const std::string& name);
+
+/// Builds a stepwise engine for any of the six searchers under any budget
+/// currency, configured with the comparison-suite parameters
+/// (comparison_*_params), so engine-driven runs are bit-identical to the
+/// scheduler adapters at the same step budget. Budget mapping:
+///
+///   * kSteps   — the engine's own step cap is the budget (SE iterations,
+///                GA/GSA generations, tabu/SA moves, random samples);
+///   * kEvals   — internal caps are unbounded; the caller's driver stops on
+///                evals_used() (SA's auto cooling ladder is derived from
+///                the eval budget: ~1 eval per move);
+///   * kSeconds — internal caps are unbounded and the engine's own time
+///                limit is set where supported (SE/GA/GSA); SA cools every
+///                100 moves (it cannot derive a ladder from wall clock).
+///
+/// Throws sehc::Error for names without an engine (HEFT, CPOP, ...).
+/// `se_y_limit` is SE's Y parameter (paper §4.5, 0 = all machines) and is
+/// ignored by every other searcher.
+std::unique_ptr<SearchEngine> make_search_engine(const std::string& name,
+                                                 const Workload& w,
+                                                 const Budget& budget,
+                                                 std::uint64_t seed,
+                                                 std::size_t se_y_limit = 0);
+
 /// Named scheduler constructor for sweep drivers that need a fresh,
 /// independently seeded instance per (workload, seed) repetition.
 /// Deterministic schedulers ignore the seed.
 struct SchedulerFactory {
   std::string name;
   std::function<std::unique_ptr<Scheduler>(std::uint64_t seed)> make;
+  /// Step budget make() gives this searcher — the comparison suite's
+  /// scaling of the shared `budget` knob (SA x50, tabu/random x10).
+  /// 0 for non-iterative schedulers.
+  std::size_t step_budget = 0;
+  /// Stepwise engine builder (null for non-iterative schedulers). Equal to
+  /// make_search_engine(name, ...).
+  std::function<std::unique_ptr<SearchEngine>(
+      const Workload&, const Budget&, std::uint64_t seed)>
+      make_engine;
 };
 
 /// Factories for the full comparison suite, in presentation order. `budget`

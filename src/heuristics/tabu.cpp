@@ -2,11 +2,6 @@
 
 #include <algorithm>
 #include <limits>
-#include <vector>
-
-#include "core/rng.h"
-#include "sched/encoding.h"
-#include "sched/evaluator.h"
 
 namespace sehc {
 
@@ -18,103 +13,119 @@ struct Move {
   MachineId machine = 0;
 };
 
-/// Attribute-based tabu memory: expiry iteration per (task, pos, machine).
-class TabuList {
- public:
-  TabuList(std::size_t tasks, std::size_t positions, std::size_t machines)
-      : positions_(positions), machines_(machines),
-        expiry_(tasks * positions * machines, 0) {}
-
-  bool is_tabu(const Move& m, std::size_t now) const {
-    return expiry_[index(m)] > now;
-  }
-
-  void forbid(const Move& m, std::size_t until) { expiry_[index(m)] = until; }
-
- private:
-  std::size_t index(const Move& m) const {
-    return (m.task * positions_ + m.pos) * machines_ + m.machine;
-  }
-
-  std::size_t positions_;
-  std::size_t machines_;
-  std::vector<std::size_t> expiry_;
-};
-
 }  // namespace
 
-TabuResult tabu_schedule(const Workload& w, const TabuParams& params) {
-  SEHC_CHECK(params.samples > 0, "tabu_schedule: samples must be positive");
-  Rng rng(params.seed);
-  Evaluator eval(w);
-  const TaskGraph& g = w.graph();
+TabuEngine::TabuEngine(const Workload& workload, TabuParams params)
+    : workload_(&workload), params_(params), eval_(workload) {
+  SEHC_CHECK(params_.samples > 0, "tabu_schedule: samples must be positive");
+}
 
-  SolutionString current =
-      random_initial_solution(g, w.num_machines(), rng);
-  double current_len = eval.makespan(current);
-  SolutionString best = current;
-  double best_len = current_len;
+void TabuEngine::init() {
+  const Workload& w = *workload_;
+  rng_ = Rng(params_.seed);
+  eval_.reset_trial_count();
+  timer_.reset();
 
-  TabuList tabu(w.num_tasks(), w.num_tasks(), w.num_machines());
+  current_ = random_initial_solution(w.graph(), w.num_machines(), rng_);
+  current_len_ = eval_.makespan(current_);
+  best_ = current_;
+  best_len_ = current_len_;
+
+  tabu_expiry_.assign(w.num_tasks() * w.num_tasks() * w.num_machines(), 0);
 
   // Incremental engine: the prepared state snapshots the machine state
   // before every position of `current`, so a sampled move that rewrites the
   // string from position p onward costs O(k - p) instead of a full O(k)
   // re-evaluation. The state is refreshed only when a move commits.
-  eval.prepare(current);
+  eval_.prepare(current_);
 
-  std::size_t iteration = 0;
-  for (; iteration < params.iterations; ++iteration) {
-    Move chosen;
-    double chosen_len = std::numeric_limits<double>::infinity();
-    Move chosen_reverse;
+  iteration_ = 0;
+  initialized_ = true;
+}
 
-    for (std::size_t sample = 0; sample < params.samples; ++sample) {
-      const TaskId t = static_cast<TaskId>(rng.below(w.num_tasks()));
-      const ValidRange range = current.valid_range(g, t);
-      const Move reverse{t, current.position_of(t), current.machine_of(t)};
-      const Move move{
-          t, range.lo + static_cast<std::size_t>(rng.below(range.size())),
-          static_cast<MachineId>(rng.below(w.num_machines()))};
+bool TabuEngine::done() const {
+  SEHC_CHECK(initialized_, "TabuEngine: init() not called");
+  return iteration_ >= params_.iterations;
+}
 
-      // Trial: apply, evaluate the changed suffix, undo. The trial is
-      // pruned against chosen_len — a sample that cannot become the chosen
-      // move needs no exact length (aspiration also requires beating
-      // chosen_len, so the outcome is unchanged).
-      current.move_task(move.task, move.pos);
-      current.set_machine(move.task, move.machine);
-      const std::size_t from = std::min(reverse.pos, move.pos);
-      const double len = eval.prepared_trial(current, from, chosen_len);
-      current.move_task(reverse.task, reverse.pos);
-      current.set_machine(reverse.task, reverse.machine);
+StepStats TabuEngine::step() {
+  SEHC_CHECK(initialized_, "TabuEngine: init() not called");
+  const Workload& w = *workload_;
+  const TaskGraph& g = w.graph();
+  const std::size_t machines = w.num_machines();
+  const std::size_t positions = w.num_tasks();
+  const auto attr_index = [&](const Move& m) {
+    return (m.task * positions + m.pos) * machines + m.machine;
+  };
 
-      const bool aspirates = len < best_len;
-      if (!aspirates && tabu.is_tabu(move, iteration)) continue;
-      if (len < chosen_len) {
-        chosen_len = len;
-        chosen = move;
-        chosen_reverse = reverse;
-      }
-    }
+  Move chosen;
+  double chosen_len = std::numeric_limits<double>::infinity();
+  Move chosen_reverse;
 
-    if (chosen.task == kInvalidTask) continue;  // everything sampled was tabu
+  for (std::size_t sample = 0; sample < params_.samples; ++sample) {
+    const TaskId t = static_cast<TaskId>(rng_.below(w.num_tasks()));
+    const ValidRange range = current_.valid_range(g, t);
+    const Move reverse{t, current_.position_of(t), current_.machine_of(t)};
+    const Move move{
+        t, range.lo + static_cast<std::size_t>(rng_.below(range.size())),
+        static_cast<MachineId>(rng_.below(w.num_machines()))};
 
-    current.move_task(chosen.task, chosen.pos);
-    current.set_machine(chosen.task, chosen.machine);
-    current_len = chosen_len;
-    tabu.forbid(chosen_reverse, iteration + params.tenure);
-    eval.refresh_from(current, std::min(chosen_reverse.pos, chosen.pos));
+    // Trial: apply, evaluate the changed suffix, undo. The trial is
+    // pruned against chosen_len — a sample that cannot become the chosen
+    // move needs no exact length (aspiration also requires beating
+    // chosen_len, so the outcome is unchanged).
+    current_.move_task(move.task, move.pos);
+    current_.set_machine(move.task, move.machine);
+    const std::size_t from = std::min(reverse.pos, move.pos);
+    const double len = eval_.prepared_trial(current_, from, chosen_len);
+    current_.move_task(reverse.task, reverse.pos);
+    current_.set_machine(reverse.task, reverse.machine);
 
-    if (current_len < best_len) {
-      best_len = current_len;
-      best = current;
+    const bool aspirates = len < best_len_;
+    if (!aspirates && tabu_expiry_[attr_index(move)] > iteration_) continue;
+    if (len < chosen_len) {
+      chosen_len = len;
+      chosen = move;
+      chosen_reverse = reverse;
     }
   }
 
+  if (chosen.task != kInvalidTask) {  // everything sampled may have been tabu
+    current_.move_task(chosen.task, chosen.pos);
+    current_.set_machine(chosen.task, chosen.machine);
+    current_len_ = chosen_len;
+    tabu_expiry_[attr_index(chosen_reverse)] = iteration_ + params_.tenure;
+    eval_.refresh_from(current_, std::min(chosen_reverse.pos, chosen.pos));
+
+    if (current_len_ < best_len_) {
+      best_len_ = current_len_;
+      best_ = current_;
+    }
+  }
+
+  ++iteration_;
+  StepStats out;
+  out.step = iteration_ - 1;
+  out.current_makespan = current_len_;
+  out.best_makespan = best_len_;
+  out.evals_used = eval_.trial_count();
+  out.elapsed_seconds = timer_.seconds();
+  return out;
+}
+
+Schedule TabuEngine::best_schedule() const {
+  SEHC_CHECK(initialized_, "TabuEngine: init() not called");
+  return Schedule::from_solution(*workload_, best_);
+}
+
+TabuResult tabu_schedule(const Workload& w, const TabuParams& params) {
+  TabuEngine engine(w, params);
+  engine.init();
+  while (!engine.done()) engine.step();
   TabuResult result;
-  result.schedule = Schedule::from_solution(w, best);
-  result.best_makespan = best_len;
-  result.iterations = iteration;
+  result.schedule = engine.best_schedule();
+  result.best_makespan = engine.best_makespan();
+  result.iterations = engine.steps_done();
   return result;
 }
 

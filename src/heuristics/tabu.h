@@ -7,12 +7,23 @@
 // even when uphill (classic tabu), the reverse attribute (task, old
 // position, old machine) becomes tabu for `tenure` iterations, and
 // aspiration overrides tabu when a move beats the best-known solution.
+//
+// TabuEngine implements the stepwise SearchEngine interface
+// (search/engine.h): one step() is one tabu iteration (one sampled
+// neighborhood scan plus the committed move), and tabu_schedule() is a thin
+// wrapper over the step core (bit-identical at fixed seeds).
 #pragma once
 
 #include <cstdint>
+#include <vector>
 
+#include "core/rng.h"
+#include "core/timer.h"
 #include "hc/workload.h"
+#include "sched/encoding.h"
+#include "sched/evaluator.h"
 #include "sched/schedule.h"
+#include "search/engine.h"
 
 namespace sehc {
 
@@ -29,6 +40,40 @@ struct TabuResult {
   Schedule schedule;
   double best_makespan = 0.0;
   std::size_t iterations = 0;
+};
+
+class TabuEngine final : public SearchEngine {
+ public:
+  TabuEngine(const Workload& workload, TabuParams params);
+
+  // --- SearchEngine interface ----------------------------------------------
+  std::string name() const override { return "Tabu"; }
+  void init() override;
+  StepStats step() override;
+  bool done() const override;
+  double best_makespan() const override { return best_len_; }
+  std::size_t steps_done() const override { return iteration_; }
+  std::size_t evals_used() const override { return eval_.trial_count(); }
+  double elapsed_seconds() const override { return timer_.seconds(); }
+  Schedule best_schedule() const override;
+
+ private:
+  const Workload* workload_;
+  TabuParams params_;
+  Evaluator eval_;
+
+  // Stepwise state (valid after init()).
+  bool initialized_ = false;
+  Rng rng_{1};
+  WallTimer timer_;
+  SolutionString current_;
+  SolutionString best_;
+  double current_len_ = 0.0;
+  double best_len_ = 0.0;
+  std::size_t iteration_ = 0;  // completed iterations
+  // Attribute-based tabu memory: expiry iteration per flattened
+  // (task, position, machine) attribute.
+  std::vector<std::size_t> tabu_expiry_;
 };
 
 TabuResult tabu_schedule(const Workload& w, const TabuParams& params);

@@ -70,7 +70,8 @@ Evaluator::Evaluator(const Evaluator& other)
       cp_prefix_(other.cp_prefix_),
       avail_rows_(other.avail_rows_),
       prefix_makespan_(other.prefix_makespan_),
-      prepared_finish_(other.prepared_finish_) {
+      prepared_finish_(other.prepared_finish_),
+      trial_count_(other.trial_count_) {
   rebuild_pair_rows();
 }
 
@@ -116,6 +117,7 @@ void Evaluator::evaluate_into(const SolutionString& s,
                               ScheduleTimes& out) const {
   const Workload& w = *workload_;
   SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
+  ++trial_count_;
   const std::size_t k = num_tasks_;
   out.start.assign(k, 0.0);
   out.finish.assign(k, 0.0);
@@ -155,6 +157,7 @@ ScheduleTimes Evaluator::evaluate(const SolutionString& s) const {
 double Evaluator::makespan(const SolutionString& s) const {
   const Workload& w = *workload_;
   SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
+  ++trial_count_;
   std::fill(machine_avail_.begin(), machine_avail_.end(), 0.0);
   return run_suffix(s, 0, 0.0, kInf);
 }
@@ -226,6 +229,7 @@ double Evaluator::trial_makespan(const SolutionString& s) const {
 double Evaluator::trial_makespan(const SolutionString& s, double bound) const {
   SEHC_ASSERT_MSG(s.size() == workload_->num_tasks(),
                   "Evaluator::trial_makespan: string size mismatch");
+  ++trial_count_;
   std::copy(cp_avail_.begin(), cp_avail_.end(), machine_avail_.begin());
   return run_suffix(s, cp_prefix_, cp_makespan_, bound);
 }
@@ -293,6 +297,7 @@ double Evaluator::prepared_trial(const SolutionString& s, std::size_t from,
                   "Evaluator::prepared_trial: prepare() not called");
   SEHC_ASSERT_MSG(s.size() == num_tasks_ && from <= num_tasks_,
                   "Evaluator::prepared_trial: bad arguments");
+  ++trial_count_;
   const Segment* const segs = s.segments().data();
   const std::size_t* const pos = s.positions().data();
   const std::size_t k = num_tasks_;

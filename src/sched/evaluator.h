@@ -127,6 +127,19 @@ class Evaluator {
   /// Running makespan of the prepared string's prefix [0, pos).
   double prepared_prefix_makespan(std::size_t pos) const;
 
+  // --- Trial accounting ---------------------------------------------------
+  //
+  // Every schedule simulation — evaluate()/evaluate_into()/makespan(), both
+  // trial_makespan() overloads and prepared_trial() — counts as one trial.
+  // Prefix bookkeeping (begin_trials/extend_checkpoint/prepare/refresh_from)
+  // does not: it is amortized setup, not an evaluation of a candidate. The
+  // counter is the `evals` currency of the stepwise search engines (see
+  // search/engine.h) and of the campaign layer's equal-evals budgets.
+
+  /// Trials performed since construction or the last reset_trial_count().
+  std::size_t trial_count() const { return trial_count_; }
+  void reset_trial_count() const { trial_count_ = 0; }
+
   const Workload& workload() const { return *workload_; }
 
  private:
@@ -181,6 +194,8 @@ class Evaluator {
   mutable std::vector<double> avail_rows_;
   mutable std::vector<double> prefix_makespan_;
   mutable std::vector<double> prepared_finish_;
+  // Trial counter (see trial_count()).
+  mutable std::size_t trial_count_ = 0;
 };
 
 /// One-shot convenience wrapper.

@@ -2,8 +2,6 @@
 
 #include <cmath>
 
-#include "core/rng.h"
-#include "core/timer.h"
 #include "dag/levels.h"
 #include "se/allocation.h"
 #include "se/goodness.h"
@@ -21,84 +19,116 @@ SeEngine::SeEngine(const Workload& workload, SeParams params)
       levels_(task_levels(workload.graph())),
       candidates_(MachineCandidates(workload, params.y_limit)) {}
 
-SeResult SeEngine::run() {
+void SeEngine::init() {
+  // The historical run() drew the initial solution from Rng(seed) and the
+  // selection stream from Rng(seed).split(0xA110C); init_from() re-derives
+  // the latter, so init() + steps reproduces run() bit for bit.
   Rng rng(params_.seed);
-  SolutionString initial =
-      random_initial_solution(workload_->graph(), workload_->num_machines(), rng);
-  return run_from(std::move(initial));
+  init_from(
+      random_initial_solution(workload_->graph(), workload_->num_machines(), rng));
 }
 
-SeResult SeEngine::run_from(SolutionString current) {
-  SEHC_CHECK(current.is_valid(workload_->graph()),
+void SeEngine::init_from(SolutionString initial) {
+  SEHC_CHECK(initial.is_valid(workload_->graph()),
              "SeEngine: initial solution is not a valid topological string");
   // The selection stream continues from a distinct sub-seed so that run()
   // and run_from() behave identically given the same initial solution.
-  Rng rng = Rng(params_.seed).split(0xA110C);
-  WallTimer timer;
+  rng_ = Rng(params_.seed).split(0xA110C);
+  evaluator_.reset_trial_count();
+  timer_.reset();
+  current_ = std::move(initial);
+  best_solution_ = current_;
+  best_makespan_ = evaluator_.makespan(current_);
+  iteration_ = 0;
+  stall_ = 0;
+  stop_requested_ = false;
+  trace_.clear();
+  initialized_ = true;
+}
 
-  SeResult result;
-  result.best_solution = current;
-  result.best_makespan = evaluator_.makespan(current);
+bool SeEngine::done() const {
+  SEHC_CHECK(initialized_, "SeEngine: init() not called");
+  return stop_requested_ || iteration_ >= params_.max_iterations ||
+         (params_.stall_iterations > 0 && stall_ >= params_.stall_iterations) ||
+         timer_.seconds() >= params_.time_limit_seconds;
+}
 
-  // Per-iteration work buffers, hoisted so the loop performs no heap
-  // allocation after the first iteration.
-  ScheduleTimes times;
-  std::vector<double> good;
-  std::vector<TaskId> selected;
+StepStats SeEngine::step() {
+  SEHC_CHECK(initialized_, "SeEngine: init() not called");
 
-  std::size_t stall = 0;
-  std::size_t iteration = 0;
-  for (; iteration < params_.max_iterations; ++iteration) {
-    if (timer.seconds() >= params_.time_limit_seconds) break;
+  // Evaluation: goodness of every individual in the current solution.
+  evaluator_.evaluate_into(current_, times_);
+  goodness_into(optimal_, times_, good_);
 
-    // Evaluation: goodness of every individual in the current solution.
-    evaluator_.evaluate_into(current, times);
-    goodness_into(optimal_, times, good);
+  // Selection: biased, level-ordered.
+  select_tasks_into(good_, bias_, levels_, rng_, selected_);
 
-    // Selection: biased, level-ordered.
-    select_tasks_into(good, bias_, levels_, rng, selected);
+  // Allocation: constructive best-fit re-placement of selected tasks
+  // (ties among best placements broken randomly -> plateau mobility).
+  const AllocationStats alloc = allocate_tasks(
+      *workload_, evaluator_, candidates_, selected_, current_, rng_);
 
-    // Allocation: constructive best-fit re-placement of selected tasks
-    // (ties among best placements broken randomly -> plateau mobility).
-    const AllocationStats alloc = allocate_tasks(
-        *workload_, evaluator_, candidates_, selected, current, rng);
-
-    if (params_.verify_invariants) {
-      SEHC_ASSERT_MSG(current.is_valid(workload_->graph()),
-                      "SE iteration produced an invalid string");
-    }
-
-    const double current_makespan = evaluator_.makespan(current);
-    if (current_makespan < result.best_makespan) {
-      result.best_makespan = current_makespan;
-      result.best_solution = current;
-      stall = 0;
-    } else {
-      ++stall;
-    }
-
-    SeIterationStats stats;
-    stats.iteration = iteration;
-    stats.num_selected = selected.size();
-    stats.tasks_moved = alloc.tasks_moved;
-    stats.current_makespan = current_makespan;
-    stats.best_makespan = result.best_makespan;
-    stats.elapsed_seconds = timer.seconds();
-    if (params_.record_trace) result.trace.push_back(stats);
-    if (observer_ && !observer_(stats)) {
-      ++iteration;
-      break;
-    }
-    if (params_.stall_iterations > 0 && stall >= params_.stall_iterations) {
-      ++iteration;
-      break;
-    }
+  if (params_.verify_invariants) {
+    SEHC_ASSERT_MSG(current_.is_valid(workload_->graph()),
+                    "SE iteration produced an invalid string");
   }
 
-  result.iterations = iteration;
-  result.seconds = timer.seconds();
+  const double current_makespan = evaluator_.makespan(current_);
+  if (current_makespan < best_makespan_) {
+    best_makespan_ = current_makespan;
+    best_solution_ = current_;
+    stall_ = 0;
+  } else {
+    ++stall_;
+  }
+
+  SeIterationStats stats;
+  stats.iteration = iteration_;
+  stats.num_selected = selected_.size();
+  stats.tasks_moved = alloc.tasks_moved;
+  stats.current_makespan = current_makespan;
+  stats.best_makespan = best_makespan_;
+  stats.elapsed_seconds = timer_.seconds();
+  if (params_.record_trace) trace_.push_back(stats);
+  ++iteration_;
+  if (observer_ && !observer_(stats)) stop_requested_ = true;
+
+  StepStats out;
+  out.step = iteration_ - 1;
+  out.current_makespan = current_makespan;
+  out.best_makespan = best_makespan_;
+  out.evals_used = evaluator_.trial_count();
+  out.elapsed_seconds = stats.elapsed_seconds;
+  return out;
+}
+
+Schedule SeEngine::best_schedule() const {
+  SEHC_CHECK(initialized_, "SeEngine: init() not called");
+  return Schedule::from_solution(*workload_, best_solution_);
+}
+
+SeResult SeEngine::take_result() {
+  SeResult result;
+  result.best_solution = best_solution_;
+  result.best_makespan = best_makespan_;
+  result.trace = std::move(trace_);
+  trace_.clear();
+  result.iterations = iteration_;
+  result.seconds = timer_.seconds();
   result.schedule = Schedule::from_solution(*workload_, result.best_solution);
   return result;
+}
+
+SeResult SeEngine::run() {
+  init();
+  while (!done()) step();
+  return take_result();
+}
+
+SeResult SeEngine::run_from(SolutionString initial) {
+  init_from(std::move(initial));
+  while (!done()) step();
+  return take_result();
 }
 
 }  // namespace sehc

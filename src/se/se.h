@@ -4,6 +4,12 @@
 // holds. The engine records a per-iteration trace (number of selected
 // subtasks, current and best schedule length, wall time) — exactly the
 // series plotted in the paper's Figures 3-7.
+//
+// SeEngine implements the library-wide stepwise SearchEngine interface
+// (search/engine.h): init() + step() execute exactly one SE iteration per
+// step, and run()/run_from() are thin wrappers that drive that core, so
+// externally-driven runs (budgeted drivers, anytime capture, campaigns) are
+// bit-identical to the classic entry points at fixed seeds.
 #pragma once
 
 #include <cstdint>
@@ -11,11 +17,14 @@
 #include <limits>
 #include <vector>
 
+#include "core/rng.h"
+#include "core/timer.h"
 #include "hc/workload.h"
 #include "sched/encoding.h"
 #include "sched/evaluator.h"
 #include "sched/schedule.h"
 #include "se/allocation.h"
+#include "search/engine.h"
 
 namespace sehc {
 
@@ -58,13 +67,13 @@ struct SeResult {
   double seconds = 0.0;
 };
 
-class SeEngine {
+class SeEngine final : public SearchEngine {
  public:
   /// The workload must outlive the engine.
   SeEngine(const Workload& workload, SeParams params);
 
-  /// Called after every iteration; return false to stop the run early.
-  /// Used by the anytime-comparison benches (Figs. 5-7).
+  /// Called after every iteration; return false to stop the run early
+  /// (honored by both run() and externally-driven step() loops).
   using Observer = std::function<bool(const SeIterationStats&)>;
   void set_observer(Observer observer) { observer_ = std::move(observer); }
 
@@ -77,7 +86,22 @@ class SeEngine {
   /// Effective bias after resolving the NaN default.
   double effective_bias() const { return bias_; }
 
+  // --- SearchEngine interface ----------------------------------------------
+  std::string name() const override { return "SE"; }
+  void init() override;
+  /// As init(), from a caller-supplied initial solution.
+  void init_from(SolutionString initial);
+  StepStats step() override;
+  bool done() const override;
+  double best_makespan() const override { return best_makespan_; }
+  std::size_t steps_done() const override { return iteration_; }
+  std::size_t evals_used() const override { return evaluator_.trial_count(); }
+  double elapsed_seconds() const override { return timer_.seconds(); }
+  Schedule best_schedule() const override;
+
  private:
+  SeResult take_result();
+
   const Workload* workload_;
   SeParams params_;
   double bias_;
@@ -86,6 +110,23 @@ class SeEngine {
   std::vector<int> levels_;           // DAG levels for selection ordering
   MachineCandidates candidates_;      // Y-restricted machines, flat table
   Observer observer_;
+
+  // Stepwise state (valid after init()/init_from()).
+  bool initialized_ = false;
+  bool stop_requested_ = false;       // observer returned false
+  Rng rng_{1};
+  WallTimer timer_;
+  SolutionString current_;
+  SolutionString best_solution_;
+  double best_makespan_ = 0.0;
+  std::size_t iteration_ = 0;         // completed iterations
+  std::size_t stall_ = 0;
+  std::vector<SeIterationStats> trace_;
+  // Per-iteration work buffers, hoisted so step() performs no heap
+  // allocation after the first iteration.
+  ScheduleTimes times_;
+  std::vector<double> good_;
+  std::vector<TaskId> selected_;
 };
 
 }  // namespace sehc

@@ -1,0 +1,97 @@
+#include "search/engine.h"
+
+#include <cmath>
+
+#include "core/error.h"
+#include "core/table.h"
+
+namespace sehc {
+
+Budget Budget::steps(std::size_t n) {
+  Budget b;
+  b.kind = Kind::kSteps;
+  b.count = n;
+  return b;
+}
+
+Budget Budget::evals(std::size_t n) {
+  Budget b;
+  b.kind = Kind::kEvals;
+  b.count = n;
+  return b;
+}
+
+Budget Budget::seconds(double s) {
+  Budget b;
+  b.kind = Kind::kSeconds;
+  b.wall_seconds = s;
+  return b;
+}
+
+double Budget::axis_end() const {
+  return kind == Kind::kSeconds ? wall_seconds : static_cast<double>(count);
+}
+
+std::string Budget::describe() const {
+  switch (kind) {
+    case Kind::kSteps:
+      return std::to_string(count) + " steps";
+    case Kind::kEvals:
+      return std::to_string(count) + " evals";
+    case Kind::kSeconds:
+      return format_fixed(wall_seconds, 2) + " s";
+  }
+  return "?";
+}
+
+void Budget::validate() const {
+  if (kind == Kind::kSeconds) {
+    SEHC_CHECK(wall_seconds > 0.0 && std::isfinite(wall_seconds),
+               "Budget: wall-clock budget must be positive and finite");
+  } else {
+    SEHC_CHECK(count > 0, "Budget: step/eval budget must be positive");
+  }
+}
+
+bool budget_exhausted(const Budget& budget, const SearchEngine& engine) {
+  switch (budget.kind) {
+    case Budget::Kind::kSteps:
+      return engine.steps_done() >= budget.count;
+    case Budget::Kind::kEvals:
+      return engine.evals_used() >= budget.count;
+    case Budget::Kind::kSeconds:
+      return engine.elapsed_seconds() >= budget.wall_seconds;
+  }
+  return true;
+}
+
+double budget_axis_value(const Budget& budget, const StepStats& stats) {
+  switch (budget.kind) {
+    case Budget::Kind::kSteps:
+      return static_cast<double>(stats.step + 1);
+    case Budget::Kind::kEvals:
+      return static_cast<double>(stats.evals_used);
+    case Budget::Kind::kSeconds:
+      return stats.elapsed_seconds;
+  }
+  return 0.0;
+}
+
+SearchResult run_search(SearchEngine& engine, const Budget& budget,
+                        const StepObserver& observer) {
+  budget.validate();
+  engine.init();
+  while (!engine.done() && !budget_exhausted(budget, engine)) {
+    const StepStats stats = engine.step();
+    if (observer && !observer(stats)) break;
+  }
+  SearchResult result;
+  result.best_makespan = engine.best_makespan();
+  result.steps = engine.steps_done();
+  result.evals = engine.evals_used();
+  result.seconds = engine.elapsed_seconds();
+  result.schedule = engine.best_schedule();
+  return result;
+}
+
+}  // namespace sehc

@@ -130,6 +130,80 @@ TEST(Wilcoxon, AverageRanksForTiedMagnitudes) {
   EXPECT_DOUBLE_EQ(t.statistic, 8.0);
 }
 
+TEST(Wilcoxon, ExactSmallNPValuesMatchHandComputation) {
+  // n = 2, distinct magnitudes, a wins both: W+ = 3. The permutation
+  // distribution over the 4 sign assignments is uniform on {0, 1, 2, 3},
+  // so the two-sided p is P(W in {0, 3}) = 0.5. (The normal approximation
+  // this replaced reported 0.3711 here.)
+  {
+    const std::vector<double> a{1.0, 1.0};
+    const std::vector<double> b{2.0, 4.0};
+    const PairedTest t = wilcoxon_signed_rank(a, b);
+    EXPECT_DOUBLE_EQ(t.statistic, 3.0);
+    EXPECT_DOUBLE_EQ(t.p_value, 0.5);
+  }
+  // n = 3, a wins all: W+ = 6, p = P(W in {0, 6}) = 2/8 = 0.25.
+  {
+    const std::vector<double> a{1.0, 1.0, 1.0};
+    const std::vector<double> b{2.0, 4.0, 9.0};
+    const PairedTest t = wilcoxon_signed_rank(a, b);
+    EXPECT_DOUBLE_EQ(t.statistic, 6.0);
+    EXPECT_DOUBLE_EQ(t.p_value, 0.25);
+  }
+  // n = 4, wins at ranks 2, 3, 4 and a loss at rank 1: W+ = 9, mu = 5.
+  // Subset sums of {1,2,3,4} at distance >= 4 from 5: {0, 1, 9, 10}, one
+  // assignment each of 16 -> p = 4/16 = 0.25.
+  {
+    const std::vector<double> a{1.0, 1.0, 1.0, 3.0};
+    const std::vector<double> b{3.0, 4.0, 5.0, 2.0};
+    const PairedTest t = wilcoxon_signed_rank(a, b);
+    EXPECT_DOUBLE_EQ(t.statistic, 9.0);
+    EXPECT_DOUBLE_EQ(t.p_value, 0.25);
+  }
+  // n = 5, a wins all: W+ = 15, p = 2/32 = 0.0625.
+  {
+    const std::vector<double> a{1, 1, 1, 1, 1};
+    const std::vector<double> b{2, 4, 9, 17, 32};
+    const PairedTest t = wilcoxon_signed_rank(a, b);
+    EXPECT_DOUBLE_EQ(t.statistic, 15.0);
+    EXPECT_DOUBLE_EQ(t.p_value, 0.0625);
+  }
+}
+
+TEST(Wilcoxon, ExactPValueHandlesTiedMagnitudes) {
+  // Differences: -1, +1, -2 -> |d| = {1, 1, 2}: the two 1s share rank 1.5,
+  // the 2 has rank 3. a wins ranks 1.5 and 3: W+ = 4.5, mu = 3. Doubled
+  // rank multiset {3, 3, 6}: subset-sum counts 0:1, 3:2, 6:2, 9:2, 12:1.
+  // |sum - 6| >= |9 - 6| holds for sums {0, 3, 9, 12} -> p = 6/8 = 0.75.
+  const std::vector<double> a{1.0, 3.0, 1.0};
+  const std::vector<double> b{2.0, 2.0, 3.0};
+  const PairedTest t = wilcoxon_signed_rank(a, b);
+  EXPECT_EQ(t.pairs, 3u);
+  EXPECT_DOUBLE_EQ(t.statistic, 4.5);
+  EXPECT_DOUBLE_EQ(t.p_value, 0.75);
+}
+
+TEST(Wilcoxon, ExactAndApproximateRegimesMeetSanely) {
+  // At the n = 25 boundary the exact path runs; at 26 the tie-corrected
+  // normal approximation takes over. Both must yield sane, similar tails
+  // for the same strongly one-sided data.
+  auto one_sided = [](std::size_t n) {
+    std::vector<double> a, b;
+    for (std::size_t i = 0; i < n; ++i) {
+      a.push_back(static_cast<double>(i));
+      b.push_back(static_cast<double>(i) + 1.0 +
+                  0.01 * static_cast<double>(i));
+    }
+    return wilcoxon_signed_rank(a, b);
+  };
+  const PairedTest exact = one_sided(kWilcoxonExactMaxPairs);
+  const PairedTest approx = one_sided(kWilcoxonExactMaxPairs + 1);
+  // All-wins: exact two-sided p is exactly 2 / 2^25.
+  EXPECT_DOUBLE_EQ(exact.p_value, std::ldexp(2.0, -25));
+  EXPECT_GT(approx.p_value, 0.0);
+  EXPECT_LT(approx.p_value, 1e-4);
+}
+
 TEST(Wilcoxon, StrongOneSidedEvidenceHasSmallP) {
   std::vector<double> a, b;
   for (int i = 0; i < 20; ++i) {

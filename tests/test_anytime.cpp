@@ -6,6 +6,8 @@
 #include <limits>
 
 #include "core/error.h"
+#include "ga/ga.h"
+#include "se/se.h"
 #include "workload/generator.h"
 
 namespace sehc {
@@ -74,7 +76,7 @@ TEST(Anytime, CurveRecorderKeepsImprovementsOnly) {
   EXPECT_EQ(curve[2].seconds, 5.0);
 }
 
-TEST(Anytime, IterationCurvesAreDeterministic) {
+TEST(Anytime, StepCurvesAreDeterministic) {
   WorkloadParams p;
   p.tasks = 20;
   p.machines = 4;
@@ -84,30 +86,59 @@ TEST(Anytime, IterationCurvesAreDeterministic) {
   SeParams sp;
   sp.seed = 5;
   sp.bias = -0.1;
-  const auto a = run_se_anytime_iters(w, sp, 12);
-  const auto b = run_se_anytime_iters(w, sp, 12);
+  sp.max_iterations = 12;
+  sp.record_trace = false;
+  SeEngine se_a(w, sp);
+  SeEngine se_b(w, sp);
+  const auto a = run_anytime(se_a, Budget::steps(12));
+  const auto b = run_anytime(se_b, Budget::steps(12));
   ASSERT_FALSE(a.empty());
   ASSERT_EQ(a.size(), b.size());
   for (std::size_t i = 0; i < a.size(); ++i) {
     EXPECT_EQ(a[i].seconds, b[i].seconds);
     EXPECT_EQ(a[i].best, b[i].best);
   }
-  // The terminal point sits at the iteration budget with the final best.
+  // The terminal point sits at the step budget with the final best, which
+  // matches the classic run() entry point bit for bit.
   EXPECT_DOUBLE_EQ(a.back().seconds, 12.0);
-  SeParams sp2 = sp;
-  sp2.max_iterations = 12;
-  sp2.record_trace = false;
-  EXPECT_EQ(a.back().best, SeEngine(w, sp2).run().best_makespan);
+  EXPECT_EQ(a.back().best, SeEngine(w, sp).run().best_makespan);
 
   GaParams gp;
   gp.seed = 5;
-  const auto ga = run_ga_anytime_iters(w, gp, 10);
+  gp.max_generations = 10;
+  gp.record_trace = false;
+  GaEngine ga_engine(w, gp);
+  const auto ga = run_anytime(ga_engine, Budget::steps(10));
   ASSERT_FALSE(ga.empty());
   EXPECT_DOUBLE_EQ(ga.back().seconds, 10.0);
-  GaParams gp2 = gp;
-  gp2.max_generations = 10;
-  gp2.record_trace = false;
-  EXPECT_EQ(ga.back().best, GaEngine(w, gp2).run().best_makespan);
+  EXPECT_EQ(ga.back().best, GaEngine(w, gp).run().best_makespan);
+}
+
+TEST(Anytime, EvalBudgetCurveEndsAtTheBudget) {
+  WorkloadParams p;
+  p.tasks = 20;
+  p.machines = 4;
+  p.seed = 5;
+  const Workload w = make_workload(p);
+
+  SeParams sp;
+  sp.seed = 5;
+  sp.bias = -0.1;
+  sp.max_iterations = std::numeric_limits<std::size_t>::max();
+  sp.record_trace = false;
+  SeEngine engine(w, sp);
+  const std::size_t budget = 2000;
+  const auto curve = run_anytime(engine, Budget::evals(budget));
+  ASSERT_FALSE(curve.empty());
+  // SE steps cost many trials, so the final step overshoots: the terminal
+  // x is clamped to the budget and the engine reports the true count.
+  EXPECT_DOUBLE_EQ(curve.back().seconds, static_cast<double>(budget));
+  EXPECT_GE(engine.evals_used(), budget);
+  // Monotone non-increasing best along the curve.
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_LE(curve[i].best, curve[i - 1].best);
+    EXPECT_GE(curve[i].seconds, curve[i - 1].seconds);
+  }
 }
 
 }  // namespace

@@ -373,5 +373,132 @@ TEST(Campaign, FigureSpecsSampleAnytimeCurvesInsideCells) {
   }
 }
 
+/// All six stepwise searchers under an equal evaluator-trial budget, small
+/// enough for repeated runs: 2 classes x 2 reps x 6 searchers = 24 cells.
+CampaignSpec equal_evals_spec() {
+  CampaignSpec spec = tiny_spec();
+  spec.name = "equal-evals-test";
+  spec.schedulers = {"SE", "GA", "GSA", "SA", "Tabu", "Random"};
+  spec.iterations = 0;
+  spec.eval_budget = 400;
+  spec.curve_points = 5;
+  return spec;
+}
+
+TEST(Campaign, EqualEvalsCellsCaptureCurvesForEverySearcher) {
+  const CampaignSpec spec = equal_evals_spec();
+  ResultStore store = ResultStore::in_memory(spec.store_schema());
+  run_campaign(spec, store, {});
+  const auto records = campaign_records(store);
+  ASSERT_EQ(records.size(), 24u);
+  std::set<std::string> seen;
+  for (const CampaignRecord& rec : records) {
+    seen.insert(rec.scheduler);
+    // Every searcher consumed at least the budget (steps are atomic, so
+    // the final step may overshoot) and the count is audited per record.
+    EXPECT_GE(rec.evals, spec.eval_budget) << rec.scheduler;
+    ASSERT_EQ(rec.curve.size(), 5u) << rec.scheduler;
+    // Monotone non-increasing best along the evals axis, terminal sample
+    // at the budget equal to the recorded makespan.
+    for (std::size_t p = 1; p < rec.curve.size(); ++p) {
+      EXPECT_LE(rec.curve[p], rec.curve[p - 1]) << rec.scheduler;
+    }
+    EXPECT_TRUE(std::isfinite(rec.curve.back())) << rec.scheduler;
+    EXPECT_DOUBLE_EQ(rec.curve.back(), rec.makespan) << rec.scheduler;
+    EXPECT_GE(rec.makespan, rec.lower_bound) << rec.scheduler;
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(Campaign, StepBudgetCellsCaptureCurvesForTabuAnnealingGsa) {
+  // The searchers that had no anytime capture before the stepwise rewire:
+  // iteration-budget cells now persist their curves too (on each
+  // searcher's own step axis).
+  CampaignSpec spec = tiny_spec();
+  spec.schedulers = {"GSA", "SA", "Tabu"};
+  spec.curve_points = 4;
+  ResultStore store = ResultStore::in_memory(spec.store_schema());
+  run_campaign(spec, store, {});
+  const auto records = campaign_records(store);
+  ASSERT_EQ(records.size(), 12u);
+  for (const CampaignRecord& rec : records) {
+    ASSERT_EQ(rec.curve.size(), 4u) << rec.scheduler;
+    for (std::size_t p = 1; p < rec.curve.size(); ++p) {
+      EXPECT_LE(rec.curve[p], rec.curve[p - 1]) << rec.scheduler;
+    }
+    // The terminal sample sits at the searcher's full step budget: the
+    // recorded best.
+    EXPECT_DOUBLE_EQ(rec.curve.back(), rec.makespan) << rec.scheduler;
+    EXPECT_GT(rec.evals, 0u) << rec.scheduler;
+  }
+}
+
+TEST(Campaign, SearcherCurvesAreThreadAndShardInvariant) {
+  // The satellite invariant for tabu/annealing/GSA (and the equal-evals
+  // grid as a whole): canonical bytes identical across --threads 1 vs 8
+  // and across a 2-shard merge.
+  const CampaignSpec spec = equal_evals_spec();
+
+  ResultStore serial = ResultStore::in_memory(spec.store_schema());
+  CampaignRunOptions opts;
+  opts.threads = 1;
+  run_campaign(spec, serial, opts);
+
+  ResultStore threaded = ResultStore::in_memory(spec.store_schema());
+  opts.threads = 8;
+  run_campaign(spec, threaded, opts);
+  EXPECT_EQ(canonical_text(serial), canonical_text(threaded));
+
+  const std::string p0 = temp_store_path("evals_shard0");
+  const std::string p1 = temp_store_path("evals_shard1");
+  {
+    ResultStore s0 = ResultStore::open(p0, spec.store_schema());
+    CampaignRunOptions shard_opts;
+    shard_opts.shard = {0, 2};
+    shard_opts.threads = 2;
+    run_campaign(spec, s0, shard_opts);
+    ResultStore s1 = ResultStore::open(p1, spec.store_schema());
+    shard_opts.shard = {1, 2};
+    run_campaign(spec, s1, shard_opts);
+  }
+  const ResultStore merged = ResultStore::merge({p0, p1});
+  EXPECT_EQ(canonical_text(merged), canonical_text(serial));
+  std::remove(p0.c_str());
+  std::remove(p1.c_str());
+}
+
+TEST(Campaign, EvalBudgetValidation) {
+  // Eval budgets are searchers-only and exclusive with time budgets.
+  CampaignSpec spec = equal_evals_spec();
+  spec.schedulers = {"SE", "HEFT"};
+  EXPECT_THROW(spec.validate(), Error);
+
+  spec = equal_evals_spec();
+  spec.time_budget_seconds = 1.0;
+  EXPECT_THROW(spec.validate(), Error);
+
+  // The eval budget is part of the spec identity.
+  CampaignSpec changed = equal_evals_spec();
+  changed.eval_budget = 500;
+  EXPECT_NE(changed.hash(), equal_evals_spec().hash());
+  EXPECT_NE(changed.store_schema().spec_line,
+            equal_evals_spec().store_schema().spec_line);
+}
+
+TEST(Campaign, RecordsCarryAuditableEvalCounts) {
+  // Iteration-budget cells: searchers record their true trial counts,
+  // one-shot schedulers record zero.
+  const CampaignSpec spec = tiny_spec();  // SE + HEFT
+  ResultStore store = ResultStore::in_memory(spec.store_schema());
+  run_campaign(spec, store, {});
+  for (const CampaignRecord& rec : campaign_records(store)) {
+    if (rec.scheduler == "SE") {
+      EXPECT_GT(rec.evals, 0u);
+    } else {
+      EXPECT_EQ(rec.evals, 0u);
+    }
+  }
+}
+
 }  // namespace
 }  // namespace sehc

@@ -6,15 +6,36 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "exp/anytime.h"
 #include "exp/runner.h"
+#include "ga/ga.h"
 #include "sched/validate.h"
 #include "se/se.h"
 #include "workload/generator.h"
 
 namespace sehc {
 namespace {
+
+/// Time-budgeted anytime capture through the generic driver.
+std::vector<AnytimePoint> se_anytime(const Workload& w, SeParams sp,
+                                     double budget_seconds) {
+  sp.time_limit_seconds = budget_seconds;
+  sp.max_iterations = std::numeric_limits<std::size_t>::max();
+  sp.record_trace = false;
+  SeEngine engine(w, sp);
+  return run_anytime(engine, Budget::seconds(budget_seconds));
+}
+
+std::vector<AnytimePoint> ga_anytime(const Workload& w, GaParams gp,
+                                     double budget_seconds) {
+  gp.time_limit_seconds = budget_seconds;
+  gp.max_generations = std::numeric_limits<std::size_t>::max();
+  gp.record_trace = false;
+  GaEngine engine(w, gp);
+  return run_anytime(engine, Budget::seconds(budget_seconds));
+}
 
 TEST(FigurePipelines, Fig3MiniConvergence) {
   const Workload w = make_workload(paper_large_high_connectivity(1));
@@ -58,8 +79,8 @@ TEST(FigurePipelines, Fig5MiniAnytimeComparison) {
   sp.bias = -0.1;
   GaParams gp;
   gp.seed = 3;
-  const auto se = run_se_anytime(w, sp, 0.25);
-  const auto ga = run_ga_anytime(w, gp, 0.25);
+  const auto se = se_anytime(w, sp, 0.25);
+  const auto ga = ga_anytime(w, gp, 0.25);
   ASSERT_FALSE(se.empty());
   ASSERT_FALSE(ga.empty());
   // Both curves terminate within (a lenient multiple of) the budget and
@@ -75,7 +96,7 @@ TEST(FigurePipelines, Fig7MiniLowClassStillValid) {
   SeParams sp;
   sp.seed = 4;
   sp.bias = -0.1;
-  const auto se = run_se_anytime(w, sp, 0.2);
+  const auto se = se_anytime(w, sp, 0.2);
   const double final = value_at(se, 10.0);  // beyond budget -> last value
   EXPECT_GT(final, 0.0);
   EXPECT_FALSE(std::isinf(final));
@@ -96,8 +117,8 @@ TEST(FigurePipelines, ClassGridMiniCell) {
   sp.bias = -0.1;
   GaParams gp;
   gp.seed = 5;
-  const double se = value_at(run_se_anytime(w, sp, 0.2), 0.2);
-  const double ga = value_at(run_ga_anytime(w, gp, 0.2), 0.2);
+  const double se = value_at(se_anytime(w, sp, 0.2), 0.2);
+  const double ga = value_at(ga_anytime(w, gp, 0.2), 0.2);
   EXPECT_GT(se, 0.0);
   EXPECT_GT(ga, 0.0);
   // Not asserting a winner (budget too small for stability) — only that

@@ -4,17 +4,40 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 #include <sstream>
 
 #include "exp/anytime.h"
 #include "exp/figures.h"
 #include "exp/runner.h"
+#include "ga/ga.h"
+#include "se/se.h"
 #include "hc/metrics.h"
 #include "sched/validate.h"
 #include "workload/generator.h"
 
 namespace sehc {
 namespace {
+
+/// Time-budgeted anytime capture through the generic driver (the shape the
+/// deleted run_se/ga_anytime helpers had).
+std::vector<AnytimePoint> se_anytime(const Workload& w, SeParams sp,
+                                     double budget_seconds) {
+  sp.time_limit_seconds = budget_seconds;
+  sp.max_iterations = std::numeric_limits<std::size_t>::max();
+  sp.record_trace = false;
+  SeEngine engine(w, sp);
+  return run_anytime(engine, Budget::seconds(budget_seconds));
+}
+
+std::vector<AnytimePoint> ga_anytime(const Workload& w, GaParams gp,
+                                     double budget_seconds) {
+  gp.time_limit_seconds = budget_seconds;
+  gp.max_generations = std::numeric_limits<std::size_t>::max();
+  gp.record_trace = false;
+  GaEngine engine(w, gp);
+  return run_anytime(engine, Budget::seconds(budget_seconds));
+}
 
 TEST(Anytime, SeCurveIsMonotoneNonIncreasing) {
   WorkloadParams p;
@@ -24,7 +47,7 @@ TEST(Anytime, SeCurveIsMonotoneNonIncreasing) {
   const Workload w = make_workload(p);
   SeParams sp;
   sp.seed = 1;
-  const auto curve = run_se_anytime(w, sp, 0.3);
+  const auto curve = se_anytime(w, sp, 0.3);
   ASSERT_FALSE(curve.empty());
   for (std::size_t i = 1; i < curve.size(); ++i) {
     EXPECT_LE(curve[i].best, curve[i - 1].best + 1e-9);
@@ -41,7 +64,7 @@ TEST(Anytime, GaCurveIsMonotoneNonIncreasing) {
   GaParams gp;
   gp.seed = 2;
   gp.population = 20;
-  const auto curve = run_ga_anytime(w, gp, 0.3);
+  const auto curve = ga_anytime(w, gp, 0.3);
   ASSERT_FALSE(curve.empty());
   for (std::size_t i = 1; i < curve.size(); ++i) {
     EXPECT_LE(curve[i].best, curve[i - 1].best + 1e-9);

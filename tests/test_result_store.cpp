@@ -242,5 +242,63 @@ TEST(ResultStore, LoadedStoreIsReadOnly) {
   std::remove(path.c_str());
 }
 
+TEST(ResultStore, OldSchemaVersionFailsMergeAndResumeWithAClearError) {
+  // A store written before a schema bump (here: the campaign layer's
+  // `evals` column) carries the SAME spec hash but a different column
+  // list. Mixing it with a new-layout store must fail loudly and the
+  // error must say the LAYOUT differs — not claim a different spec.
+  const StoreSchema new_schema = test_schema();  // name,value,seconds
+
+  // Hand-write an old-layout file: same kind/hash/spec, one column fewer.
+  const std::string old_path = temp_store_path("oldschema");
+  {
+    std::ofstream os(old_path, std::ios::binary);
+    os << "# sehc-result-store v1\n";
+    os << "# kind: " << new_schema.kind << "\n";
+    char hex[17];
+    std::snprintf(hex, sizeof hex, "%016llx",
+                  static_cast<unsigned long long>(new_schema.spec_hash));
+    os << "# spec_hash: " << hex << "\n";
+    os << "# spec: " << new_schema.spec_line << "\n";
+    os << "# volatile_columns: 1\n";
+    os << "cell,name,seconds\n";
+    os << "0,a,0.25\n";
+  }
+
+  const std::string new_path = temp_store_path("newschema");
+  {
+    ResultStore store = ResultStore::open(new_path, new_schema);
+    store.append({1, {"b", "2.0", "0.5"}});
+  }
+
+  // Merge in either order fails and names the layout difference.
+  for (const auto& order :
+       {std::vector<std::string>{new_path, old_path},
+        std::vector<std::string>{old_path, new_path}}) {
+    try {
+      ResultStore::merge(order);
+      FAIL() << "merge of old+new schema must throw";
+    } catch (const Error& e) {
+      const std::string message = e.what();
+      EXPECT_NE(message.find("different record layout"), std::string::npos)
+          << message;
+      EXPECT_NE(message.find("value"), std::string::npos) << message;
+    }
+  }
+
+  // Resuming into the old file with the new schema fails the same way.
+  try {
+    ResultStore::open(old_path, new_schema);
+    FAIL() << "open of an old-schema store must throw";
+  } catch (const Error& e) {
+    EXPECT_NE(std::string(e.what()).find("different record layout"),
+              std::string::npos)
+        << e.what();
+  }
+
+  std::remove(old_path.c_str());
+  std::remove(new_path.c_str());
+}
+
 }  // namespace
 }  // namespace sehc

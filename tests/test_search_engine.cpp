@@ -1,0 +1,309 @@
+// Differential suite for the unified stepwise search-engine core: every
+// searcher's classic entry point (run(), tabu_schedule, anneal_schedule,
+// random_search_schedule, the Scheduler adapters) must be bit-identical to
+// externally driving the same engine through init()/step()/run_search at
+// the same seed — schedules, stats and RNG streams. Plus the Budget
+// semantics (steps / evals / seconds) and the uniform observer hook.
+#include "search/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "core/error.h"
+#include "exp/anytime.h"
+#include "ga/ga.h"
+#include "heuristics/annealing.h"
+#include "heuristics/random_search.h"
+#include "heuristics/scheduler.h"
+#include "heuristics/tabu.h"
+#include "sched/validate.h"
+#include "se/se.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+constexpr std::size_t kUnbounded = std::numeric_limits<std::size_t>::max();
+
+Workload small_workload(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 24;
+  p.machines = 5;
+  p.seed = seed;
+  return make_workload(p);
+}
+
+/// Drives `engine` manually (init + step until done) and returns the final
+/// stats for comparison against the engine's classic entry point.
+struct DrivenOutcome {
+  double best = 0.0;
+  std::size_t steps = 0;
+  std::size_t evals = 0;
+  double schedule_makespan = 0.0;
+};
+
+DrivenOutcome drive_manually(SearchEngine& engine) {
+  engine.init();
+  StepStats last;
+  while (!engine.done()) last = engine.step();
+  DrivenOutcome out;
+  out.best = engine.best_makespan();
+  out.steps = engine.steps_done();
+  out.evals = engine.evals_used();
+  out.schedule_makespan = engine.best_schedule().makespan;
+  EXPECT_EQ(last.best_makespan, out.best);
+  EXPECT_EQ(last.step + 1, out.steps);
+  return out;
+}
+
+TEST(SearchEngineCore, SeStepwiseMatchesRun) {
+  const Workload w = small_workload(11);
+  SeParams p = comparison_se_params(30, 7);
+  const SeResult classic = SeEngine(w, p).run();
+
+  SeEngine stepwise(w, p);
+  const DrivenOutcome driven = drive_manually(stepwise);
+  EXPECT_EQ(driven.best, classic.best_makespan);
+  EXPECT_EQ(driven.steps, classic.iterations);
+  EXPECT_EQ(driven.schedule_makespan, classic.schedule.makespan);
+
+  // And through the generic driver with an equivalent step budget.
+  SeEngine budgeted(w, p);
+  const SearchResult via_driver = run_search(budgeted, Budget::steps(30));
+  EXPECT_EQ(via_driver.best_makespan, classic.best_makespan);
+  EXPECT_EQ(via_driver.steps, classic.iterations);
+  EXPECT_EQ(via_driver.evals, driven.evals);
+}
+
+TEST(SearchEngineCore, GaStepwiseMatchesRun) {
+  const Workload w = small_workload(12);
+  GaParams p = comparison_ga_params(20, 9);
+  p.population = 16;
+  const GaResult classic = GaEngine(w, p).run();
+
+  GaEngine stepwise(w, p);
+  const DrivenOutcome driven = drive_manually(stepwise);
+  EXPECT_EQ(driven.best, classic.best_makespan);
+  EXPECT_EQ(driven.steps, classic.generations);
+  EXPECT_EQ(driven.schedule_makespan, classic.schedule.makespan);
+}
+
+TEST(SearchEngineCore, GsaStepwiseMatchesRun) {
+  const Workload w = small_workload(13);
+  GsaParams p = comparison_gsa_params(20, 5);
+  p.population = 12;
+  const GsaResult classic = GsaEngine(w, p).run();
+
+  GsaEngine stepwise(w, p);
+  const DrivenOutcome driven = drive_manually(stepwise);
+  EXPECT_EQ(driven.best, classic.best_makespan);
+  EXPECT_EQ(driven.steps, classic.generations);
+  EXPECT_EQ(driven.schedule_makespan, classic.schedule.makespan);
+}
+
+TEST(SearchEngineCore, TabuStepwiseMatchesWrapper) {
+  const Workload w = small_workload(14);
+  const TabuParams p = comparison_tabu_params(120, 3);
+  const TabuResult classic = tabu_schedule(w, p);
+
+  TabuEngine stepwise(w, p);
+  const DrivenOutcome driven = drive_manually(stepwise);
+  EXPECT_EQ(driven.best, classic.best_makespan);
+  EXPECT_EQ(driven.steps, classic.iterations);
+  EXPECT_EQ(driven.schedule_makespan, classic.schedule.makespan);
+}
+
+TEST(SearchEngineCore, SaStepwiseMatchesWrapper) {
+  const Workload w = small_workload(15);
+  const SaParams p = comparison_sa_params(400, 8);
+  const SaResult classic = anneal_schedule(w, p);
+
+  SaEngine stepwise(w, p);
+  const DrivenOutcome driven = drive_manually(stepwise);
+  EXPECT_EQ(driven.best, classic.best_makespan);
+  EXPECT_EQ(driven.steps, classic.iterations);
+  EXPECT_EQ(driven.schedule_makespan, classic.schedule.makespan);
+}
+
+TEST(SearchEngineCore, RandomStepwiseMatchesWrapper) {
+  const Workload w = small_workload(16);
+  const Schedule classic = random_search_schedule(w, 64, 21);
+
+  RandomSearchEngine stepwise(w, 64, 21);
+  const DrivenOutcome driven = drive_manually(stepwise);
+  EXPECT_EQ(driven.schedule_makespan, classic.makespan);
+  EXPECT_EQ(driven.steps, 64u);
+  EXPECT_EQ(driven.evals, 64u);  // one trial per sample, exactly
+}
+
+TEST(SearchEngineCore, SchedulerAdaptersMatchEngines) {
+  // The Scheduler registry path and make_search_engine produce identical
+  // schedules for every searcher at the same (budget, seed).
+  const Workload w = small_workload(17);
+  const std::size_t budget = 8;
+  for (const SchedulerFactory& factory : make_all_scheduler_factories(budget)) {
+    if (factory.make_engine == nullptr) continue;
+    const Schedule via_scheduler = factory.make(33)->schedule(w);
+    const std::unique_ptr<SearchEngine> engine =
+        factory.make_engine(w, Budget::steps(factory.step_budget), 33);
+    const SearchResult via_engine =
+        run_search(*engine, Budget::steps(factory.step_budget));
+    EXPECT_EQ(via_engine.schedule.makespan, via_scheduler.makespan)
+        << factory.name;
+    EXPECT_TRUE(validate_schedule(w, via_engine.schedule).empty())
+        << factory.name;
+    EXPECT_EQ(engine->name(), factory.name);
+  }
+}
+
+TEST(SearchEngineCore, StepsBudgetStopsExactly) {
+  const Workload w = small_workload(18);
+  SeEngine engine(w, comparison_se_params(kUnbounded, 4));
+  const SearchResult r = run_search(engine, Budget::steps(9));
+  EXPECT_EQ(r.steps, 9u);
+  EXPECT_EQ(engine.steps_done(), 9u);
+}
+
+TEST(SearchEngineCore, EvalsBudgetStopsAtFirstStepBoundary) {
+  const Workload w = small_workload(19);
+  for (const char* name : {"SE", "GA", "GSA", "SA", "Tabu", "Random"}) {
+    const std::size_t budget = 500;
+    const std::unique_ptr<SearchEngine> engine =
+        make_search_engine(name, w, Budget::evals(budget), 6);
+    const SearchResult r = run_search(*engine, Budget::evals(budget));
+    EXPECT_GE(r.evals, budget) << name;
+    // Replaying the driver loop by hand stops at the same step boundary.
+    SCOPED_TRACE(name);
+    const std::unique_ptr<SearchEngine> replay =
+        make_search_engine(name, w, Budget::evals(budget), 6);
+    replay->init();
+    while (!replay->done() && replay->evals_used() < budget) replay->step();
+    EXPECT_EQ(replay->evals_used(), r.evals);
+    EXPECT_EQ(replay->best_makespan(), r.best_makespan);
+  }
+}
+
+TEST(SearchEngineCore, EvalsBudgetIsDeterministic) {
+  const Workload w = small_workload(20);
+  for (const char* name : {"SE", "GA", "GSA", "SA", "Tabu", "Random"}) {
+    const Budget budget = Budget::evals(800);
+    const std::unique_ptr<SearchEngine> a =
+        make_search_engine(name, w, budget, 9);
+    const std::unique_ptr<SearchEngine> b =
+        make_search_engine(name, w, budget, 9);
+    const SearchResult ra = run_search(*a, budget);
+    const SearchResult rb = run_search(*b, budget);
+    EXPECT_EQ(ra.best_makespan, rb.best_makespan) << name;
+    EXPECT_EQ(ra.steps, rb.steps) << name;
+    EXPECT_EQ(ra.evals, rb.evals) << name;
+  }
+}
+
+TEST(SearchEngineCore, SecondsBudgetStops) {
+  const Workload w = small_workload(21);
+  const Budget budget = Budget::seconds(0.05);
+  const std::unique_ptr<SearchEngine> engine =
+      make_search_engine("SA", w, budget, 2);
+  const SearchResult r = run_search(*engine, budget);
+  EXPECT_GE(r.seconds, 0.0);
+  EXPECT_GT(r.steps, 0u);
+  EXPECT_TRUE(validate_schedule(w, r.schedule).empty());
+}
+
+TEST(SearchEngineCore, ObserverCanStopEarly) {
+  const Workload w = small_workload(22);
+  SeEngine engine(w, comparison_se_params(100, 3));
+  std::size_t calls = 0;
+  const SearchResult r =
+      run_search(engine, Budget::steps(100), [&](const StepStats& stats) {
+        EXPECT_EQ(stats.step, calls);
+        ++calls;
+        return calls < 5;
+      });
+  EXPECT_EQ(calls, 5u);
+  EXPECT_EQ(r.steps, 5u);
+}
+
+TEST(SearchEngineCore, StepStatsAreConsistent) {
+  const Workload w = small_workload(23);
+  const std::unique_ptr<SearchEngine> engine =
+      make_search_engine("Tabu", w, Budget::steps(50), 5);
+  engine->init();
+  double prev_best = std::numeric_limits<double>::infinity();
+  std::size_t prev_evals = 0;
+  while (!engine->done()) {
+    const StepStats stats = engine->step();
+    EXPECT_LE(stats.best_makespan, prev_best);
+    EXPECT_GE(stats.evals_used, prev_evals);
+    EXPECT_EQ(stats.evals_used, engine->evals_used());
+    prev_best = stats.best_makespan;
+    prev_evals = stats.evals_used;
+  }
+  EXPECT_EQ(engine->steps_done(), 50u);
+}
+
+TEST(SearchEngineCore, MakeSearchEngineRejectsNonEngines) {
+  const Workload w = small_workload(24);
+  EXPECT_THROW(make_search_engine("HEFT", w, Budget::steps(5), 1), Error);
+  EXPECT_THROW(make_search_engine("nope", w, Budget::steps(5), 1), Error);
+  EXPECT_FALSE(is_search_engine_name("HEFT"));
+  for (const char* name : {"SE", "GA", "GSA", "SA", "Tabu", "Random"}) {
+    EXPECT_TRUE(is_search_engine_name(name));
+  }
+}
+
+TEST(SearchEngineCore, BudgetValidation) {
+  EXPECT_THROW(Budget::steps(0).validate(), Error);
+  EXPECT_THROW(Budget::evals(0).validate(), Error);
+  EXPECT_THROW(Budget::seconds(0.0).validate(), Error);
+  EXPECT_THROW(
+      Budget::seconds(std::numeric_limits<double>::infinity()).validate(),
+      Error);
+  EXPECT_NO_THROW(Budget::steps(1).validate());
+  EXPECT_EQ(Budget::steps(5).describe(), "5 steps");
+  EXPECT_EQ(Budget::evals(7).describe(), "7 evals");
+  EXPECT_EQ(Budget::seconds(1.5).describe(), "1.50 s");
+  EXPECT_EQ(Budget::evals(7).axis_end(), 7.0);
+}
+
+TEST(SearchEngineCore, ReinitRestartsFromScratch) {
+  const Workload w = small_workload(25);
+  SeEngine engine(w, comparison_se_params(12, 6));
+  const SearchResult first = run_search(engine, Budget::steps(12));
+  const SearchResult second = run_search(engine, Budget::steps(12));
+  EXPECT_EQ(first.best_makespan, second.best_makespan);
+  EXPECT_EQ(first.evals, second.evals);
+}
+
+TEST(SearchEngineCore, RunAnytimeStepAxisMatchesLegacyShape) {
+  // The generic anytime driver on the steps axis reproduces the exact
+  // shape the deleted run_se_anytime_iters produced: improving points at
+  // (iteration + 1) plus a terminal point at the budget.
+  const Workload w = small_workload(26);
+  SeParams p = comparison_se_params(15, 4);
+  SeEngine engine(w, p);
+
+  CurveRecorder expected;
+  SeEngine reference(w, p);
+  reference.set_observer([&](const SeIterationStats& stats) {
+    expected.record(static_cast<double>(stats.iteration + 1),
+                    stats.best_makespan);
+    return true;
+  });
+  const SeResult ref_result = reference.run();
+  expected.finish(static_cast<double>(ref_result.iterations),
+                  ref_result.best_makespan);
+
+  const auto curve = run_anytime(engine, Budget::steps(15));
+  ASSERT_EQ(curve.size(), expected.curve().size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    EXPECT_EQ(curve[i].seconds, expected.curve()[i].seconds);
+    EXPECT_EQ(curve[i].best, expected.curve()[i].best);
+  }
+}
+
+}  // namespace
+}  // namespace sehc

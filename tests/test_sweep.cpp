@@ -151,10 +151,11 @@ SuiteSweep small_suite_sweep() {
   SuiteSweep sweep;
   sweep.workloads = {{"w", wp}};
   sweep.schedulers = {
-      {"SE",
-       [](std::uint64_t seed) { return make_se_scheduler(10, seed); }},
+      {"SE", [](std::uint64_t seed) { return make_se_scheduler(10, seed); },
+       10, nullptr},
       {"Random",
-       [](std::uint64_t seed) { return make_random_search(25, seed); }},
+       [](std::uint64_t seed) { return make_random_search(25, seed); }, 25,
+       nullptr},
   };
   sweep.repetitions = 3;
   return sweep;

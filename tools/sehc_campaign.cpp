@@ -9,8 +9,9 @@
 //   sehc_campaign merge --out PATH STORE...
 //   sehc_campaign table --store PATH [--format md|csv]
 //
-// Overrides (run/show): --seeds R --iters I --curve-points P --base-seed B
-//                       --tasks K --machines L --budget SECONDS
+// Overrides (run/show): --seeds R --iters I --evals N --curve-points P
+//                       --base-seed B --tasks K --machines L
+//                       --budget SECONDS
 //
 // A shard writes one store; killing it loses at most the record being
 // written, and rerunning the same command resumes (cells already in the
@@ -44,8 +45,8 @@ int usage() {
          "  merge --out PATH STORE... merge shard stores (canonical output)\n"
          "  table --store PATH [--format md|csv]\n"
          "                            aggregate tables from a store\n"
-         "  spec overrides (run/show): --seeds --iters --curve-points\n"
-         "        --base-seed --tasks --machines --budget\n";
+         "  spec overrides (run/show): --seeds --iters --evals\n"
+         "        --curve-points --base-seed --tasks --machines --budget\n";
   return 2;
 }
 
@@ -58,6 +59,9 @@ CampaignSpec spec_from_options(const Options& opts) {
   }
   if (opts.has("iters")) {
     spec.iterations = static_cast<std::size_t>(opts.get_int("iters", 150));
+  }
+  if (opts.has("evals")) {
+    spec.eval_budget = static_cast<std::size_t>(opts.get_int("evals", 0));
   }
   if (opts.has("curve-points")) {
     spec.curve_points =
@@ -241,9 +245,9 @@ int main(int argc, char** argv) {
     const std::vector<std::string> known{
         "spec",      "store",     "shard",        "threads",
         "max-cells", "fresh",     "merged-out",   "bench-json",
-        "progress",  "seeds",     "iters",        "curve-points",
-        "base-seed", "tasks",     "machines",     "budget",
-        "out",       "format"};
+        "progress",  "seeds",     "iters",        "evals",
+        "curve-points", "base-seed", "tasks",     "machines",
+        "budget",    "out",       "format"};
     const Options opts(argc - 1, argv + 1, known);
     if (command == "show") return cmd_show(opts);
     if (command == "run") return cmd_run(opts);
