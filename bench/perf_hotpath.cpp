@@ -13,7 +13,13 @@
 //         rolling and no pruning (the BaselineEvaluator class below is the
 //         old Evaluator verbatim);
 //       - "incremental": rolling checkpoints + exact pruning + the CSR hot
-//         path, i.e. what allocate_tasks() ships today.
+//         path — the scalar reference trial loop;
+//       - "batch_trials": the shipped hot path — allocate_tasks() driving
+//         Evaluator::TrialBatch, all machine candidates of a position
+//         evaluated in one SoA sweep. All three modes must commit
+//         bit-identical final strings (asserted per pass on the final
+//         makespans); --check-overhead TOL fails the run when the batch
+//         falls below (1 - TOL) x the scalar incremental throughput.
 //   * time-to-target: wall seconds until a full SeEngine run first reaches
 //     a makespan within 5% of its final best (read off the recorded trace).
 //   * engine_step: step-driver overhead — the same SE configuration through
@@ -21,6 +27,9 @@
 //     driver (search/engine.h). Both share the step core and must produce
 //     identical results; --check-overhead TOL additionally fails the run
 //     when the stepwise throughput drops below (1 - TOL) x run()'s.
+//   * prepared_lru: hit rate of the GA/GSA prepared-parent LRU (the cache
+//     that replaced the single prepared slot) over a short engine run —
+//     the measurement that justifies keeping the cache.
 //
 // Results go to stdout (human table) and to a JSON file (--out, default
 // BENCH_hotpath.json) that CI uploads as an artifact, so future PRs can
@@ -28,12 +37,15 @@
 #include <algorithm>
 #include <cstdio>
 #include <limits>
+#include <numeric>
 #include <string>
 #include <vector>
 
 #include "core/options.h"
 #include "core/rng.h"
 #include "core/timer.h"
+#include "ga/ga.h"
+#include "heuristics/gsa.h"
 #include "se/allocation.h"
 #include "se/se.h"
 #include "workload/generator.h"
@@ -217,21 +229,85 @@ struct ThroughputResult {
 };
 
 template <bool Incremental, typename Eval>
-ThroughputResult measure_throughput(const Workload& w, std::size_t passes) {
+ThroughputResult measure_throughput(const Workload& w, std::size_t passes,
+                                    std::vector<double>& finals) {
   Eval eval(w);
+  Evaluator check(w);  // finals audited with one shared evaluator type
   const MachineCandidates candidates(w, 0);
   ThroughputResult out;
-  WallTimer timer;
   for (std::size_t rep = 0; rep < passes; ++rep) {
-    // Fresh deterministic starting point per pass; both engines see the
-    // same sequence of strings (their commits are bit-identical).
+    // Fresh deterministic starting point per pass; every engine mode sees
+    // the same sequence of strings (their commits are bit-identical).
     Rng rng(1000 + rep);
     SolutionString s =
         random_initial_solution(w.graph(), w.num_machines(), rng);
+    WallTimer timer;
     out.trials +=
         allocation_pass<Incremental>(w, eval, candidates, s, rng);
+    out.seconds += timer.seconds();
+    finals.push_back(check.makespan(s));
   }
-  out.seconds = timer.seconds();
+  return out;
+}
+
+/// The shipped hot path: allocate_tasks() driving Evaluator::TrialBatch over
+/// every task (one SoA sweep per trial position). Must commit strings
+/// bit-identical to the scalar passes above.
+ThroughputResult measure_batch_throughput(const Workload& w,
+                                          std::size_t passes,
+                                          std::vector<double>& finals) {
+  Evaluator eval(w);
+  Evaluator check(w);
+  Evaluator::TrialBatch batch(eval);
+  const MachineCandidates candidates(w, 0);
+  std::vector<TaskId> all_tasks(w.num_tasks());
+  std::iota(all_tasks.begin(), all_tasks.end(), TaskId{0});
+  ThroughputResult out;
+  for (std::size_t rep = 0; rep < passes; ++rep) {
+    Rng rng(1000 + rep);
+    SolutionString s =
+        random_initial_solution(w.graph(), w.num_machines(), rng);
+    WallTimer timer;
+    out.trials +=
+        allocate_tasks(w, eval, candidates, all_tasks, s, rng, batch)
+            .combinations_tried;
+    out.seconds += timer.seconds();
+    finals.push_back(check.makespan(s));
+  }
+  return out;
+}
+
+/// Hit rate of the GA/GSA prepared-parent LRU over a short engine run: the
+/// fraction of mutation-only children whose parent state was already
+/// prepared. The cache replaced a single prepared slot; this number is what
+/// justifies keeping it.
+struct LruResult {
+  double ga_hit_rate = 0.0;
+  double gsa_hit_rate = 0.0;
+};
+
+LruResult measure_prepared_lru(const Workload& w, std::size_t generations) {
+  LruResult out;
+  {
+    GaParams p;
+    p.seed = 3;
+    p.max_generations = generations;
+    p.record_trace = false;
+    GaEngine engine(w, p);
+    engine.init();
+    while (!engine.done()) engine.step();
+    out.ga_hit_rate = engine.prepared_cache().hit_rate();
+  }
+  {
+    GsaParams p;
+    p.seed = 3;
+    p.max_generations = generations;
+    p.record_trace = false;
+    GsaEngine engine(w, p);
+    engine.init();
+    while (!engine.done()) engine.step();
+    out.gsa_hit_rate = engine.prepared_cache().hit_rate();
+  }
   return out;
 }
 
@@ -344,7 +420,8 @@ int main(int argc, char** argv) {
   const double overhead_tol = opts.get_double("check-overhead", 0.05);
 
   std::printf("=== perf_hotpath: SE allocation trials/sec, pre-engine baseline "
-              "vs incremental engine (%zu passes, %zu SE iterations) ===\n\n",
+              "vs incremental engine vs SoA trial batch "
+              "(%zu passes, %zu SE iterations) ===\n\n",
               passes, iters);
 
   FILE* json = std::fopen(out_path.c_str(), "w");
@@ -363,15 +440,35 @@ int main(int argc, char** argv) {
   bool overhead_ok = true;
   for (const ClassSpec& spec : classes) {
     const Workload w = make_workload(spec.params);
+    std::vector<double> naive_finals, inc_finals, batch_finals;
     const ThroughputResult naive =
-        measure_throughput<false, BaselineEvaluator>(w, passes);
+        measure_throughput<false, BaselineEvaluator>(w, passes, naive_finals);
     const ThroughputResult inc =
-        measure_throughput<true, Evaluator>(w, passes);
+        measure_throughput<true, Evaluator>(w, passes, inc_finals);
+    const ThroughputResult batch =
+        measure_batch_throughput(w, passes, batch_finals);
     const TargetResult target = measure_time_to_target(w, iters);
     const StepOverheadResult overhead = measure_step_overhead(w, iters);
+    const LruResult lru = measure_prepared_lru(w, std::max<std::size_t>(
+                                                      iters / 2, 10));
     const double speedup = naive.trials_per_sec() > 0.0
                                ? inc.trials_per_sec() / naive.trials_per_sec()
                                : 0.0;
+    const double batch_speedup =
+        inc.trials_per_sec() > 0.0
+            ? batch.trials_per_sec() / inc.trials_per_sec()
+            : 0.0;
+    if (naive_finals != inc_finals || inc_finals != batch_finals ||
+        naive.trials != inc.trials || inc.trials != batch.trials) {
+      // All three modes run the identical allocation policy from identical
+      // seeds; any divergence in committed strings or trial counts is a
+      // correctness bug, not noise.
+      std::fprintf(stderr,
+                   "trial modes diverged on %s: per-pass final makespans or "
+                   "trial counts differ across baseline/incremental/batch\n",
+                   spec.name);
+      overhead_ok = false;
+    }
     if (overhead.best_run != overhead.best_step) {
       // The two paths share the step core; a differing result is a bug,
       // not noise.
@@ -388,6 +485,15 @@ int main(int argc, char** argv) {
                    overhead.ratio(), spec.name, overhead_tol * 100.0);
       overhead_ok = false;
     }
+    if (check_overhead && batch_speedup < 1.0 - overhead_tol) {
+      // The batch kernel exists to be faster; falling below the scalar
+      // incremental loop means a regression in the SoA sweep.
+      std::fprintf(stderr,
+                   "batch_trials: batch kernel at %.3fx of scalar "
+                   "incremental on %s (tolerance %.0f%%)\n",
+                   batch_speedup, spec.name, overhead_tol * 100.0);
+      overhead_ok = false;
+    }
 
     std::printf("%-28s k=%zu l=%zu\n", spec.name, w.num_tasks(),
                 w.num_machines());
@@ -395,13 +501,19 @@ int main(int argc, char** argv) {
                 naive.trials_per_sec(), naive.trials, naive.seconds);
     std::printf("  incremental %12.0f trials/sec (%zu trials, %.3fs)\n",
                 inc.trials_per_sec(), inc.trials, inc.seconds);
-    std::printf("  speedup     %12.2fx\n", speedup);
+    std::printf("  batch       %12.0f trials/sec (%zu trials, %.3fs)\n",
+                batch.trials_per_sec(), batch.trials, batch.seconds);
+    std::printf("  speedup     %12.2fx incremental/baseline, %.2fx "
+                "batch/incremental\n",
+                speedup, batch_speedup);
     std::printf("  SE run      best=%.2f in %.3fs; within 5%% after %.3fs\n",
                 target.best, target.total_seconds, target.time_to_target);
     std::printf("  engine_step %12.0f trials/sec stepwise vs %.0f run() "
-                "(%.3fx)\n\n",
+                "(%.3fx)\n",
                 overhead.step_trials_per_sec, overhead.run_trials_per_sec,
                 overhead.ratio());
+    std::printf("  prepared_lru hit rate: GA %.3f, GSA %.3f\n\n",
+                lru.ga_hit_rate, lru.gsa_hit_rate);
 
     if (!first) std::fprintf(json, ",\n");
     first = false;
@@ -414,6 +526,16 @@ int main(int argc, char** argv) {
     std::fprintf(json, "      \"incremental_trials_per_sec\": %.1f,\n",
                  inc.trials_per_sec());
     std::fprintf(json, "      \"speedup\": %.3f,\n", speedup);
+    std::fprintf(json, "      \"batch_trials\": {\n");
+    std::fprintf(json, "        \"trials_per_sec\": %.1f,\n",
+                 batch.trials_per_sec());
+    std::fprintf(json, "        \"speedup_vs_incremental\": %.3f\n",
+                 batch_speedup);
+    std::fprintf(json, "      },\n");
+    std::fprintf(json, "      \"prepared_lru\": {\n");
+    std::fprintf(json, "        \"ga_hit_rate\": %.4f,\n", lru.ga_hit_rate);
+    std::fprintf(json, "        \"gsa_hit_rate\": %.4f\n", lru.gsa_hit_rate);
+    std::fprintf(json, "      },\n");
     std::fprintf(json, "      \"trials\": %zu,\n", inc.trials);
     std::fprintf(json, "      \"se_best_makespan\": %.17g,\n", target.best);
     std::fprintf(json, "      \"se_seconds\": %.4f,\n", target.total_seconds);

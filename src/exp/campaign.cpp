@@ -130,12 +130,13 @@ void CampaignSpec::validate() const {
                "CampaignSpec: unknown scheduler '" + s + "'");
     SEHC_CHECK(std::find(seen.begin(), seen.end(), s) == seen.end(),
                "CampaignSpec: duplicate scheduler '" + s + "'");
-    SEHC_CHECK(time_budget_seconds == 0.0 || is_search_engine_name(s),
-               "CampaignSpec: time budgets support only the stepwise "
-               "searchers (SE/GA/GSA/SA/Tabu/Random), got '" + s + "'");
-    SEHC_CHECK(eval_budget == 0 || is_search_engine_name(s),
-               "CampaignSpec: eval budgets support only the stepwise "
-               "searchers (SE/GA/GSA/SA/Tabu/Random), got '" + s + "'");
+    // Time and eval budgets need an engine to drive: the six stepwise
+    // searchers plus the one-shot schedulers (which run as degenerate
+    // single-step engines and show up as flat baselines).
+    const bool has_engine = registry.find(s)->second.make_engine != nullptr;
+    SEHC_CHECK((time_budget_seconds == 0.0 && eval_budget == 0) || has_engine,
+               "CampaignSpec: time/eval budgets need a stepwise engine, but "
+               "scheduler '" + s + "' has none");
     seen.push_back(s);
   }
 
@@ -281,8 +282,11 @@ namespace {
 /// step core via the generic anytime driver — the same loop for iteration,
 /// eval and wall-clock budgets, so curve capture never changes a makespan
 /// bit relative to the Scheduler adapters (which are wrappers over the
-/// identical core). One-shot schedulers (HEFT, CPOP, ...) go through the
-/// SchedulerFactory registry as before.
+/// identical core). One-shot schedulers (HEFT, CPOP, ...) join the engine
+/// path under time/eval budgets as degenerate single-step engines (flat
+/// curves, 0 evals); under iteration budgets they keep the legacy
+/// Scheduler path — their step budget is 0, which is not a valid Budget,
+/// and the legacy flat-curve record is the pinned byte format.
 CampaignRecord run_campaign_cell(
     const CampaignSpec& spec,
     const std::map<std::string, SchedulerFactory>& registry,
@@ -313,7 +317,11 @@ CampaignRecord run_campaign_cell(
 
   WallTimer timer;
   Schedule schedule;
-  if (factory.make_engine != nullptr) {
+  const bool engine_driven =
+      factory.make_engine != nullptr &&
+      (spec.eval_budget > 0 || spec.time_budget_seconds > 0.0 ||
+       factory.step_budget > 0);
+  if (engine_driven) {
     // Budget and curve axis in the spec's currency; step budgets use each
     // searcher's own comparison-suite step count (SE/GA/GSA: iterations;
     // SA/tabu/random: the suite's x50/x10 scalings), so the shared grid of
@@ -334,8 +342,9 @@ CampaignRecord run_campaign_cell(
     rec.curve = sample_curve(curve, grid);
     schedule = engine->best_schedule();
   } else {
-    // validate() confines time and eval budgets to engine schedulers, so a
-    // one-shot scheduler cell is always in iteration mode.
+    // One-shot scheduler under an iteration budget (the only way here:
+    // validate() confines time/eval budgets to engine-backed schedulers,
+    // and every stepwise searcher has a positive step budget).
     const std::vector<double> grid = time_grid(
         static_cast<double>(spec.iterations), spec.curve_points);
     const std::unique_ptr<Scheduler> scheduler = factory.make(cell.seed);

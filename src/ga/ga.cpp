@@ -8,8 +8,19 @@
 
 namespace sehc {
 
+namespace {
+/// Prepared-parent cache capacity: a handful of elite strings parent most
+/// mutation-only children generation after generation, so a small cache
+/// absorbs the repeats without holding the whole population prepared.
+constexpr std::size_t kPreparedCacheCapacity = 8;
+}  // namespace
+
 GaEngine::GaEngine(const Workload& workload, GaParams params)
-    : workload_(&workload), params_(params), eval_(workload) {
+    : workload_(&workload),
+      params_(params),
+      eval_(workload),
+      prepared_lru_(eval_, kPreparedCacheCapacity),
+      batch_(eval_) {
   SEHC_CHECK(params_.population >= 2, "GaEngine: population must be >= 2");
   SEHC_CHECK(params_.elite < params_.population,
              "GaEngine: elite must be < population");
@@ -57,6 +68,7 @@ void GaEngine::init() {
   const TaskGraph& g = w.graph();
   rng_ = Rng(params_.seed);
   eval_.reset_trial_count();
+  prepared_lru_.clear();
   timer_.reset();
 
   // Initial population: random assignment + random topological order.
@@ -173,9 +185,12 @@ StepStats GaEngine::step() {
   }
 
   // Evaluate before the parents are replaced. Suffix evaluations are
-  // grouped by parent so a parent with several mutation-only children is
-  // prepared once; evaluation consumes no RNG, so the grouping does not
-  // perturb the stream.
+  // grouped by parent: each parent's mutation-only children form one
+  // TrialBatch evaluated on top of the parent's prepared state, which the
+  // value-keyed LRU keeps across generations (elites and clones re-parent
+  // with unchanged string values, so their states keep hitting). Evaluation
+  // consumes no RNG, so neither grouping nor caching perturbs the stream,
+  // and the batch is bit-identical to per-child prepared trials.
   for (std::size_t i = 0; i < next.size(); ++i) {
     if (next_dirty[i] == kFull) next_lengths[i] = eval_.makespan(next[i]);
   }
@@ -187,21 +202,37 @@ StepStats GaEngine::step() {
                    [&](std::size_t a, std::size_t b) {
                      return next_parent[a] < next_parent[b];
                    });
-  constexpr std::size_t kNoParent = std::numeric_limits<std::size_t>::max();
-  std::size_t prepared_parent = kNoParent;
-  for (const std::size_t i : suffix_children) {
-    const std::size_t parent = next_parent[i];
-    const std::size_t from = first_difference(next[i], pop_[parent]);
-    if (from == next[i].size()) {
-      next_lengths[i] = lengths_[parent];  // mutation was a no-op
-      continue;
+  std::vector<std::size_t> batched;  // children pending in batch_, in order
+  for (std::size_t g = 0; g < suffix_children.size();) {
+    const std::size_t parent = next_parent[suffix_children[g]];
+    std::size_t g_end = g;
+    while (g_end < suffix_children.size() &&
+           next_parent[suffix_children[g_end]] == parent) {
+      ++g_end;
     }
-    if (prepared_parent != parent) {
-      eval_.prepare(pop_[parent]);
-      prepared_parent = parent;
+    batched.clear();
+    for (std::size_t j = g; j < g_end; ++j) {
+      const std::size_t i = suffix_children[j];
+      const std::size_t from = first_difference(next[i], pop_[parent]);
+      if (from == next[i].size()) {
+        next_lengths[i] = lengths_[parent];  // mutation was a no-op
+        continue;
+      }
+      if (batched.empty()) {
+        // Prepare lazily: a group of no-op mutations needs no state.
+        batch_.begin_prepared(pop_[parent], prepared_lru_.get(pop_[parent]));
+      }
+      batch_.add_string(next[i], from);
+      batched.push_back(i);
     }
-    next_lengths[i] = eval_.prepared_trial(
-        next[i], from, std::numeric_limits<double>::infinity());
+    if (!batched.empty()) {
+      const std::vector<double>& lens =
+          batch_.evaluate(std::numeric_limits<double>::infinity());
+      for (std::size_t j = 0; j < batched.size(); ++j) {
+        next_lengths[batched[j]] = lens[j];
+      }
+    }
+    g = g_end;
   }
 
   pop_ = std::move(next);

@@ -64,6 +64,9 @@ class SaEngine final : public SearchEngine {
   const Workload* workload_;
   SaParams params_;
   Evaluator eval_;
+  // Batches the T0 calibration walk (the one batchable phase: the main
+  // Metropolis loop is inherently sequential — see annealing.cpp).
+  Evaluator::TrialBatch batch_;
 
   // Stepwise state (valid after init()).
   bool initialized_ = false;

@@ -12,7 +12,8 @@ namespace sehc {
 
 namespace {
 
-constexpr std::size_t kNoSlot = std::numeric_limits<std::size_t>::max();
+/// Prepared-parent cache capacity (see the GA engine's twin constant).
+constexpr std::size_t kPreparedCacheCapacity = 8;
 
 /// First string position where two equal-length solutions differ, or their
 /// size when identical (see the GA engine's twin helper).
@@ -28,7 +29,11 @@ std::size_t first_difference(const SolutionString& a, const SolutionString& b) {
 }  // namespace
 
 GsaEngine::GsaEngine(const Workload& workload, GsaParams params)
-    : workload_(&workload), params_(params), eval_(workload) {
+    : workload_(&workload),
+      params_(params),
+      eval_(workload),
+      prepared_lru_(eval_, kPreparedCacheCapacity),
+      batch_(eval_) {
   SEHC_CHECK(params_.population >= 2, "GsaEngine: population must be >= 2");
   SEHC_CHECK(params_.cooling > 0.0 && params_.cooling < 1.0,
              "GsaEngine: cooling must be in (0,1)");
@@ -68,9 +73,7 @@ void GsaEngine::init() {
   const double typical_delta = std::max(spread.stddev(), 1e-9);
   temperature_ = -typical_delta / std::log(params_.initial_acceptance);
 
-  prepared_slot_ = kNoSlot;
-  pop_version_ = 0;
-  prepared_version_ = 0;
+  prepared_lru_.clear();
   generation_ = 0;
   stop_requested_ = false;
   trace_.clear();
@@ -88,20 +91,18 @@ StepStats GsaEngine::step() {
   const Workload& w = *workload_;
   const TaskGraph& g = w.graph();
 
-  // Prepared-parent cache for mutation-only children: prepare(parent) is
-  // reused across children of the same population slot until a Metropolis
-  // acceptance overwrites any slot (conservative invalidation; evaluation
-  // consumes no RNG, so results stay bit-identical to full re-evaluation).
+  // Mutation-only children ride the prepared-parent LRU + trial batch: the
+  // parent's prepared state is fetched by string VALUE (so Metropolis slot
+  // overwrites no longer flush it — the old slot/version cache invalidated
+  // on every acceptance) and the child evaluates through the batched kernel.
+  // Evaluation consumes no RNG, so results stay bit-identical to full
+  // re-evaluation.
   auto suffix_makespan = [&](const SolutionString& child, std::size_t parent) {
     const std::size_t from = first_difference(child, pop_[parent]);
     if (from == child.size()) return lengths_[parent];  // mutation was a no-op
-    if (prepared_slot_ != parent || prepared_version_ != pop_version_) {
-      eval_.prepare(pop_[parent]);
-      prepared_slot_ = parent;
-      prepared_version_ = pop_version_;
-    }
-    return eval_.prepared_trial(child, from,
-                                std::numeric_limits<double>::infinity());
+    batch_.begin_prepared(pop_[parent], prepared_lru_.get(pop_[parent]));
+    batch_.add_string(child, from);
+    return batch_.evaluate(std::numeric_limits<double>::infinity()).front();
   };
 
   std::size_t accepted = 0;
@@ -154,7 +155,6 @@ StepStats GsaEngine::step() {
       ++accepted;
       pop_[parent_idx] = std::move(child);
       lengths_[parent_idx] = child_len;
-      ++pop_version_;  // invalidates the prepared-parent cache
       if (child_len < best_makespan_) {
         best_makespan_ = child_len;
         best_solution_ = pop_[parent_idx];

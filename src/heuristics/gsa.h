@@ -23,6 +23,7 @@
 #include "hc/workload.h"
 #include "sched/encoding.h"
 #include "sched/evaluator.h"
+#include "sched/prepared_lru.h"
 #include "sched/schedule.h"
 #include "search/engine.h"
 
@@ -69,6 +70,10 @@ class GsaEngine final : public SearchEngine {
 
   GsaResult run();
 
+  /// Prepared-parent cache statistics (see PreparedLru; measured by
+  /// bench/perf_hotpath to justify keeping the cache).
+  const PreparedLru& prepared_cache() const { return prepared_lru_; }
+
   // --- SearchEngine interface ----------------------------------------------
   std::string name() const override { return "GSA"; }
   void init() override;
@@ -85,6 +90,11 @@ class GsaEngine final : public SearchEngine {
   GsaParams params_;
   Observer observer_;
   Evaluator eval_;
+  // Prepared-parent LRU + trial batch for mutation-only children. Keying by
+  // string value (not population slot) survives Metropolis overwrites, so
+  // acceptances no longer flush the cache (see gsa.cpp).
+  PreparedLru prepared_lru_;
+  Evaluator::TrialBatch batch_;
 
   // Stepwise state (valid after init()).
   bool initialized_ = false;
@@ -98,10 +108,6 @@ class GsaEngine final : public SearchEngine {
   double temperature_ = 0.0;
   std::size_t generation_ = 0;  // completed generations
   std::vector<GsaIterationStats> trace_;
-  // Prepared-parent cache (see gsa.cpp).
-  std::size_t prepared_slot_ = 0;
-  std::uint64_t pop_version_ = 0;
-  std::uint64_t prepared_version_ = 0;
 };
 
 }  // namespace sehc

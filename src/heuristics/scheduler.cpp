@@ -7,6 +7,7 @@
 #include "heuristics/heft.h"
 #include "heuristics/level_mappers.h"
 #include "heuristics/random_search.h"
+#include "search/one_shot.h"
 
 namespace sehc {
 
@@ -154,6 +155,18 @@ std::unique_ptr<SearchEngine> make_search_engine(const std::string& name,
               "or Random)");
 }
 
+std::unique_ptr<SearchEngine> make_one_shot_engine(
+    std::unique_ptr<Scheduler> scheduler, const Workload& w) {
+  SEHC_CHECK(scheduler != nullptr, "make_one_shot_engine: null scheduler");
+  std::string name = scheduler->name();
+  // OneShotEngine takes a plain schedule function; shared ownership lets
+  // the copyable std::function close over the scheduler.
+  std::shared_ptr<Scheduler> shared(std::move(scheduler));
+  return std::make_unique<OneShotEngine>(
+      std::move(name), w,
+      [shared](const Workload& wl) { return shared->schedule(wl); });
+}
+
 std::unique_ptr<Scheduler> make_heft() {
   return std::make_unique<FunctionScheduler>("HEFT", &heft_schedule);
 }
@@ -220,6 +233,17 @@ std::vector<SchedulerFactory> make_all_scheduler_factories(std::size_t budget) {
       return make_search_engine(name, w, b, seed);
     };
   };
+  // One-shot schedulers get a degenerate single-step engine so the
+  // deterministic baselines join engine-driven (wall-clock / eval-budget)
+  // campaigns as flat anytime curves. The budget is validated but otherwise
+  // unused: any positive budget admits the single step.
+  const auto one_shot_builder =
+      [](std::function<std::unique_ptr<Scheduler>(std::uint64_t)> make) {
+        return [make](const Workload& w, const Budget& b, std::uint64_t seed) {
+          b.validate();
+          return make_one_shot_engine(make(seed), w);
+        };
+      };
   std::vector<SchedulerFactory> out;
   out.push_back({"SE",
                  [budget](std::uint64_t seed) {
@@ -236,17 +260,19 @@ std::vector<SchedulerFactory> make_all_scheduler_factories(std::size_t budget) {
                    return make_gsa_scheduler(budget, seed);
                  },
                  budget, engine_builder("GSA")});
-  out.push_back({"HEFT", seedless(&make_heft), 0, nullptr});
-  out.push_back({"CPOP", seedless(&make_cpop), 0, nullptr});
-  out.push_back({"DLS", seedless(&make_dls), 0, nullptr});
+  out.push_back(
+      {"HEFT", seedless(&make_heft), 0, one_shot_builder(seedless(&make_heft))});
+  out.push_back(
+      {"CPOP", seedless(&make_cpop), 0, one_shot_builder(seedless(&make_cpop))});
+  out.push_back(
+      {"DLS", seedless(&make_dls), 0, one_shot_builder(seedless(&make_dls))});
   for (LevelMapperKind kind :
        {LevelMapperKind::kMinMin, LevelMapperKind::kMaxMin,
         LevelMapperKind::kMct, LevelMapperKind::kOlb}) {
     auto mapper = make_level_mapper(kind);
     std::string name = mapper->name();
-    out.push_back({std::move(name),
-                   [kind](std::uint64_t) { return make_level_mapper(kind); },
-                   0, nullptr});
+    const auto make_fn = [kind](std::uint64_t) { return make_level_mapper(kind); };
+    out.push_back({std::move(name), make_fn, 0, one_shot_builder(make_fn)});
   }
   // SA, tabu and random search get budgets comparable to SE's move count.
   out.push_back({"SA",

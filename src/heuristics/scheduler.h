@@ -10,7 +10,10 @@
 // (search/engine.h) under any Budget currency via make_search_engine / the
 // factories' make_engine hook; the one-shot Scheduler adapters below are
 // thin wrappers over those engines, so both paths are bit-identical at
-// fixed seeds.
+// fixed seeds. The deterministic one-shot schedulers (HEFT, CPOP, DLS, the
+// level mappers) in turn wrap as degenerate single-step engines via
+// make_one_shot_engine, so wall-clock and eval-budget harnesses can carry
+// them as flat baselines.
 #pragma once
 
 #include <cstdint>
@@ -117,6 +120,15 @@ std::unique_ptr<SearchEngine> make_search_engine(const std::string& name,
                                                  std::uint64_t seed,
                                                  std::size_t se_y_limit = 0);
 
+/// Wraps a one-shot Scheduler (HEFT, CPOP, DLS, a level mapper) as a
+/// degenerate single-step SearchEngine (search/one_shot.h): the single
+/// step() produces the complete schedule, evals_used() stays 0, and the
+/// anytime curve is flat — so the deterministic baselines ride the same
+/// engine-driven campaign path (wall-clock and eval budgets) as the
+/// stepwise searchers.
+std::unique_ptr<SearchEngine> make_one_shot_engine(
+    std::unique_ptr<Scheduler> scheduler, const Workload& w);
+
 /// Named scheduler constructor for sweep drivers that need a fresh,
 /// independently seeded instance per (workload, seed) repetition.
 /// Deterministic schedulers ignore the seed.
@@ -125,10 +137,12 @@ struct SchedulerFactory {
   std::function<std::unique_ptr<Scheduler>(std::uint64_t seed)> make;
   /// Step budget make() gives this searcher — the comparison suite's
   /// scaling of the shared `budget` knob (SA x50, tabu/random x10).
-  /// 0 for non-iterative schedulers.
+  /// 0 for non-iterative (one-shot) schedulers.
   std::size_t step_budget = 0;
-  /// Stepwise engine builder (null for non-iterative schedulers). Equal to
-  /// make_search_engine(name, ...).
+  /// Stepwise engine builder: make_search_engine(name, ...) for the six
+  /// iterative searchers, make_one_shot_engine for the one-shot schedulers
+  /// (a degenerate single-step engine — step_budget == 0 still marks them
+  /// as non-iterative). Set for every registry factory.
   std::function<std::unique_ptr<SearchEngine>(
       const Workload&, const Budget&, std::uint64_t seed)>
       make_engine;

@@ -68,9 +68,7 @@ Evaluator::Evaluator(const Evaluator& other)
       cp_avail_(other.cp_avail_),
       cp_makespan_(other.cp_makespan_),
       cp_prefix_(other.cp_prefix_),
-      avail_rows_(other.avail_rows_),
-      prefix_makespan_(other.prefix_makespan_),
-      prepared_finish_(other.prepared_finish_),
+      prepared_(other.prepared_),
       trial_count_(other.trial_count_) {
   rebuild_pair_rows();
 }
@@ -234,35 +232,36 @@ double Evaluator::trial_makespan(const SolutionString& s, double bound) const {
   return run_suffix(s, cp_prefix_, cp_makespan_, bound);
 }
 
-void Evaluator::prepare(const SolutionString& s) const {
+void Evaluator::prepare(const SolutionString& s, PreparedState& state) const {
   const Workload& w = *workload_;
   SEHC_CHECK(s.size() == w.num_tasks(), "Evaluator: string size mismatch");
   const std::size_t k = num_tasks_;
   const std::size_t l = num_machines_;
-  if (avail_rows_.size() != (k + 1) * l) {
-    avail_rows_.assign((k + 1) * l, 0.0);
-    prefix_makespan_.assign(k + 1, 0.0);
-    prepared_finish_.assign(k, 0.0);
+  if (state.avail_rows.size() != (k + 1) * l) {
+    state.avail_rows.assign((k + 1) * l, 0.0);
+    state.prefix_makespan.assign(k + 1, 0.0);
+    state.finish.assign(k, 0.0);
   }
-  std::fill_n(avail_rows_.begin(), l, 0.0);
-  prefix_makespan_[0] = 0.0;
-  if (k > 0) refresh_from(s, 0);
+  std::fill_n(state.avail_rows.begin(), l, 0.0);
+  state.prefix_makespan[0] = 0.0;
+  if (k > 0) refresh_from(s, 0, state);
 }
 
-void Evaluator::refresh_from(const SolutionString& s, std::size_t from) const {
-  SEHC_ASSERT_MSG(!avail_rows_.empty(),
+void Evaluator::refresh_from(const SolutionString& s, std::size_t from,
+                             PreparedState& state) const {
+  SEHC_ASSERT_MSG(state.ready(),
                   "Evaluator::refresh_from: prepare() not called");
   SEHC_ASSERT_MSG(from < s.size(), "Evaluator::refresh_from: bad position");
   const Segment* const segs = s.segments().data();
   const std::size_t* const pos = s.positions().data();
   const std::size_t k = num_tasks_;
   const std::size_t l = num_machines_;
-  double* const finish = prepared_finish_.data();
-  double* const rows = avail_rows_.data();
+  double* const finish = state.finish.data();
+  double* const rows = state.avail_rows.data();
 
   // Work on machine_avail_ and copy each advanced state into its row.
   std::copy_n(rows + from * l, l, machine_avail_.begin());
-  double makespan = prefix_makespan_[from];
+  double makespan = state.prefix_makespan[from];
   double* const avail = machine_avail_.data();
   for (std::size_t i = from; i < k; ++i) {
     const TaskId t = segs[i].task;
@@ -281,19 +280,20 @@ void Evaluator::refresh_from(const SolutionString& s, std::size_t from) const {
     avail[m] = fin;
     makespan = std::max(makespan, fin);
     std::copy_n(avail, l, rows + (i + 1) * l);
-    prefix_makespan_[i + 1] = makespan;
+    state.prefix_makespan[i + 1] = makespan;
   }
 }
 
 double Evaluator::prepared_prefix_makespan(std::size_t pos) const {
-  SEHC_ASSERT_MSG(pos < prefix_makespan_.size(),
+  SEHC_ASSERT_MSG(pos < prepared_.prefix_makespan.size(),
                   "Evaluator::prepared_prefix_makespan: bad position");
-  return prefix_makespan_[pos];
+  return prepared_.prefix_makespan[pos];
 }
 
 double Evaluator::prepared_trial(const SolutionString& s, std::size_t from,
-                                 double bound) const {
-  SEHC_ASSERT_MSG(!avail_rows_.empty(),
+                                 double bound,
+                                 const PreparedState& state) const {
+  SEHC_ASSERT_MSG(state.ready(),
                   "Evaluator::prepared_trial: prepare() not called");
   SEHC_ASSERT_MSG(s.size() == num_tasks_ && from <= num_tasks_,
                   "Evaluator::prepared_trial: bad arguments");
@@ -302,15 +302,15 @@ double Evaluator::prepared_trial(const SolutionString& s, std::size_t from,
   const std::size_t* const pos = s.positions().data();
   const std::size_t k = num_tasks_;
   const std::size_t l = num_machines_;
-  std::copy_n(avail_rows_.data() + from * l, l, machine_avail_.begin());
-  double makespan = prefix_makespan_[from];
+  std::copy_n(state.avail_rows.data() + from * l, l, machine_avail_.begin());
+  double makespan = state.prefix_makespan[from];
   if (makespan > bound) return kInf;
 
   // Predecessors below `from` are untouched by the trial: read their
   // prepared finish times. Predecessors at or above `from` were re-simulated
   // earlier in this very loop (the string is topological): read the trial
   // scratch.
-  const double* const prepared = prepared_finish_.data();
+  const double* const prepared = state.finish.data();
   double* const finish = finish_.data();
   double* const avail = machine_avail_.data();
   for (std::size_t i = from; i < k; ++i) {

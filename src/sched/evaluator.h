@@ -38,10 +38,18 @@
 // position p onward costs O(k - p) instead of O(k). refresh_from() rolls the
 // prepared state forward after an accepted move.
 //
+// On top of both trial modes sits Evaluator::TrialBatch (declared below):
+// N independent trials accumulated and evaluated in one structure-of-arrays
+// position sweep, bit-identical to N scalar trial calls. The scalar paths
+// remain the reference implementation; the batch is what the search engines
+// actually drive in their hot loops.
+//
 // Evaluator pre-sizes its scratch buffers once per workload so the hot loops
 // (called millions of times per search run) perform no allocation.
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <vector>
 
 #include "hc/workload.h"
@@ -54,6 +62,23 @@ struct ScheduleTimes {
   std::vector<double> start;   // indexed by task
   std::vector<double> finish;  // indexed by task
   double makespan = 0.0;
+};
+
+/// Snapshots of one fully simulated string, keyed by position: everything a
+/// suffix trial needs to start simulating at any position. The evaluator owns
+/// one default instance (the classic prepare()/prepared_trial() mode);
+/// callers that juggle several base strings (GA/GSA prepared parents, see
+/// PreparedLru) own additional instances and pass them explicitly.
+struct PreparedState {
+  /// Machine availability before position p: row p of a (k+1) x l matrix.
+  std::vector<double> avail_rows;
+  /// Running makespan of [0, p), indexed by position p (k+1 entries).
+  std::vector<double> prefix_makespan;
+  /// Finish time of every task of the prepared string (k entries).
+  std::vector<double> finish;
+
+  /// True once prepare() has filled the snapshots.
+  bool ready() const { return !avail_rows.empty(); }
 };
 
 /// Reusable evaluator bound to one workload.
@@ -119,13 +144,30 @@ class Evaluator {
   // at positions >= from (an accepted move). The prepared state survives
   // any number of prepared_trial() calls; evaluate()/makespan()/the rolling
   // trial mode do not disturb it.
-  void prepare(const SolutionString& s) const;
-  void refresh_from(const SolutionString& s, std::size_t from) const;
+  //
+  // Each operation also exists in an explicit-state form that reads/writes a
+  // caller-owned PreparedState instead of the evaluator's default one, so
+  // several base strings can stay prepared at once (see PreparedLru).
+  void prepare(const SolutionString& s) const { prepare(s, prepared_); }
+  void prepare(const SolutionString& s, PreparedState& state) const;
+  void refresh_from(const SolutionString& s, std::size_t from) const {
+    refresh_from(s, from, prepared_);
+  }
+  void refresh_from(const SolutionString& s, std::size_t from,
+                    PreparedState& state) const;
   double prepared_trial(const SolutionString& s, std::size_t from,
-                        double bound) const;
+                        double bound) const {
+    return prepared_trial(s, from, bound, prepared_);
+  }
+  double prepared_trial(const SolutionString& s, std::size_t from, double bound,
+                        const PreparedState& state) const;
 
   /// Running makespan of the prepared string's prefix [0, pos).
   double prepared_prefix_makespan(std::size_t pos) const;
+
+  /// The evaluator's default prepared state (the one the two-argument
+  /// prepare()/refresh_from()/prepared_trial() forms operate on).
+  const PreparedState& default_prepared_state() const { return prepared_; }
 
   // --- Trial accounting ---------------------------------------------------
   //
@@ -188,14 +230,126 @@ class Evaluator {
   mutable std::vector<double> cp_avail_;
   mutable double cp_makespan_ = 0.0;
   mutable std::size_t cp_prefix_ = 0;
-  // Prepared state: avail_rows_ row p = machine availability before position
-  // p ((k+1) x l, row-major); prefix_makespan_[p] = running makespan before
-  // position p; prepared_finish_ = finish times of the prepared string.
-  mutable std::vector<double> avail_rows_;
-  mutable std::vector<double> prefix_makespan_;
-  mutable std::vector<double> prepared_finish_;
+  // Default prepared state (see PreparedState).
+  mutable PreparedState prepared_;
   // Trial counter (see trial_count()).
   mutable std::size_t trial_count_ = 0;
+
+ public:
+  class TrialBatch;
+};
+
+/// Batched trial evaluation: accumulate N candidate suffix edits against the
+/// evaluator's rolling checkpoint or a prepared state, then evaluate them all
+/// in ONE position-major sweep whose inner loop runs over the batch
+/// dimension. Data is laid out structure-of-arrays — per-machine availability
+/// rows and per-task finish columns hold one contiguous lane per live trial —
+/// so the uniform-reassign fast path (SE's allocation scan: same task, all
+/// machine candidates) vectorizes, and trials whose running makespan exceeds
+/// the shared bound are retired mid-sweep by lane compaction.
+///
+/// Exactness contract: evaluate() is bit-identical to running the scalar
+/// reference path (trial_makespan() / prepared_trial()) once per trial with
+/// the same bound — identical makespans where the scalar returns an exact
+/// value, +infinity exactly where the scalar prunes, and exactly size()
+/// increments of the evaluator's trial counter. Trials are mutually
+/// independent, so interchanging the loops (positions outer, trials inner)
+/// replays each trial's floating-point operation sequence unchanged.
+///
+/// Trial kinds:
+///   * add_reassign(t, m)      — base string with task t's machine set to m;
+///   * add_move(t, pos, m)     — base string with t moved to `pos` (string
+///                               rotate, as SolutionString::move_task) and
+///                               reassigned to m, resolved virtually so the
+///                               base is never mutated;
+///   * add_string(s, from)     — an explicit trial string differing from the
+///                               base only at positions >= from.
+///
+/// Checkpoint mode evaluates every trial from the evaluator's rolling
+/// checkpoint; the checkpoint state is read at evaluate() time, so one batch
+/// may span extend_checkpoint() calls between evaluate() rounds. Prepared
+/// mode evaluates each trial from its own start position on top of a
+/// PreparedState (the evaluator's default one or a caller-owned instance).
+class Evaluator::TrialBatch {
+ public:
+  explicit TrialBatch(const Evaluator& eval);
+
+  /// Enters checkpoint mode: trials are edits of `base`, evaluated on top of
+  /// the evaluator's rolling checkpoint (begin_trials()/extend_checkpoint()
+  /// manage the checkpoint as in the scalar path). `base` is captured by
+  /// reference and read at evaluate() time. Clears pending trials.
+  void begin_checkpoint(const SolutionString& base);
+
+  /// Enters prepared mode against the evaluator's default prepared state.
+  void begin_prepared(const SolutionString& base);
+
+  /// Enters prepared mode against a caller-owned prepared state for `base`.
+  /// Both `base` and `state` are captured by reference.
+  void begin_prepared(const SolutionString& base, const PreparedState& state);
+
+  void add_reassign(TaskId t, MachineId m);
+  void add_move(TaskId t, std::size_t new_pos, MachineId new_machine);
+  /// `s` is captured by reference and must stay alive until evaluate().
+  void add_string(const SolutionString& s, std::size_t from);
+
+  std::size_t size() const { return trials_.size(); }
+  bool empty() const { return trials_.empty(); }
+  /// Drops pending trials; keeps the mode and base.
+  void clear() { trials_.clear(); }
+
+  /// Evaluates every pending trial against the shared pruning `bound`
+  /// (strict, as the scalar paths: any value returned <= bound is exact, any
+  /// trial whose running makespan strictly exceeds `bound` yields +infinity).
+  /// Returns one makespan per trial in add order, counts size() trials, and
+  /// clears the pending list. The returned reference is invalidated by the
+  /// next evaluate() call.
+  const std::vector<double>& evaluate(double bound);
+
+ private:
+  enum class Kind : std::uint8_t { kReassign, kMove, kString };
+
+  struct Trial {
+    Kind kind = Kind::kReassign;
+    TaskId task = kInvalidTask;          // kReassign / kMove
+    MachineId machine = 0;               // kReassign / kMove
+    std::size_t new_pos = 0;             // kMove
+    const SolutionString* str = nullptr; // kString
+    std::size_t from = 0;                // kString (prepared mode)
+  };
+
+  /// Start position of trial `tr` (the first position its suffix rewrites /
+  /// the position the prepared simulation starts at).
+  std::size_t trial_from(const Trial& tr) const;
+  /// Segment of trial `tr` at position `i` (virtual resolution: the base is
+  /// never mutated).
+  Segment trial_segment(const Trial& tr, std::size_t i) const;
+
+  /// True when every pending trial is a kReassign of one shared task in
+  /// checkpoint mode — the vectorizable uniform sweep.
+  bool uniform_reassign() const;
+  void evaluate_uniform(double bound);
+  void evaluate_general(double bound);
+  /// Fast-path lane retirement: moves lane `last`'s SoA columns into `lane`.
+  void compact_lane(std::size_t lane, std::size_t last, std::size_t from,
+                    std::size_t upto);
+
+  const Evaluator* eval_ = nullptr;
+  const SolutionString* base_ = nullptr;
+  const PreparedState* state_ = nullptr;  // null = checkpoint mode
+  std::vector<Trial> trials_;
+
+  // SoA lanes, stride = trials_.size() during evaluate(): avail_lanes_ row m
+  // = per-lane availability of machine m; finish_lanes_ row t = per-lane
+  // finish of task t; makespan_ / lane_trial_ indexed by lane.
+  std::vector<double> avail_lanes_;
+  std::vector<double> finish_lanes_;
+  std::vector<double> makespan_;
+  std::vector<double> ready_lanes_;      // per-lane ready-time scratch
+  std::vector<std::size_t> lane_trial_;
+  std::vector<MachineId> lane_machine_;  // fast path: per-lane machine
+  std::vector<std::size_t> live_;        // general path: live trial indices
+  std::vector<std::size_t> from_;        // general path: per-trial start
+  std::vector<double> results_;
 };
 
 /// One-shot convenience wrapper.

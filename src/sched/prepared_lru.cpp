@@ -1,0 +1,50 @@
+#include "sched/prepared_lru.h"
+
+#include <algorithm>
+
+namespace sehc {
+
+PreparedLru::PreparedLru(const Evaluator& eval, std::size_t capacity)
+    : eval_(&eval), capacity_(capacity) {
+  SEHC_CHECK(capacity_ >= 1, "PreparedLru: capacity must be >= 1");
+  entries_.reserve(capacity_);
+}
+
+double PreparedLru::hit_rate() const {
+  const std::size_t total = hits_ + misses_;
+  return total == 0 ? 0.0 : static_cast<double>(hits_) / static_cast<double>(total);
+}
+
+void PreparedLru::clear() {
+  entries_.clear();
+  tick_ = 0;
+  hits_ = 0;
+  misses_ = 0;
+}
+
+const PreparedState& PreparedLru::get(const SolutionString& key) {
+  // Linear scan: the cache holds a handful of entries, and one string
+  // comparison is far cheaper than the prepare() it may save.
+  for (Entry& entry : entries_) {
+    if (entry.key == key) {
+      ++hits_;
+      entry.stamp = ++tick_;
+      return entry.state;
+    }
+  }
+  ++misses_;
+  Entry* slot = nullptr;
+  if (entries_.size() < capacity_) {
+    slot = &entries_.emplace_back();
+  } else {
+    slot = &*std::min_element(
+        entries_.begin(), entries_.end(),
+        [](const Entry& a, const Entry& b) { return a.stamp < b.stamp; });
+  }
+  slot->key = key;
+  slot->stamp = ++tick_;
+  eval_->prepare(key, slot->state);
+  return slot->state;
+}
+
+}  // namespace sehc

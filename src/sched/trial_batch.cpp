@@ -1,0 +1,395 @@
+// Evaluator::TrialBatch — the batched structure-of-arrays trial kernel.
+//
+// Both kernels below are loop interchanges of the scalar reference paths in
+// evaluator.cpp (run_suffix / prepared_trial): positions sweep in the outer
+// loop, live trials in the inner loop. Trials are mutually independent, so
+// every trial's floating-point operation sequence is replayed unchanged and
+// the results are bit-identical to N scalar calls — including the pruning
+// contract (strictly-greater-than-bound => +infinity) and the trial-counter
+// increment per trial. The ready-time max-reduction may be re-ordered
+// between shared and per-lane predecessors: every operand is a non-negative
+// finite double (no -0.0, no NaN), for which max is order-independent down
+// to the bit pattern.
+//
+// tests/test_trial_batch.cpp pins batch-vs-scalar bit-identity for every
+// trial kind, both modes, and the edge cases (empty batch, all pruned,
+// mixed prune/survive compaction, checkpoint-spanning batches, counter
+// exactness).
+#include "sched/evaluator.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace sehc {
+
+namespace {
+constexpr double kInf = std::numeric_limits<double>::infinity();
+}  // namespace
+
+Evaluator::TrialBatch::TrialBatch(const Evaluator& eval) : eval_(&eval) {}
+
+void Evaluator::TrialBatch::begin_checkpoint(const SolutionString& base) {
+  base_ = &base;
+  state_ = nullptr;
+  trials_.clear();
+}
+
+void Evaluator::TrialBatch::begin_prepared(const SolutionString& base) {
+  begin_prepared(base, eval_->prepared_);
+}
+
+void Evaluator::TrialBatch::begin_prepared(const SolutionString& base,
+                                           const PreparedState& state) {
+  base_ = &base;
+  state_ = &state;
+  trials_.clear();
+}
+
+void Evaluator::TrialBatch::add_reassign(TaskId t, MachineId m) {
+  Trial tr;
+  tr.kind = Kind::kReassign;
+  tr.task = t;
+  tr.machine = m;
+  trials_.push_back(tr);
+}
+
+void Evaluator::TrialBatch::add_move(TaskId t, std::size_t new_pos,
+                                     MachineId new_machine) {
+  Trial tr;
+  tr.kind = Kind::kMove;
+  tr.task = t;
+  tr.new_pos = new_pos;
+  tr.machine = new_machine;
+  trials_.push_back(tr);
+}
+
+void Evaluator::TrialBatch::add_string(const SolutionString& s,
+                                       std::size_t from) {
+  Trial tr;
+  tr.kind = Kind::kString;
+  tr.str = &s;
+  tr.from = from;
+  trials_.push_back(tr);
+}
+
+std::size_t Evaluator::TrialBatch::trial_from(const Trial& tr) const {
+  // Checkpoint mode always simulates from the checkpoint prefix, exactly as
+  // the scalar trial_makespan() does (the `from` of add_string is a
+  // prepared-mode concept).
+  if (state_ == nullptr) return eval_->cp_prefix_;
+  switch (tr.kind) {
+    case Kind::kReassign:
+      return base_->positions()[tr.task];
+    case Kind::kMove:
+      return std::min(base_->positions()[tr.task], tr.new_pos);
+    case Kind::kString:
+      return tr.from;
+  }
+  return 0;  // unreachable
+}
+
+Segment Evaluator::TrialBatch::trial_segment(const Trial& tr,
+                                             std::size_t i) const {
+  if (tr.kind == Kind::kString) return tr.str->segments()[i];
+  const Segment* const segs = base_->segments().data();
+  const std::size_t old_pos = base_->positions()[tr.task];
+  if (tr.kind == Kind::kReassign) {
+    if (i == old_pos) return Segment{tr.task, tr.machine};
+    return segs[i];
+  }
+  // kMove: virtual resolution of move_task(t, new_pos) + set_machine(t, m).
+  // move_task rotates the segments strictly between the old and new
+  // positions (SolutionString::move_task), so a trial segment is the base
+  // segment shifted by one inside that window and untouched outside it.
+  const std::size_t new_pos = tr.new_pos;
+  if (i == new_pos) return Segment{tr.task, tr.machine};
+  if (new_pos > old_pos) {
+    if (i >= old_pos && i < new_pos) return segs[i + 1];
+  } else if (new_pos < old_pos) {
+    if (i > new_pos && i <= old_pos) return segs[i - 1];
+  }
+  return segs[i];
+}
+
+bool Evaluator::TrialBatch::uniform_reassign() const {
+  if (state_ != nullptr) return false;
+  const TaskId t0 = trials_.front().task;
+  for (const Trial& tr : trials_) {
+    if (tr.kind != Kind::kReassign || tr.task != t0) return false;
+  }
+  return true;
+}
+
+const std::vector<double>& Evaluator::TrialBatch::evaluate(double bound) {
+  SEHC_ASSERT_MSG(base_ != nullptr,
+                  "TrialBatch: begin_checkpoint()/begin_prepared() not called");
+  SEHC_ASSERT_MSG(base_->size() == eval_->num_tasks_,
+                  "TrialBatch: base string size mismatch");
+  const std::size_t n = trials_.size();
+  // Batch of N counts exactly N trials — the evals currency stays exact.
+  eval_->trial_count_ += n;
+  results_.assign(n, kInf);
+  if (n > 0) {
+    if (uniform_reassign()) {
+      evaluate_uniform(bound);
+    } else {
+      evaluate_general(bound);
+    }
+  }
+  trials_.clear();
+  return results_;
+}
+
+void Evaluator::TrialBatch::compact_lane(std::size_t lane, std::size_t last,
+                                         std::size_t from, std::size_t upto) {
+  const std::size_t batch = trials_.size();
+  const std::size_t l = eval_->num_machines_;
+  double* const al = avail_lanes_.data();
+  double* const fl = finish_lanes_.data();
+  for (std::size_t m = 0; m < l; ++m) al[m * batch + lane] = al[m * batch + last];
+  // Only tasks at already-swept positions have live finish entries.
+  const Segment* const segs = base_->segments().data();
+  for (std::size_t p = from; p <= upto; ++p) {
+    const TaskId t = segs[p].task;
+    fl[t * batch + lane] = fl[t * batch + last];
+  }
+  makespan_[lane] = makespan_[last];
+  lane_machine_[lane] = lane_machine_[last];
+  lane_trial_[lane] = lane_trial_[last];
+}
+
+// Fast path: every trial reassigns the SAME task of the base string in
+// checkpoint mode (SE's allocation scan). All lanes share the base's
+// segment sequence and positions; only the machine at the edit position
+// differs, so the whole sweep runs with shared predecessor metadata and
+// contiguous trial-minor inner loops. Pruned lanes are retired by moving the
+// last live lane's SoA columns into the freed slot (dense lanes stay dense).
+void Evaluator::TrialBatch::evaluate_uniform(double bound) {
+  const Evaluator& ev = *eval_;
+  const std::size_t k = ev.num_tasks_;
+  const std::size_t l = ev.num_machines_;
+  const std::size_t batch = trials_.size();
+  const Segment* const segs = base_->segments().data();
+  const std::size_t* const pos = base_->positions().data();
+  const std::size_t from = ev.cp_prefix_;
+  const TaskId edit_task = trials_.front().task;
+  const std::size_t edit_pos = pos[edit_task];
+  SEHC_ASSERT_MSG(edit_pos >= from,
+                  "TrialBatch: reassign edits the checkpoint prefix");
+
+  avail_lanes_.resize(l * batch);
+  finish_lanes_.resize(k * batch);
+  makespan_.assign(batch, ev.cp_makespan_);
+  ready_lanes_.resize(batch);
+  lane_trial_.resize(batch);
+  lane_machine_.resize(batch);
+  for (std::size_t i = 0; i < batch; ++i) {
+    lane_trial_[i] = i;
+    lane_machine_[i] = trials_[i].machine;
+  }
+  for (std::size_t m = 0; m < l; ++m) {
+    std::fill_n(avail_lanes_.begin() + m * batch, batch, ev.cp_avail_[m]);
+  }
+  // Scalar entry check: a checkpoint already past the bound prunes all lanes.
+  if (ev.cp_makespan_ > bound) return;
+
+  const double* const shared_finish = ev.finish_.data();
+  double* const al = avail_lanes_.data();
+  double* const fl = finish_lanes_.data();
+  double* const ready = ready_lanes_.data();
+  double* const ms = makespan_.data();
+
+  std::size_t live = batch;
+  for (std::size_t i = from; i < k && live > 0; ++i) {
+    const TaskId t = segs[i].task;
+    const std::uint32_t lo = ev.pred_off_[t];
+    const std::uint32_t hi = ev.pred_off_[t + 1];
+    if (i == edit_pos) {
+      // The edited segment: machine differs per lane, so each lane gathers
+      // its own availability and transfer rows. Happens once per sweep.
+      for (std::size_t lane = 0; lane < live; ++lane) {
+        const MachineId m = lane_machine_[lane];
+        double r = 0.0;
+        for (std::uint32_t e = lo; e < hi; ++e) {
+          const TaskId src = ev.pred_src_[e];
+          const MachineId pm = segs[pos[src]].machine;
+          const double f =
+              pos[src] >= from ? fl[src * batch + lane] : shared_finish[src];
+          r = std::max(r, f + ev.transfer_row(pm, m)[ev.pred_item_[e]]);
+        }
+        const double start = std::max(r, al[m * batch + lane]);
+        const double fin = start + ev.exec_[m * k + t];
+        fl[t * batch + lane] = fin;
+        al[m * batch + lane] = fin;
+        if (fin > ms[lane]) ms[lane] = fin;
+      }
+    } else {
+      const MachineId m = segs[i].machine;
+      // Predecessors fully inside the shared prefix contribute one scalar
+      // ready time for all lanes; predecessors simulated in the suffix (or
+      // produced by the edited task, whose machine varies) contribute one
+      // contiguous lane-minor pass each.
+      double ready0 = 0.0;
+      bool lane_preds = false;
+      for (std::uint32_t e = lo; e < hi; ++e) {
+        const TaskId src = ev.pred_src_[e];
+        if (pos[src] >= from) {
+          lane_preds = true;
+          continue;
+        }
+        const MachineId pm = segs[pos[src]].machine;
+        ready0 = std::max(
+            ready0, shared_finish[src] + ev.transfer_row(pm, m)[ev.pred_item_[e]]);
+      }
+      std::fill_n(ready, live, ready0);
+      if (lane_preds) {
+        for (std::uint32_t e = lo; e < hi; ++e) {
+          const TaskId src = ev.pred_src_[e];
+          if (pos[src] < from) continue;
+          const double* const fsrc = fl + src * batch;
+          if (src == edit_task) {
+            // Transfer row depends on the per-lane machine of the edit.
+            const DataId item = ev.pred_item_[e];
+            for (std::size_t lane = 0; lane < live; ++lane) {
+              const double tr = ev.transfer_row(lane_machine_[lane], m)[item];
+              ready[lane] = std::max(ready[lane], fsrc[lane] + tr);
+            }
+          } else {
+            const MachineId pm = segs[pos[src]].machine;
+            const double tr = ev.transfer_row(pm, m)[ev.pred_item_[e]];
+            for (std::size_t lane = 0; lane < live; ++lane) {
+              ready[lane] = std::max(ready[lane], fsrc[lane] + tr);
+            }
+          }
+        }
+      }
+      const double exec = ev.exec_[m * k + t];
+      double* const am = al + m * batch;
+      double* const ft = fl + t * batch;
+      for (std::size_t lane = 0; lane < live; ++lane) {
+        const double start = std::max(ready[lane], am[lane]);
+        const double fin = start + exec;
+        ft[lane] = fin;
+        am[lane] = fin;
+        if (fin > ms[lane]) ms[lane] = fin;
+      }
+    }
+    // Retire lanes past the bound (scalar prunes inside the segment loop;
+    // checking once per position yields the same +infinity results because
+    // the running makespan is monotone).
+    for (std::size_t lane = 0; lane < live;) {
+      if (ms[lane] > bound) {
+        const std::size_t last = live - 1;
+        if (lane != last) compact_lane(lane, last, from, i);
+        --live;
+      } else {
+        ++lane;
+      }
+    }
+  }
+  for (std::size_t lane = 0; lane < live; ++lane) {
+    results_[lane_trial_[lane]] = ms[lane];
+  }
+}
+
+// General path: any mix of trial kinds, per-trial start positions (prepared
+// mode), virtual kMove resolution. Still one position-major sweep with a
+// trial-minor inner loop; pruned trials are dropped from the live-index
+// list. Per-lane branching makes this path scalar-per-lane, but shared
+// position traversal and the absence of apply/undo string mutation keep it
+// competitive — and every lane replays the exact scalar operation sequence.
+void Evaluator::TrialBatch::evaluate_general(double bound) {
+  const Evaluator& ev = *eval_;
+  const std::size_t k = ev.num_tasks_;
+  const std::size_t l = ev.num_machines_;
+  const std::size_t batch = trials_.size();
+  const bool checkpoint = state_ == nullptr;
+  const Segment* const base_segs = base_->segments().data();
+  const std::size_t* const bpos = base_->positions().data();
+  SEHC_ASSERT_MSG(checkpoint || state_->ready(),
+                  "TrialBatch: prepared state not ready");
+
+  avail_lanes_.resize(l * batch);
+  finish_lanes_.resize(k * batch);
+  makespan_.assign(batch, 0.0);
+  from_.resize(batch);
+  live_.clear();
+
+  std::size_t min_from = k;
+  for (std::size_t i = 0; i < batch; ++i) {
+    const std::size_t f = trial_from(trials_[i]);
+    SEHC_ASSERT_MSG(f <= k, "TrialBatch: trial start out of range");
+    from_[i] = f;
+    const double entry =
+        checkpoint ? ev.cp_makespan_ : state_->prefix_makespan[f];
+    if (entry > bound) continue;  // scalar entry check: results_[i] = +inf
+    if (f >= k) {
+      results_[i] = entry;  // empty suffix: the prefix makespan is exact
+      continue;
+    }
+    makespan_[i] = entry;
+    const double* const row =
+        checkpoint ? ev.cp_avail_.data() : state_->avail_rows.data() + f * l;
+    for (std::size_t m = 0; m < l; ++m) avail_lanes_[m * batch + i] = row[m];
+    live_.push_back(i);
+    min_from = std::min(min_from, f);
+  }
+
+  const double* const shared_finish =
+      checkpoint ? ev.finish_.data() : state_->finish.data();
+  double* const al = avail_lanes_.data();
+  double* const fl = finish_lanes_.data();
+
+  for (std::size_t p = min_from; p < k && !live_.empty(); ++p) {
+    for (std::size_t idx = 0; idx < live_.size();) {
+      const std::size_t lane = live_[idx];
+      if (p < from_[lane]) {
+        ++idx;
+        continue;
+      }
+      const Trial& tr = trials_[lane];
+      const Segment seg = trial_segment(tr, p);
+      const TaskId t = seg.task;
+      const MachineId m = seg.machine;
+      double ready = 0.0;
+      const std::uint32_t lo = ev.pred_off_[t];
+      const std::uint32_t hi = ev.pred_off_[t + 1];
+      for (std::uint32_t e = lo; e < hi; ++e) {
+        const TaskId src = ev.pred_src_[e];
+        MachineId pm;
+        bool in_suffix;
+        if (tr.kind == Kind::kString) {
+          const std::size_t spos = tr.str->positions()[src];
+          in_suffix = spos >= from_[lane];
+          pm = tr.str->segments()[spos].machine;
+        } else {
+          // kReassign keeps every position; kMove shifts positions only
+          // inside [from, max(old,new)], which never crosses the `from`
+          // boundary — the base position decides suffix membership either
+          // way, and only the moved task changes machine.
+          in_suffix = bpos[src] >= from_[lane];
+          pm = src == tr.task ? tr.machine : base_segs[bpos[src]].machine;
+        }
+        const double f =
+            in_suffix ? fl[src * batch + lane] : shared_finish[src];
+        ready = std::max(ready, f + ev.transfer_row(pm, m)[ev.pred_item_[e]]);
+      }
+      const double start = std::max(ready, al[m * batch + lane]);
+      const double fin = start + ev.exec_[m * k + t];
+      fl[t * batch + lane] = fin;
+      al[m * batch + lane] = fin;
+      if (fin > makespan_[lane]) {
+        makespan_[lane] = fin;
+        if (fin > bound) {  // prune: drop the trial from the live list
+          live_[idx] = live_.back();
+          live_.pop_back();
+          continue;
+        }
+      }
+      ++idx;
+    }
+  }
+  for (const std::size_t lane : live_) results_[lane] = makespan_[lane];
+}
+
+}  // namespace sehc

@@ -30,7 +30,8 @@ MachineCandidates::MachineCandidates(const Workload& w, std::size_t y_limit) {
 AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
                                const MachineCandidates& candidates,
                                const std::vector<TaskId>& selected,
-                               SolutionString& s, Rng& rng) {
+                               SolutionString& s, Rng& rng,
+                               Evaluator::TrialBatch& batch) {
   AllocationStats stats;
   const TaskGraph& g = w.graph();
 
@@ -54,21 +55,28 @@ AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
     // Rolling checkpoint: trials at position pos permute only positions
     // >= pos, so the checkpoint starts at range.lo and is extended by one
     // segment every time the trial position advances — each trial simulates
-    // only [pos, k) instead of [range.lo, k).
+    // only [pos, k) instead of [range.lo, k). The batch spans those
+    // extensions: it reads the checkpoint at each evaluate().
     eval.begin_trials(s, range.lo);
     s.move_task(t, range.lo);
+    batch.begin_checkpoint(s);
     for (std::size_t pos = range.lo;; ++pos) {
-      for (MachineId m : machines) {
-        s.set_machine(t, m);
-        // Exact pruning: any trial whose running makespan strictly exceeds
-        // the incumbent can neither win nor tie, so aborting it early leaves
-        // the winner — and the reservoir tie statistics — bit-identical.
-        const double len = eval.trial_makespan(s, best_len);
-        ++stats.combinations_tried;
+      // All machine candidates at this position form one batch, swept in a
+      // single SoA pass. Pruning uses the position-start incumbent instead
+      // of the scalar loop's within-position tightening — a relaxation that
+      // cannot change the outcome: a trial whose exact length exceeds the
+      // tightened incumbent loses the comparisons below exactly as its
+      // pruned +infinity would, ties at the incumbent are never pruned
+      // (strict bound), and evaluation consumes no RNG.
+      for (const MachineId m : machines) batch.add_reassign(t, m);
+      const std::vector<double>& lens = batch.evaluate(best_len);
+      stats.combinations_tried += machines.size();
+      for (std::size_t j = 0; j < machines.size(); ++j) {
+        const double len = lens[j];
         if (len < best_len) {
           best_len = len;
           best_pos = pos;
-          best_machine = m;
+          best_machine = machines[j];
           ties = 1;
         } else if (len == best_len) {
           // Reservoir sampling: each of the n tied optima survives with
@@ -76,13 +84,10 @@ AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
           ++ties;
           if (rng.below(ties) == 0) {
             best_pos = pos;
-            best_machine = m;
+            best_machine = machines[j];
           }
         }
       }
-      // Restore the machine before shifting position again so the trial
-      // state stays a single-change delta.
-      s.set_machine(t, original_machine);
       if (pos == range.hi) break;
       s.move_task(t, pos + 1);
       // The segment that slid down into `pos` is now part of every
@@ -98,6 +103,14 @@ AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
     }
   }
   return stats;
+}
+
+AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
+                               const MachineCandidates& candidates,
+                               const std::vector<TaskId>& selected,
+                               SolutionString& s, Rng& rng) {
+  Evaluator::TrialBatch batch(eval);
+  return allocate_tasks(w, eval, candidates, selected, s, rng, batch);
 }
 
 }  // namespace sehc

@@ -71,6 +71,20 @@ struct AllocationStats {
 /// (position, machine) combination, breaking ties uniformly at random via
 /// `rng`. Mutates `s` in place; returns stats. Never increases the
 /// makespan.
+///
+/// The scan is batched: all machine candidates of a task at one trial
+/// position form one Evaluator::TrialBatch evaluated in a single SoA sweep
+/// (bit-identical to the scalar trial-per-candidate loop — winner, reservoir
+/// tie statistics, RNG stream and trial counts all unchanged). `batch` must
+/// be bound to `eval`; engines pass a persistent instance so the scan
+/// allocates nothing after warm-up.
+AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
+                               const MachineCandidates& candidates,
+                               const std::vector<TaskId>& selected,
+                               SolutionString& s, Rng& rng,
+                               Evaluator::TrialBatch& batch);
+
+/// Convenience overload owning a throwaway batch (tests, one-off callers).
 AllocationStats allocate_tasks(const Workload& w, const Evaluator& eval,
                                const MachineCandidates& candidates,
                                const std::vector<TaskId>& selected,

@@ -17,7 +17,8 @@ SeEngine::SeEngine(const Workload& workload, SeParams params)
       evaluator_(workload),
       optimal_(optimal_costs(workload)),
       levels_(task_levels(workload.graph())),
-      candidates_(MachineCandidates(workload, params.y_limit)) {}
+      candidates_(MachineCandidates(workload, params.y_limit)),
+      batch_(evaluator_) {}
 
 void SeEngine::init() {
   // The historical run() drew the initial solution from Rng(seed) and the
@@ -66,7 +67,7 @@ StepStats SeEngine::step() {
   // Allocation: constructive best-fit re-placement of selected tasks
   // (ties among best placements broken randomly -> plateau mobility).
   const AllocationStats alloc = allocate_tasks(
-      *workload_, evaluator_, candidates_, selected_, current_, rng_);
+      *workload_, evaluator_, candidates_, selected_, current_, rng_, batch_);
 
   if (params_.verify_invariants) {
     SEHC_ASSERT_MSG(current_.is_valid(workload_->graph()),

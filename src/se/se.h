@@ -109,6 +109,7 @@ class SeEngine final : public SearchEngine {
   std::vector<double> optimal_;       // O_i, fixed for the whole run
   std::vector<int> levels_;           // DAG levels for selection ordering
   MachineCandidates candidates_;      // Y-restricted machines, flat table
+  Evaluator::TrialBatch batch_;       // persistent allocation-scan batch
   Observer observer_;
 
   // Stepwise state (valid after init()/init_from()).

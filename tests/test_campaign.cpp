@@ -89,10 +89,11 @@ TEST(CampaignSpec, ValidateRejectsMalformedSpecs) {
   spec.iterations = 0;
   EXPECT_THROW(spec.validate(), Error);
 
-  // Time budgets only support the SE/GA engines.
+  // Time budgets accept one-shot schedulers since the single-step engine
+  // wrapper landed: HEFT now rides the engine path as a flat baseline.
   spec = tiny_spec();
   spec.time_budget_seconds = 0.5;
-  EXPECT_THROW(spec.validate(), Error);  // has HEFT
+  EXPECT_NO_THROW(spec.validate());  // has HEFT — now engine-backed
 
   spec = tiny_spec();
   spec.classes[1].name = spec.classes[0].name;
@@ -468,10 +469,11 @@ TEST(Campaign, SearcherCurvesAreThreadAndShardInvariant) {
 }
 
 TEST(Campaign, EvalBudgetValidation) {
-  // Eval budgets are searchers-only and exclusive with time budgets.
+  // One-shot schedulers are valid under an eval budget (they ride the
+  // single-step engine wrapper), but time and eval budgets stay exclusive.
   CampaignSpec spec = equal_evals_spec();
   spec.schedulers = {"SE", "HEFT"};
-  EXPECT_THROW(spec.validate(), Error);
+  EXPECT_NO_THROW(spec.validate());
 
   spec = equal_evals_spec();
   spec.time_budget_seconds = 1.0;
@@ -483,6 +485,34 @@ TEST(Campaign, EvalBudgetValidation) {
   EXPECT_NE(changed.hash(), equal_evals_spec().hash());
   EXPECT_NE(changed.store_schema().spec_line,
             equal_evals_spec().store_schema().spec_line);
+}
+
+TEST(Campaign, OneShotBaselinesJoinEvalBudgetCampaigns) {
+  // HEFT and MinMin as flat baselines next to SE under an equal-evals
+  // budget: 0 trials consumed, curve flat at the final makespan from the
+  // first grid point, and the makespan identical to the plain Scheduler
+  // path at the same cell.
+  CampaignSpec spec = equal_evals_spec();
+  spec.schedulers = {"SE", "HEFT", "MinMin"};
+  ResultStore store = ResultStore::in_memory(spec.store_schema());
+  run_campaign(spec, store, {});
+  const auto records = campaign_records(store);
+  ASSERT_EQ(records.size(), 12u);  // 2 classes x 2 reps x 3 schedulers
+  std::size_t one_shot_cells = 0;
+  for (const CampaignRecord& rec : records) {
+    if (rec.scheduler == "SE") {
+      EXPECT_GE(rec.evals, spec.eval_budget);
+      continue;
+    }
+    ++one_shot_cells;
+    EXPECT_EQ(rec.evals, 0u) << rec.scheduler;
+    ASSERT_EQ(rec.curve.size(), 5u) << rec.scheduler;
+    for (const double sample : rec.curve) {
+      EXPECT_DOUBLE_EQ(sample, rec.makespan) << rec.scheduler;
+    }
+    EXPECT_GE(rec.makespan, rec.lower_bound) << rec.scheduler;
+  }
+  EXPECT_EQ(one_shot_cells, 8u);
 }
 
 TEST(Campaign, RecordsCarryAuditableEvalCounts) {

@@ -8,6 +8,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <limits>
 #include <string>
 #include <vector>
@@ -145,12 +146,15 @@ TEST(SearchEngineCore, SchedulerAdaptersMatchEngines) {
   const Workload w = small_workload(17);
   const std::size_t budget = 8;
   for (const SchedulerFactory& factory : make_all_scheduler_factories(budget)) {
-    if (factory.make_engine == nullptr) continue;
+    ASSERT_NE(factory.make_engine, nullptr) << factory.name;
+    // One-shot schedulers (step_budget 0) wrap as single-step engines; one
+    // step is their whole budget.
+    const Budget steps =
+        Budget::steps(std::max<std::size_t>(factory.step_budget, 1));
     const Schedule via_scheduler = factory.make(33)->schedule(w);
     const std::unique_ptr<SearchEngine> engine =
-        factory.make_engine(w, Budget::steps(factory.step_budget), 33);
-    const SearchResult via_engine =
-        run_search(*engine, Budget::steps(factory.step_budget));
+        factory.make_engine(w, steps, 33);
+    const SearchResult via_engine = run_search(*engine, steps);
     EXPECT_EQ(via_engine.schedule.makespan, via_scheduler.makespan)
         << factory.name;
     EXPECT_TRUE(validate_schedule(w, via_engine.schedule).empty())
@@ -243,6 +247,57 @@ TEST(SearchEngineCore, StepStatsAreConsistent) {
     prev_evals = stats.evals_used;
   }
   EXPECT_EQ(engine->steps_done(), 50u);
+}
+
+TEST(SearchEngineCore, OneShotEngineIsSingleStep) {
+  // HEFT as a degenerate single-step engine: one step produces the exact
+  // schedule the Scheduler interface produces, consumes no evaluator
+  // trials, and a second step is an error.
+  const Workload w = small_workload(27);
+  const Schedule direct = make_heft()->schedule(w);
+
+  const std::unique_ptr<SearchEngine> engine =
+      make_one_shot_engine(make_heft(), w);
+  EXPECT_EQ(engine->name(), "HEFT");
+  engine->init();
+  EXPECT_FALSE(engine->done());
+  EXPECT_EQ(engine->steps_done(), 0u);
+  EXPECT_EQ(engine->best_makespan(),
+            std::numeric_limits<double>::infinity());  // nothing yet
+
+  const StepStats stats = engine->step();
+  EXPECT_TRUE(engine->done());
+  EXPECT_EQ(stats.step, 0u);
+  EXPECT_EQ(stats.best_makespan, direct.makespan);
+  EXPECT_EQ(stats.evals_used, 0u);
+  EXPECT_EQ(engine->steps_done(), 1u);
+  EXPECT_EQ(engine->evals_used(), 0u);
+  EXPECT_EQ(engine->best_makespan(), direct.makespan);
+  EXPECT_EQ(engine->best_schedule().makespan, direct.makespan);
+  EXPECT_THROW(engine->step(), Error);
+
+  // init() rearms it.
+  engine->init();
+  EXPECT_FALSE(engine->done());
+  EXPECT_EQ(run_search(*engine, Budget::evals(100)).best_makespan,
+            direct.makespan);
+}
+
+TEST(SearchEngineCore, OneShotEngineFlatAnytimeCurve) {
+  // Under an eval budget the one-shot curve is a single improvement at
+  // x = 0 evals plus the terminal point — i.e. flat at the final makespan
+  // from the origin of the axis.
+  const Workload w = small_workload(28);
+  const Schedule direct = make_cpop()->schedule(w);
+  const std::unique_ptr<SearchEngine> engine =
+      make_one_shot_engine(make_cpop(), w);
+  const auto curve = run_anytime(*engine, Budget::evals(500));
+  ASSERT_GE(curve.size(), 1u);
+  EXPECT_EQ(curve.front().seconds, 0.0);
+  for (const AnytimePoint& point : curve) {
+    EXPECT_EQ(point.best, direct.makespan);
+  }
+  EXPECT_EQ(value_at(curve, 0.0), direct.makespan);
 }
 
 TEST(SearchEngineCore, MakeSearchEngineRejectsNonEngines) {

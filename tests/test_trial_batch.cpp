@@ -1,0 +1,445 @@
+// Differential suite for Evaluator::TrialBatch — the batched SoA trial
+// kernel — and the PreparedLru cache behind the GA/GSA producers.
+//
+// The batch claims BIT-IDENTICAL results to running the scalar reference
+// paths (trial_makespan / prepared_trial) once per trial with the same
+// bound. This file pins that claim per trial kind (reassign / move /
+// string), per mode (rolling checkpoint / prepared state), and across the
+// edge cases: the empty batch, a batch of one, all trials pruned, mixed
+// prune/survive lane compaction, a batch spanning extend_checkpoint()
+// calls, and exactness of the trial counter (a batch of N counts N).
+#include "sched/evaluator.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "core/rng.h"
+#include "sched/encoding.h"
+#include "sched/prepared_lru.h"
+#include "workload/generator.h"
+
+namespace sehc {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+Workload small_workload(std::uint64_t seed) {
+  WorkloadParams p;
+  p.tasks = 22;
+  p.machines = 5;
+  p.seed = seed;
+  return make_workload(p);
+}
+
+SolutionString random_solution(const Workload& w, Rng& rng) {
+  return random_initial_solution(w.graph(), w.num_machines(), rng);
+}
+
+/// One random virtual move (task, new position within the valid range, new
+/// machine) against `s`, without mutating it.
+struct MoveDraw {
+  TaskId task;
+  std::size_t old_pos;
+  std::size_t new_pos;
+  MachineId machine;
+  std::size_t suffix_start() const { return std::min(old_pos, new_pos); }
+};
+
+MoveDraw draw_move(const SolutionString& s, const Workload& w, Rng& rng) {
+  MoveDraw m;
+  m.task = static_cast<TaskId>(rng.below(s.size()));
+  m.old_pos = s.position_of(m.task);
+  const ValidRange range = s.valid_range(w.graph(), m.task);
+  m.new_pos = range.lo + static_cast<std::size_t>(rng.below(range.size()));
+  m.machine = static_cast<MachineId>(rng.below(w.num_machines()));
+  return m;
+}
+
+SolutionString apply_move(const SolutionString& s, const MoveDraw& m) {
+  SolutionString out = s;
+  out.move_task(m.task, m.new_pos);
+  out.set_machine(m.task, m.machine);
+  return out;
+}
+
+TEST(TrialBatch, EmptyBatchReturnsNothingAndCountsZeroTrials) {
+  const Workload w = small_workload(101);
+  Rng rng(1);
+  const SolutionString s = random_solution(w, rng);
+
+  Evaluator eval(w);
+  Evaluator::TrialBatch batch(eval);
+
+  eval.begin_trials(s, 0);
+  batch.begin_checkpoint(s);
+  const std::size_t before = eval.trial_count();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(batch.evaluate(kInf).empty());
+  EXPECT_EQ(eval.trial_count(), before);
+
+  eval.prepare(s);
+  batch.begin_prepared(s);
+  EXPECT_TRUE(batch.evaluate(kInf).empty());
+  EXPECT_EQ(eval.trial_count(), before);
+}
+
+TEST(TrialBatch, BatchOfOneMatchesScalarExactly) {
+  const Workload w = small_workload(102);
+  Rng rng(2);
+  const SolutionString s = random_solution(w, rng);
+
+  Evaluator batch_eval(w);
+  Evaluator scalar_eval(w);
+  Evaluator::TrialBatch batch(batch_eval);
+
+  // Checkpoint mode, single reassign trial, with and without pruning.
+  const TaskId t = static_cast<TaskId>(s.size() / 2);
+  batch_eval.begin_trials(s, 0);
+  scalar_eval.begin_trials(s, 0);
+  SolutionString probe = s;
+  for (MachineId m = 0; m < w.num_machines(); ++m) {
+    probe.set_machine(t, m);
+    const double exact = scalar_eval.trial_makespan(probe, kInf);
+    for (const double bound : {kInf, exact, exact * 0.5}) {
+      batch.begin_checkpoint(s);
+      batch.add_reassign(t, m);
+      const std::vector<double>& lens = batch.evaluate(bound);
+      ASSERT_EQ(lens.size(), 1u);
+      EXPECT_EQ(lens[0], scalar_eval.trial_makespan(probe, bound));
+    }
+  }
+
+  // Prepared mode, single move trial.
+  batch_eval.prepare(s);
+  scalar_eval.prepare(s);
+  for (int i = 0; i < 10; ++i) {
+    const MoveDraw m = draw_move(s, w, rng);
+    const SolutionString moved = apply_move(s, m);
+    batch.begin_prepared(s);
+    batch.add_move(m.task, m.new_pos, m.machine);
+    const std::vector<double>& lens = batch.evaluate(kInf);
+    ASSERT_EQ(lens.size(), 1u);
+    EXPECT_EQ(lens[0],
+              scalar_eval.prepared_trial(moved, m.suffix_start(), kInf));
+  }
+}
+
+TEST(TrialBatch, UniformReassignMatchesScalarAcrossCheckpointExtensions) {
+  // The SE allocation-scan shape: one begin_checkpoint, then per position a
+  // round of all-machine reassign trials with an evolving bound, with
+  // extend_checkpoint() advancing the shared prefix BETWEEN evaluate()
+  // rounds of the same batch object — the checkpoint state is read at
+  // evaluate() time.
+  const Workload w = small_workload(103);
+  Rng rng(3);
+  SolutionString s = random_solution(w, rng);
+
+  const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+  const ValidRange range = s.valid_range(w.graph(), t);
+
+  Evaluator batch_eval(w);
+  Evaluator scalar_eval(w);
+  Evaluator::TrialBatch batch(batch_eval);
+
+  batch_eval.begin_trials(s, range.lo);
+  scalar_eval.begin_trials(s, range.lo);
+  s.move_task(t, range.lo);
+  batch.begin_checkpoint(s);
+
+  double best_len = kInf;
+  for (std::size_t pos = range.lo; pos <= range.hi; ++pos) {
+    for (MachineId m = 0; m < w.num_machines(); ++m) batch.add_reassign(t, m);
+    // The batch contract: one shared bound for the whole round (the bound
+    // at round start), not the within-round tightening a scalar loop could
+    // do — so the scalar replay pins against the same round-start bound.
+    const double round_bound = best_len;
+    const std::vector<double>& lens = batch.evaluate(round_bound);
+    ASSERT_EQ(lens.size(), w.num_machines());
+    SolutionString probe = s;
+    for (MachineId m = 0; m < w.num_machines(); ++m) {
+      probe.set_machine(t, m);
+      const double scalar = scalar_eval.trial_makespan(probe, round_bound);
+      EXPECT_EQ(lens[m], scalar) << "pos " << pos << " machine " << m;
+      best_len = std::min(best_len, scalar);  // +inf never lowers the bound
+    }
+    if (pos == range.hi) break;
+    s.move_task(t, pos + 1);
+    batch_eval.extend_checkpoint(s);
+    scalar_eval.extend_checkpoint(s);
+  }
+}
+
+TEST(TrialBatch, MixedTrialKindsPreparedMatchScalar) {
+  // One batch mixing all three kinds in prepared mode, against both the
+  // evaluator's default state and a caller-owned PreparedState.
+  const Workload w = small_workload(104);
+  Rng rng(4);
+  const SolutionString s = random_solution(w, rng);
+
+  Evaluator batch_eval(w);
+  Evaluator scalar_eval(w);
+  Evaluator::TrialBatch batch(batch_eval);
+  scalar_eval.prepare(s);
+
+  PreparedState owned;
+  batch_eval.prepare(s, owned);
+
+  // Materialized trial strings must outlive evaluate().
+  std::vector<MoveDraw> moves;
+  std::vector<SolutionString> strings;
+  for (int i = 0; i < 6; ++i) moves.push_back(draw_move(s, w, rng));
+  for (const MoveDraw& m : moves) strings.push_back(apply_move(s, m));
+
+  for (const bool use_owned : {false, true}) {
+    if (use_owned) {
+      batch.begin_prepared(s, owned);
+    } else {
+      batch_eval.prepare(s);
+      batch.begin_prepared(s);
+    }
+    const TaskId rt = static_cast<TaskId>(s.size() - 1);
+    // 6 moves + 2 explicit strings + all-machine reassigns of one task.
+    for (std::size_t i = 0; i < 4; ++i) {
+      batch.add_move(moves[i].task, moves[i].new_pos, moves[i].machine);
+    }
+    batch.add_string(strings[4], moves[4].suffix_start());
+    batch.add_string(strings[5], moves[5].suffix_start());
+    for (MachineId m = 0; m < w.num_machines(); ++m) batch.add_reassign(rt, m);
+
+    const std::vector<double>& lens = batch.evaluate(kInf);
+    ASSERT_EQ(lens.size(), 6u + w.num_machines());
+    for (std::size_t i = 0; i < 6; ++i) {
+      EXPECT_EQ(lens[i], scalar_eval.prepared_trial(
+                             strings[i], moves[i].suffix_start(), kInf))
+          << "trial " << i;
+    }
+    SolutionString probe = s;
+    for (MachineId m = 0; m < w.num_machines(); ++m) {
+      probe.set_machine(rt, m);
+      EXPECT_EQ(lens[6 + m],
+                scalar_eval.prepared_trial(probe, s.position_of(rt), kInf));
+    }
+  }
+}
+
+TEST(TrialBatch, PruningAndCompactionMatchScalarLaneForLane) {
+  // A bound around the median retires some lanes mid-sweep and keeps
+  // others: every surviving value must be exact, every pruned value must be
+  // +infinity exactly where the scalar prunes.
+  const Workload w = small_workload(105);
+  Rng rng(5);
+  const SolutionString s = random_solution(w, rng);
+
+  Evaluator batch_eval(w);
+  Evaluator scalar_eval(w);
+  Evaluator::TrialBatch batch(batch_eval);
+  batch_eval.prepare(s);
+  scalar_eval.prepare(s);
+
+  std::vector<MoveDraw> moves;
+  std::vector<SolutionString> moved;
+  std::vector<double> exact;
+  for (int i = 0; i < 16; ++i) {
+    moves.push_back(draw_move(s, w, rng));
+    moved.push_back(apply_move(s, moves.back()));
+    exact.push_back(
+        scalar_eval.prepared_trial(moved.back(), moves.back().suffix_start(),
+                                   kInf));
+  }
+  std::vector<double> sorted = exact;
+  std::sort(sorted.begin(), sorted.end());
+  const double median = sorted[sorted.size() / 2];
+
+  for (const double bound : {median, sorted.front(), 0.0}) {
+    batch.begin_prepared(s);
+    for (const MoveDraw& m : moves) batch.add_move(m.task, m.new_pos, m.machine);
+    const std::vector<double>& lens = batch.evaluate(bound);
+    ASSERT_EQ(lens.size(), moves.size());
+    std::size_t pruned = 0;
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      const double scalar = scalar_eval.prepared_trial(
+          moved[i], moves[i].suffix_start(), bound);
+      EXPECT_EQ(lens[i], scalar) << "trial " << i << " bound " << bound;
+      // The pruning contract itself: exact at or below the bound, +infinity
+      // strictly above it.
+      if (exact[i] <= bound) {
+        EXPECT_EQ(lens[i], exact[i]);
+      } else {
+        EXPECT_EQ(lens[i], kInf);
+        ++pruned;
+      }
+    }
+    if (bound == 0.0) {
+      EXPECT_EQ(pruned, moves.size());  // all-pruned batch
+    }
+  }
+}
+
+TEST(TrialBatch, UniformPathPrunesAndCompactsLikeScalar) {
+  // Same prune/survive pinning for the uniform checkpoint fast path (dense
+  // lane swap compaction instead of the live-index list).
+  const Workload w = small_workload(106);
+  Rng rng(6);
+  const SolutionString s = random_solution(w, rng);
+  const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+
+  Evaluator batch_eval(w);
+  Evaluator scalar_eval(w);
+  Evaluator::TrialBatch batch(batch_eval);
+  batch_eval.begin_trials(s, 0);
+  scalar_eval.begin_trials(s, 0);
+
+  std::vector<double> exact;
+  SolutionString probe = s;
+  for (MachineId m = 0; m < w.num_machines(); ++m) {
+    probe.set_machine(t, m);
+    exact.push_back(scalar_eval.trial_makespan(probe, kInf));
+  }
+  std::vector<double> sorted = exact;
+  std::sort(sorted.begin(), sorted.end());
+
+  for (const double bound : {sorted[sorted.size() / 2], sorted.front(), 0.0}) {
+    batch.begin_checkpoint(s);
+    for (MachineId m = 0; m < w.num_machines(); ++m) batch.add_reassign(t, m);
+    const std::vector<double>& lens = batch.evaluate(bound);
+    for (MachineId m = 0; m < w.num_machines(); ++m) {
+      probe.set_machine(t, m);
+      EXPECT_EQ(lens[m], scalar_eval.trial_makespan(probe, bound))
+          << "machine " << m << " bound " << bound;
+    }
+  }
+}
+
+TEST(TrialBatch, CountsExactlyBatchSizeTrials) {
+  // The evals currency stays exact: a batch of N counts N — including
+  // pruned lanes and empty-suffix (from == k) trials — and evaluate()
+  // clears the pending list.
+  const Workload w = small_workload(107);
+  Rng rng(7);
+  const SolutionString s = random_solution(w, rng);
+
+  Evaluator eval(w);
+  Evaluator::TrialBatch batch(eval);
+  eval.prepare(s);
+  eval.reset_trial_count();
+
+  std::vector<MoveDraw> moves;
+  std::vector<SolutionString> moved;
+  for (int i = 0; i < 5; ++i) {
+    moves.push_back(draw_move(s, w, rng));
+    moved.push_back(apply_move(s, moves.back()));
+  }
+
+  batch.begin_prepared(s);
+  for (std::size_t i = 0; i < moves.size(); ++i) {
+    batch.add_string(moved[i], moves[i].suffix_start());
+  }
+  batch.add_string(s, s.size());  // empty suffix: exact prefix makespan
+  EXPECT_EQ(batch.size(), 6u);
+  const std::vector<double>& lens = batch.evaluate(0.0);  // prunes the moves
+  ASSERT_EQ(lens.size(), 6u);
+  EXPECT_EQ(eval.trial_count(), 6u);
+  EXPECT_TRUE(batch.empty());
+
+  // The empty-suffix trial bypasses the sweep yet still matches the scalar
+  // path bit for bit (the full prepared makespan, never pruned at bound 0
+  // only if the prefix itself exceeds it — pin against scalar).
+  Evaluator scalar_eval(w);
+  scalar_eval.prepare(s);
+  EXPECT_EQ(lens[5], scalar_eval.prepared_trial(s, s.size(), 0.0));
+
+  // Counting holds across modes and repeated rounds.
+  eval.begin_trials(s, 0);
+  batch.begin_checkpoint(s);
+  const TaskId t = 0;
+  for (MachineId m = 0; m < w.num_machines(); ++m) batch.add_reassign(t, m);
+  batch.evaluate(kInf);
+  EXPECT_EQ(eval.trial_count(), 6u + w.num_machines());
+}
+
+TEST(TrialBatch, ClearDropsPendingTrialsWithoutCounting) {
+  const Workload w = small_workload(108);
+  Rng rng(8);
+  const SolutionString s = random_solution(w, rng);
+
+  Evaluator eval(w);
+  Evaluator::TrialBatch batch(eval);
+  eval.prepare(s);
+  eval.reset_trial_count();
+
+  batch.begin_prepared(s);
+  const MoveDraw m = draw_move(s, w, rng);
+  batch.add_move(m.task, m.new_pos, m.machine);
+  EXPECT_EQ(batch.size(), 1u);
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
+  EXPECT_TRUE(batch.evaluate(kInf).empty());
+  EXPECT_EQ(eval.trial_count(), 0u);
+}
+
+TEST(PreparedLru, HitsMissesAndEviction) {
+  const Workload w = small_workload(109);
+  Rng rng(9);
+  const SolutionString a = random_solution(w, rng);
+  const SolutionString b = random_solution(w, rng);
+  const SolutionString c = random_solution(w, rng);
+  ASSERT_FALSE(a == b);
+
+  Evaluator eval(w);
+  PreparedLru cache(eval, 2);
+  EXPECT_EQ(cache.capacity(), 2u);
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hit_rate(), 0.0);
+
+  cache.get(a);  // miss
+  cache.get(a);  // hit
+  cache.get(b);  // miss (fills capacity)
+  cache.get(a);  // hit — b becomes least recently used
+  EXPECT_EQ(cache.size(), 2u);
+  EXPECT_EQ(cache.hits(), 2u);
+  EXPECT_EQ(cache.misses(), 2u);
+
+  cache.get(c);  // miss: evicts b (LRU), not a
+  EXPECT_EQ(cache.size(), 2u);
+  cache.get(a);  // still cached: hit
+  EXPECT_EQ(cache.hits(), 3u);
+  cache.get(b);  // evicted above: miss again
+  EXPECT_EQ(cache.misses(), 4u);
+  EXPECT_DOUBLE_EQ(cache.hit_rate(), 3.0 / 7.0);
+
+  cache.clear();
+  EXPECT_EQ(cache.size(), 0u);
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(PreparedLru, CachedStatesAreBitIdenticalToFreshPrepare) {
+  const Workload w = small_workload(110);
+  Rng rng(10);
+  const SolutionString s = random_solution(w, rng);
+
+  Evaluator eval(w);
+  PreparedLru cache(eval, 2);
+  // Prime, then displace-and-rehit to exercise the reused-entry path.
+  const SolutionString other = random_solution(w, rng);
+  cache.get(s);
+  cache.get(other);
+  const PreparedState& cached = cache.get(s);
+
+  Evaluator reference(w);
+  reference.prepare(s);
+
+  for (int i = 0; i < 8; ++i) {
+    const MoveDraw m = draw_move(s, w, rng);
+    const SolutionString moved = apply_move(s, m);
+    EXPECT_EQ(eval.prepared_trial(moved, m.suffix_start(), kInf, cached),
+              reference.prepared_trial(moved, m.suffix_start(), kInf));
+  }
+}
+
+}  // namespace
+}  // namespace sehc
