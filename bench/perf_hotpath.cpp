@@ -387,9 +387,12 @@ StepOverheadResult measure_step_overhead(const Workload& w,
       SeEngine engine(w, sp);
       WallTimer timer;
       // The no-op observer stays installed so the measurement includes
-      // the std::function dispatch every anytime/campaign driver pays.
+      // the std::function dispatch every anytime/campaign driver pays, and
+      // the deadline is armed (far in the future) so the per-step watchdog
+      // clock read campaign cells pay is part of the measured loop too.
       const SearchResult r = run_search(
-          engine, Budget::steps(iters), [](const StepStats&) { return true; });
+          engine, Budget::steps(iters), [](const StepStats&) { return true; },
+          Deadline::after(3600.0));
       const double seconds = timer.seconds();
       out.best_step = r.best_makespan;
       if (seconds > 0.0) {

@@ -61,7 +61,8 @@ int main(int argc, char** argv) {
   run_opts.threads = threads;
   run_opts.shard = ShardPlan::parse(opts.get("shard", "0/1"));
 
-  run_store_grid(grid, store, run_opts, seed, [&](const SweepCell& cell) {
+  run_store_grid(grid, store, run_opts, seed,
+                 [&](const SweepCell& cell, const CellContext&) {
     WorkloadParams p;
     p.tasks = tasks;
     p.machines = machines;

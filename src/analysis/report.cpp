@@ -120,6 +120,14 @@ double mean_of(std::span<const double> values) {
 
 }  // namespace
 
+std::size_t CampaignDataset::expected_cells() const {
+  if (expected_classes == 0 || expected_reps == 0 ||
+      expected_schedulers.empty()) {
+    return 0;
+  }
+  return expected_classes * expected_reps * expected_schedulers.size();
+}
+
 const CampaignGroup* CampaignDataset::find_group(
     const std::string& class_name, const std::string& scheduler) const {
   for (const CampaignGroup& group : groups) {
@@ -182,6 +190,24 @@ CampaignDataset build_dataset(const ResultStore& store) {
     group->makespans.push_back(rec.makespan);
     group->lower_bounds.push_back(rec.lower_bound);
     group->curves.push_back(rec.curve);
+  }
+
+  // Expected grid shape from the spec line (absent tokens leave the fields
+  // zero/empty — the missing-cells machinery then stays silent).
+  ds.expected_classes = static_cast<std::size_t>(parse_double_or(
+      spec_line_value(ds.schema.spec_line, "classes"), 0.0));
+  ds.expected_reps = static_cast<std::size_t>(
+      parse_double_or(spec_line_value(ds.schema.spec_line, "reps"), 0.0));
+  {
+    const std::string scheds =
+        spec_line_value(ds.schema.spec_line, "schedulers");
+    std::string::size_type pos = 0;
+    while (pos < scheds.size()) {
+      auto sep = scheds.find(';', pos);
+      if (sep == std::string::npos) sep = scheds.size();
+      if (sep > pos) ds.expected_schedulers.push_back(scheds.substr(pos, sep - pos));
+      pos = sep + 1;
+    }
   }
 
   if (ds.curve_points > 0) {
@@ -380,6 +406,28 @@ Table crossing_table(const CampaignDataset& dataset,
   return table;
 }
 
+Table missing_cells_table(const CampaignDataset& dataset) {
+  Table table({"class", "scheduler", "n", "expected", "missing"});
+  if (dataset.expected_reps == 0) return table;
+  const std::vector<std::string>& schedulers =
+      dataset.expected_schedulers.empty() ? dataset.schedulers
+                                          : dataset.expected_schedulers;
+  for (const std::string& cls : dataset.classes) {
+    for (const std::string& sched : schedulers) {
+      const CampaignGroup* group = dataset.find_group(cls, sched);
+      const std::size_t n = group == nullptr ? 0 : group->reps.size();
+      if (n >= dataset.expected_reps) continue;
+      table.begin_row()
+          .add(cls)
+          .add(sched)
+          .add(n)
+          .add(dataset.expected_reps)
+          .add(dataset.expected_reps - n);
+    }
+  }
+  return table;
+}
+
 Table profile_table(const CampaignDataset& dataset,
                     const ReportOptions& options) {
   std::vector<std::string> headers{"scheduler", "n"};
@@ -459,6 +507,62 @@ void write_report(std::ostream& os, const CampaignDataset& dataset,
     os << "# spec_hash: " << hash_hex(dataset.schema.spec_hash) << '\n';
     os << "# records: " << records << '\n';
     os << "# curves: " << curve_desc << '\n';
+  }
+
+  // Missing-cells section: rendered only for degraded stores (fewer
+  // records than the spec's expected grid, or quarantine records supplied)
+  // so reports over complete stores stay byte-identical to their goldens.
+  // Everything here is a deterministic function of the records and the
+  // (sorted) quarantine list.
+  const std::size_t expected = dataset.expected_cells();
+  const bool incomplete = expected > 0 && records < expected;
+  if (incomplete || !options.quarantined.empty()) {
+    section_heading(os, format, "Missing cells", "missing-cells");
+    if (incomplete) {
+      note_line(os, format,
+                std::to_string(expected - records) + " of " +
+                    std::to_string(expected) +
+                    " expected records are missing; every statistic below "
+                    "uses the per-group n actually present");
+      if (dataset.classes.size() < dataset.expected_classes) {
+        note_line(os, format,
+                  std::to_string(dataset.expected_classes -
+                                 dataset.classes.size()) +
+                      " of " + std::to_string(dataset.expected_classes) +
+                      " classes have no records at all (their names are not "
+                      "recoverable from the store)");
+      }
+      const Table missing = missing_cells_table(dataset);
+      if (missing.rows() > 0) {
+        os << '\n';
+        write_table(os, missing, format);
+      }
+    }
+    if (!options.quarantined.empty()) {
+      if (incomplete) os << '\n';
+      note_line(os, format,
+                "quarantined cells" +
+                    (options.quarantine_source.empty()
+                         ? std::string()
+                         : " (from " + options.quarantine_source + ")") +
+                    ":");
+      os << '\n';
+      std::vector<QuarantineRecord> sorted = options.quarantined;
+      std::stable_sort(sorted.begin(), sorted.end(),
+                       [](const QuarantineRecord& a,
+                          const QuarantineRecord& b) { return a.cell < b.cell; });
+      Table table({"cell", "coords", "label", "attempts", "error"});
+      for (const QuarantineRecord& r : sorted) {
+        table.begin_row()
+            .add(r.cell)
+            .add(r.coords)
+            .add(r.label)
+            .add(r.attempts)
+            .add(r.error);
+      }
+      write_table(os, table, format);
+    }
+    os << '\n';
   }
 
   section_heading(os, format, "Summary (mean schedule length, " +

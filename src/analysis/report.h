@@ -61,6 +61,17 @@ struct CampaignDataset {
   /// Curve x-axis label: "iterations", "seconds" or "sample".
   std::string axis = "sample";
 
+  /// Expected grid shape parsed from the store's spec line ("classes=",
+  /// "reps=", "schedulers="); 0/empty when the line does not carry them.
+  /// Lets write_report say exactly what a degraded store is missing.
+  std::size_t expected_classes = 0;
+  std::size_t expected_reps = 0;
+  std::vector<std::string> expected_schedulers;
+
+  /// classes x reps x schedulers when the spec line carries the full grid
+  /// shape, 0 when unknown.
+  std::size_t expected_cells() const;
+
   bool has_curves() const { return curve_points > 0; }
   const CampaignGroup* find_group(const std::string& class_name,
                                   const std::string& scheduler) const;
@@ -89,6 +100,14 @@ struct ReportOptions {
   /// `challenger` overtake `baseline`".
   std::string challenger = "SE";
   std::string baseline = "GA";
+
+  /// Quarantined cells (loaded from `<store>.failed.csv` sidecars) listed
+  /// in the report's missing-cells section. Rendered sorted by cell index,
+  /// so the report stays byte-deterministic whatever the load order.
+  std::vector<QuarantineRecord> quarantined;
+  /// Where the quarantine records came from (sidecar path(s)); echoed in
+  /// the missing-cells section.
+  std::string quarantine_source;
 };
 
 /// Per-(class, scheduler) means with seeded-bootstrap confidence intervals:
@@ -115,6 +134,14 @@ Table pair_comparison_table(const CampaignDataset& dataset,
 /// (throws when the store has none).
 Table crossing_table(const CampaignDataset& dataset,
                      const ReportOptions& options);
+
+/// Per-(class, scheduler) record counts for every group missing
+/// repetitions relative to the spec line's expected grid — including
+/// groups with no records at all (n = 0). Empty when the store is complete
+/// or the spec line carries no grid shape. Classes with no records anywhere
+/// cannot be named (the spec line stores only their count); write_report
+/// reports their count in a note.
+Table missing_cells_table(const CampaignDataset& dataset);
 
 /// Dolan-Moré performance profile over the whole grid: one row per
 /// scheduler, one column per tau, cells = fraction of (class, repetition)

@@ -5,24 +5,34 @@
 #include <limits>
 
 #include "core/error.h"
+#include "core/table.h"
 
 namespace sehc {
 
 std::vector<AnytimePoint> run_anytime(SearchEngine& engine,
-                                      const Budget& budget) {
+                                      const Budget& budget,
+                                      const Deadline& deadline) {
   CurveRecorder recorder;
-  run_search(engine, budget, [&](const StepStats& stats) {
-    double x = budget_axis_value(budget, stats);
-    // Steps are atomic, so the final step of an eval-budget run can land
-    // past the budget; its improvement counts at the budget itself —
-    // clamping here keeps the curve's x axis monotone and matches the
-    // terminal point below.
-    if (budget.kind == Budget::Kind::kEvals) {
-      x = std::min(x, static_cast<double>(budget.count));
-    }
-    recorder.record(x, stats.best_makespan);
-    return true;
-  });
+  const SearchResult driven = run_search(
+      engine, budget,
+      [&](const StepStats& stats) {
+        double x = budget_axis_value(budget, stats);
+        // Steps are atomic, so the final step of an eval-budget run can land
+        // past the budget; its improvement counts at the budget itself —
+        // clamping here keeps the curve's x axis monotone and matches the
+        // terminal point below.
+        if (budget.kind == Budget::Kind::kEvals) {
+          x = std::min(x, static_cast<double>(budget.count));
+        }
+        recorder.record(x, stats.best_makespan);
+        return true;
+      },
+      deadline);
+  if (driven.timed_out) {
+    throw TimeoutError("deadline of " + format_fixed(deadline.budget_seconds(), 3) +
+                       " s exceeded after " + std::to_string(driven.steps) +
+                       " steps (" + std::to_string(driven.evals) + " evals)");
+  }
 
   double terminal = 0.0;
   switch (budget.kind) {

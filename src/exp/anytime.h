@@ -60,8 +60,13 @@ class CurveRecorder {
 ///
 /// With step or eval budgets the curve is a pure function of the engine's
 /// seed (bit-identical across machines, threads and shards).
+///
+/// When `deadline` is armed and expires before the budget is spent, the run
+/// throws sehc::TimeoutError (the campaign layer's watchdog path: a
+/// timed-out cell is quarantined, not persisted with a half-budget curve).
 std::vector<AnytimePoint> run_anytime(SearchEngine& engine,
-                                      const Budget& budget);
+                                      const Budget& budget,
+                                      const Deadline& deadline = {});
 
 /// Step-function sample: the best value achieved at or before `seconds`.
 /// Defined on every curve, including an empty one: with no point at or

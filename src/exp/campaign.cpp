@@ -1,9 +1,12 @@
 #include "exp/campaign.h"
 
 #include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <limits>
 #include <map>
 #include <sstream>
+#include <thread>
 
 #include "core/error.h"
 #include "core/table.h"
@@ -239,11 +242,26 @@ CampaignRecord CampaignRecord::from_row(const StoreRow& row) {
   return rec;
 }
 
+namespace {
+
+/// Clears the process-global torn-write hook when a chaos run unwinds.
+struct TornHookGuard {
+  bool active = false;
+  ~TornHookGuard() {
+    if (active) set_torn_write_hook({});
+  }
+};
+
+}  // namespace
+
 CampaignRunSummary run_store_grid(
     const SweepGrid& grid, ResultStore& store, const CampaignRunOptions& options,
     std::uint64_t base_seed,
-    const std::function<std::vector<std::string>(const SweepCell&)>& row_fn) {
+    const std::function<std::vector<std::string>(const SweepCell&,
+                                                 const CellContext&)>& row_fn) {
   options.shard.validate();
+  SEHC_CHECK(options.cell_timeout_seconds >= 0.0,
+             "run_store_grid: cell timeout must be >= 0");
   WallTimer timer;
 
   CampaignRunSummary summary;
@@ -262,15 +280,71 @@ CampaignRunSummary run_store_grid(
     pending.resize(options.max_cells);
   }
 
+  TornHookGuard torn_guard;
+  if (options.fault_plan.has_torn_write()) {
+    const FaultPlan plan = options.fault_plan;
+    set_torn_write_hook(
+        [plan](std::size_t cell) { return plan.torn_write(cell); });
+    torn_guard.active = true;
+  }
+
+  std::string quarantine_path = options.quarantine_path;
+  if (quarantine_path.empty() && !store.path().empty()) {
+    quarantine_path = default_quarantine_path(store.path());
+  }
+  QuarantineLog quarantine(quarantine_path);
+  std::atomic<std::size_t> failed{0};
+  std::atomic<std::size_t> retried{0};
+
   SweepOptions sweep_options;
   sweep_options.threads = options.threads;
   sweep_options.base_seed = base_seed;
   sweep_options.progress = options.progress;
+  const std::size_t attempts = options.cell_retries + 1;
   sweep_for_each(grid, pending, sweep_options, [&](const SweepCell& cell) {
-    store.append(StoreRow{cell.index, row_fn(cell)});
+    std::string last_error;
+    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+      CellContext ctx;
+      ctx.attempt = attempt;
+      if (options.cell_timeout_seconds > 0.0) {
+        ctx.deadline = Deadline::after(options.cell_timeout_seconds);
+      }
+      try {
+        apply_cell_fault(options.fault_plan, cell.index, attempt,
+                         ctx.deadline);
+        store.append(StoreRow{cell.index, row_fn(cell, ctx)});
+        if (attempt > 0) retried.fetch_add(1);
+        return;
+      } catch (const std::exception& e) {
+        // Fail-fast mode: rethrow immediately; the sweep layer attaches the
+        // cell's coordinates before propagating to the caller.
+        if (options.strict) throw;
+        last_error = e.what();
+      }
+      if (attempt + 1 < attempts && options.retry_backoff_ms > 0) {
+        // Deterministic exponential backoff: base * 2^attempt ms. Timing
+        // never feeds results (cell seeds are coordinate-derived), so the
+        // sleep only spaces out retries against transient contention.
+        std::this_thread::sleep_for(std::chrono::milliseconds(
+            options.retry_backoff_ms << attempt));
+      }
+    }
+    QuarantineRecord record;
+    record.cell = cell.index;
+    record.coords = describe_coords(grid, cell.coords);
+    if (options.cell_label) record.label = options.cell_label(cell);
+    record.attempts = attempts;
+    record.error = last_error;
+    quarantine.append(std::move(record));
+    failed.fetch_add(1);
   });
 
-  summary.executed_cells = pending.size();
+  quarantine.finalize();
+  summary.failed_cells = failed.load();
+  summary.retried_cells = retried.load();
+  summary.executed_cells = pending.size() - summary.failed_cells;
+  summary.quarantined = quarantine.sorted_records();
+  summary.quarantine_path = quarantine.path();
   summary.seconds = timer.seconds();
   return summary;
 }
@@ -290,7 +364,7 @@ namespace {
 CampaignRecord run_campaign_cell(
     const CampaignSpec& spec,
     const std::map<std::string, SchedulerFactory>& registry,
-    const SweepCell& cell) {
+    const SweepCell& cell, const CellContext& ctx) {
   const std::size_t class_idx = cell.at(0);
   const std::size_t rep = cell.at(1);
   const std::string& scheduler_name = spec.schedulers[cell.at(2)];
@@ -336,7 +410,8 @@ CampaignRecord run_campaign_cell(
 
     const std::unique_ptr<SearchEngine> engine =
         factory.make_engine(w, budget, cell.seed);
-    const std::vector<AnytimePoint> curve = run_anytime(*engine, budget);
+    const std::vector<AnytimePoint> curve =
+        run_anytime(*engine, budget, ctx.deadline);
     rec.makespan = engine->best_makespan();
     rec.evals = engine->evals_used();
     rec.curve = sample_curve(curve, grid);
@@ -375,10 +450,20 @@ CampaignRunSummary run_campaign(const CampaignSpec& spec, ResultStore& store,
                  "' does not match this spec (open it with "
                  "spec.store_schema())");
   const auto registry = scheduler_registry(spec.iterations);
+  CampaignRunOptions run_options = options;
+  if (!run_options.cell_label) {
+    // Resolve cell coordinates to spec names so quarantine records read as
+    // experiment identities, not just grid indices.
+    run_options.cell_label = [&spec](const SweepCell& cell) {
+      return "class=" + spec.classes[cell.at(0)].name +
+             " rep=" + std::to_string(cell.at(1)) +
+             " scheduler=" + spec.schedulers[cell.at(2)];
+    };
+  }
   return run_store_grid(
-      spec.grid(), store, options, spec.base_seed,
-      [&](const SweepCell& cell) {
-        return run_campaign_cell(spec, registry, cell).to_row().fields;
+      spec.grid(), store, run_options, spec.base_seed,
+      [&](const SweepCell& cell, const CellContext& ctx) {
+        return run_campaign_cell(spec, registry, cell, ctx).to_row().fields;
       });
 }
 

@@ -26,6 +26,7 @@
 #include <string>
 #include <vector>
 
+#include "exp/fault.h"
 #include "exp/result_store.h"
 #include "exp/sweep.h"
 #include "workload/params.h"
@@ -140,6 +141,17 @@ struct CampaignRecord {
   static CampaignRecord from_row(const StoreRow& row);
 };
 
+/// Per-attempt execution context handed to a cell's row function. The
+/// deadline is armed from CampaignRunOptions::cell_timeout_seconds; engine
+/// drivers thread it into run_anytime so runaway cells raise TimeoutError
+/// instead of wedging the ThreadPool.
+struct CellContext {
+  /// 0-based execution attempt (0 = first try).
+  std::size_t attempt = 0;
+  /// Watchdog for this attempt; unlimited when no cell timeout is set.
+  Deadline deadline;
+};
+
 struct CampaignRunOptions {
   std::size_t threads = 1;
   ShardPlan shard;
@@ -150,6 +162,29 @@ struct CampaignRunOptions {
   std::size_t max_cells = 0;
   /// Called after each completed cell with (completed, pending_total).
   std::function<void(std::size_t, std::size_t)> progress;
+
+  /// Extra executions after a failed first attempt. Retries re-run the
+  /// identical deterministic computation (cell seeds are pure functions of
+  /// coordinates), so a retry that succeeds yields the exact record the
+  /// first attempt would have — transient faults never perturb results.
+  std::size_t cell_retries = 0;
+  /// Per-attempt watchdog (seconds; 0 = none). Cooperative: checked
+  /// between engine steps, so preemption waits for the running step.
+  double cell_timeout_seconds = 0.0;
+  /// Base backoff before retry r (0-based) sleeps backoff * 2^r ms.
+  std::size_t retry_backoff_ms = 50;
+  /// Fail fast: the first cell failure aborts the run (no retries, no
+  /// quarantine), rethrown with the cell's coordinates attached.
+  bool strict = false;
+  /// Deterministic chaos injection (tests/CI); empty injects nothing.
+  FaultPlan fault_plan;
+  /// Quarantine sidecar path; empty derives `<store path>.failed.csv` for
+  /// file-backed stores (in-memory stores keep records only in the
+  /// summary).
+  std::string quarantine_path;
+  /// Resolves a human label for quarantine records (e.g.
+  /// "class=low-low-0.1 rep=2 scheduler=GA"); run_campaign installs one.
+  std::function<std::string(const SweepCell&)> cell_label;
 };
 
 struct CampaignRunSummary {
@@ -157,16 +192,30 @@ struct CampaignRunSummary {
   std::size_t shard_cells = 0;     // owned by this shard
   std::size_t resumed_cells = 0;   // already in the store, skipped
   std::size_t executed_cells = 0;  // newly computed this run
+  std::size_t failed_cells = 0;    // quarantined after exhausting retries
+  std::size_t retried_cells = 0;   // succeeded on a retry attempt
   double seconds = 0.0;            // wall clock of this run
+  /// Quarantined cells, sorted by cell index.
+  std::vector<QuarantineRecord> quarantined;
+  /// Sidecar the quarantine was written to (empty for in-memory logs).
+  std::string quarantine_path;
 };
 
 /// Generic sharded/resumable grid driver: for every owned cell missing from
 /// `store`, runs `row_fn` and appends (cell, fields). The store's schema
 /// decides identity; callers hash their own spec into it.
+///
+/// Failure isolation: a throwing cell no longer aborts the sweep. It is
+/// retried cell_retries times with exponential backoff, then quarantined to
+/// the sidecar (and counted in failed_cells) while the remaining cells keep
+/// running. executed_cells counts only cells that persisted a record, so a
+/// later run resumes exactly the quarantined cells. `strict` restores the
+/// historical fail-fast behavior.
 CampaignRunSummary run_store_grid(
     const SweepGrid& grid, ResultStore& store, const CampaignRunOptions& options,
     std::uint64_t base_seed,
-    const std::function<std::vector<std::string>(const SweepCell&)>& row_fn);
+    const std::function<std::vector<std::string>(const SweepCell&,
+                                                 const CellContext&)>& row_fn);
 
 /// Scheduler campaign driver. The store must have been opened with
 /// spec.store_schema(). Cells validate their schedules before persisting.

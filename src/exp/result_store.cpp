@@ -1,6 +1,10 @@
 #include "exp/result_store.h"
 
 #include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
@@ -9,6 +13,16 @@
 #include "exp/trace_io.h"
 
 namespace sehc {
+
+namespace {
+// Chaos-test crash injection; see set_torn_write_hook in the header.
+std::function<std::optional<std::size_t>(std::size_t)> g_torn_write_hook;
+}  // namespace
+
+void set_torn_write_hook(
+    std::function<std::optional<std::size_t>(std::size_t)> hook) {
+  g_torn_write_hook = std::move(hook);
+}
 
 std::uint64_t content_hash64(std::string_view text) {
   // FNV-1a, 64-bit: simple, stable across platforms, and good enough for
@@ -220,18 +234,27 @@ ResultStore ResultStore::open(const std::string& path, StoreSchema schema) {
       store.rows_.push_back(std::move(row));
     }
     if (parsed.dropped_truncated_tail) {
-      // Rewrite the file without the torn tail so the append stream below
-      // starts on a clean line boundary.
-      std::ofstream rewrite(path, std::ios::binary | std::ios::trunc);
-      SEHC_CHECK(static_cast<bool>(rewrite),
-                 "ResultStore: cannot rewrite '" + path + "'");
-      store.write_header(rewrite, store.schema_);
-      for (const StoreRow& row : store.rows_) {
-        rewrite << store.format_row(row) << '\n';
+      // Rewrite without the torn tail so the append stream below starts on
+      // a clean line boundary. Write-to-temp + atomic rename: a crash
+      // mid-rewrite must not lose the records that did survive the first
+      // crash, so the original file stays intact until the replacement is
+      // fully flushed.
+      const std::string tmp = path + ".tmp";
+      {
+        std::ofstream rewrite(tmp, std::ios::binary | std::ios::trunc);
+        SEHC_CHECK(static_cast<bool>(rewrite),
+                   "ResultStore: cannot rewrite '" + tmp + "'");
+        store.write_header(rewrite, store.schema_);
+        for (const StoreRow& row : store.rows_) {
+          rewrite << store.format_row(row) << '\n';
+        }
+        rewrite.flush();
+        SEHC_CHECK(static_cast<bool>(rewrite),
+                   "ResultStore: rewrite of '" + tmp + "' failed");
       }
-      rewrite.flush();
-      SEHC_CHECK(static_cast<bool>(rewrite),
-                 "ResultStore: rewrite of '" + path + "' failed");
+      SEHC_CHECK(std::rename(tmp.c_str(), path.c_str()) == 0,
+                 "ResultStore: rename '" + tmp + "' -> '" + path +
+                     "' failed: " + std::strerror(errno));
     }
   }
 
@@ -316,7 +339,20 @@ void ResultStore::append(StoreRow row) {
              "ResultStore::append: cell " + std::to_string(row.cell) +
                  " already present");
   if (out_) {
-    *out_ << format_row(row) << '\n';
+    const std::string line = format_row(row);
+    if (g_torn_write_hook) {
+      if (const auto torn = g_torn_write_hook(row.cell)) {
+        // Simulated crash mid-append: persist only a prefix of the line
+        // (no newline) exactly as a killed flush-per-line writer would,
+        // then die without unwinding. Exit code 17 lets chaos drivers
+        // distinguish the injected kill from a real failure.
+        const std::size_t n = std::min(*torn, line.size());
+        out_->write(line.data(), static_cast<std::streamsize>(n));
+        out_->flush();
+        std::_Exit(17);
+      }
+    }
+    *out_ << line << '\n';
     out_->flush();
     SEHC_CHECK(static_cast<bool>(*out_),
                "ResultStore::append: write to '" + path_ + "' failed");

@@ -23,9 +23,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <iosfwd>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <string>
 #include <string_view>
 #include <unordered_set>
@@ -35,6 +37,15 @@ namespace sehc {
 
 /// FNV-1a 64-bit content hash; used for spec identity.
 std::uint64_t content_hash64(std::string_view text);
+
+/// Process-global crash injection for chaos tests: when a hook is
+/// installed, ResultStore::append consults it with the cell index before
+/// writing. If it returns a prefix length, only that many bytes of the
+/// formatted record line reach the file (no newline), the stream is
+/// flushed, and the process exits immediately with code 17 — simulating a
+/// writer killed mid-append. Pass an empty function to clear.
+void set_torn_write_hook(
+    std::function<std::optional<std::size_t>(std::size_t)> hook);
 
 /// Identity + layout of a store: which spec produced it and what the record
 /// columns are. Two stores are compatible iff kind, spec_hash and columns

@@ -31,6 +31,17 @@ std::uint64_t derive_seed(std::uint64_t base,
                      std::span<const std::size_t>(coords.begin(), coords.size()));
 }
 
+std::string describe_coords(const SweepGrid& grid,
+                            std::span<const std::size_t> coords) {
+  std::string out;
+  for (std::size_t i = 0; i < coords.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += (i < grid.rank() ? grid.axis(i).name : "axis" + std::to_string(i)) +
+           "=" + std::to_string(coords[i]);
+  }
+  return out;
+}
+
 SweepGrid::SweepGrid(std::vector<SweepAxis> axes) {
   for (SweepAxis& axis : axes) add_axis(std::move(axis.name), axis.size);
 }
@@ -113,10 +124,17 @@ void sweep_execute_cells(const SweepGrid& grid,
       cell.index = i;
       cell.coords = grid.coords(i);
       cell.seed = grid.cell_seed(options.base_seed, i);
-      futures.push_back(pool.submit([cell = std::move(cell), &cell_fn,
+      futures.push_back(pool.submit([cell = std::move(cell), &cell_fn, &grid,
                                      &options, &progress_mutex, &completed,
                                      total] {
-        cell_fn(cell);
+        try {
+          cell_fn(cell);
+        } catch (const std::exception& e) {
+          // Attach the cell's identity so the (deterministic, in cell order)
+          // rethrow below names the failing cell, not just the error.
+          throw Error("sweep cell " + std::to_string(cell.index) + " (" +
+                      describe_coords(grid, cell.coords) + "): " + e.what());
+        }
         if (options.progress) {
           std::lock_guard<std::mutex> lock(progress_mutex);
           options.progress(++completed, total);

@@ -38,6 +38,14 @@ std::uint64_t derive_seed(std::uint64_t base,
 std::uint64_t derive_seed(std::uint64_t base,
                           std::initializer_list<std::size_t> coords);
 
+class SweepGrid;
+
+/// Renders a cell's coordinates with the grid's axis names, e.g.
+/// "class=2, rep=7, scheduler=1". Used to attach cell identity to
+/// exceptions and quarantine records.
+std::string describe_coords(const SweepGrid& grid,
+                            std::span<const std::size_t> coords);
+
 /// One axis of a sweep grid: a display name plus its number of points.
 struct SweepAxis {
   std::string name;
@@ -94,7 +102,9 @@ struct SweepOptions {
 
 namespace detail {
 /// Runs cell_fn once per cell on a ThreadPool and waits for every cell to
-/// finish; rethrows the first (in cell order) cell exception afterwards.
+/// finish; rethrows the first (in cell order) cell exception afterwards,
+/// wrapped as sehc::Error with the failing cell's index and axis-named
+/// coordinates prepended (e.g. "sweep cell 4 (i=1): cell failure").
 void sweep_execute(const SweepGrid& grid, const SweepOptions& options,
                    const std::function<void(const SweepCell&)>& cell_fn);
 

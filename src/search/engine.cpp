@@ -7,6 +7,17 @@
 
 namespace sehc {
 
+Deadline Deadline::after(double seconds) {
+  SEHC_CHECK(seconds > 0.0 && std::isfinite(seconds),
+             "Deadline::after: seconds must be positive and finite");
+  Deadline d;
+  d.armed_ = true;
+  d.at_ = clock::now() + std::chrono::duration_cast<clock::duration>(
+                             std::chrono::duration<double>(seconds));
+  d.budget_seconds_ = seconds;
+  return d;
+}
+
 Budget Budget::steps(std::size_t n) {
   Budget b;
   b.kind = Kind::kSteps;
@@ -78,14 +89,21 @@ double budget_axis_value(const Budget& budget, const StepStats& stats) {
 }
 
 SearchResult run_search(SearchEngine& engine, const Budget& budget,
-                        const StepObserver& observer) {
+                        const StepObserver& observer,
+                        const Deadline& deadline) {
   budget.validate();
   engine.init();
+  bool timed_out = false;
   while (!engine.done() && !budget_exhausted(budget, engine)) {
+    if (deadline.expired()) {
+      timed_out = true;
+      break;
+    }
     const StepStats stats = engine.step();
     if (observer && !observer(stats)) break;
   }
   SearchResult result;
+  result.timed_out = timed_out;
   result.best_makespan = engine.best_makespan();
   result.steps = engine.steps_done();
   result.evals = engine.evals_used();

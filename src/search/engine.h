@@ -19,13 +19,57 @@
 // stopping point depends on real time.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <functional>
 #include <string>
 
+#include "core/error.h"
 #include "sched/schedule.h"
 
 namespace sehc {
+
+/// Cooperative wall-clock watchdog checked by the generic step drivers
+/// between engine steps. A default-constructed Deadline is unlimited (the
+/// check is a single branch); an armed one costs one steady_clock read per
+/// step — engine steps are chunky (tens to thousands of evaluator trials),
+/// so the driver overhead stays within the perf_hotpath --check-overhead
+/// gate. This is external preemption: the Budget currencies say how much
+/// work a search MAY do, a Deadline says when the caller stops waiting
+/// (runaway cells, campaign watchdogs, serving timeouts).
+class Deadline {
+ public:
+  /// Unlimited: never expires.
+  Deadline() = default;
+
+  /// Expires `seconds` of wall-clock time from now (must be positive and
+  /// finite; throws sehc::Error otherwise).
+  static Deadline after(double seconds);
+
+  bool unlimited() const { return !armed_; }
+
+  /// True once the wall clock has passed the deadline (always false for an
+  /// unlimited deadline).
+  bool expired() const { return armed_ && clock::now() >= at_; }
+
+  /// The seconds the deadline was armed with (0 when unlimited). Used for
+  /// diagnostics — deterministic, unlike a measured elapsed time.
+  double budget_seconds() const { return budget_seconds_; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  bool armed_ = false;
+  clock::time_point at_{};
+  double budget_seconds_ = 0.0;
+};
+
+/// Thrown by drivers (run_anytime, campaign cells) when a Deadline expires
+/// mid-search. Distinct from Error so isolation layers can label the
+/// failure as a timeout rather than a crash.
+class TimeoutError : public Error {
+ public:
+  explicit TimeoutError(const std::string& what) : Error(what) {}
+};
 
 /// A search budget in one of three currencies.
 ///
@@ -138,11 +182,18 @@ struct SearchResult {
   std::size_t steps = 0;
   std::size_t evals = 0;
   double seconds = 0.0;
+  /// True when the run was preempted by the driver's Deadline rather than
+  /// finishing its budget or stopping on its own. The best-so-far fields
+  /// above are still valid (init() always produces a complete solution).
+  bool timed_out = false;
 };
 
-/// Generic driver: init(), then step() until the engine is done or the
-/// budget is exhausted, invoking `observer` (when set) after each step.
+/// Generic driver: init(), then step() until the engine is done, the budget
+/// is exhausted, or `deadline` expires (checked cooperatively between
+/// steps — a step is atomic, so preemption waits for the running step to
+/// finish). Invokes `observer` (when set) after each step.
 SearchResult run_search(SearchEngine& engine, const Budget& budget,
-                        const StepObserver& observer = {});
+                        const StepObserver& observer = {},
+                        const Deadline& deadline = {});
 
 }  // namespace sehc

@@ -312,7 +312,7 @@ TEST(Campaign, GenericGridDriverShardsAndResumes) {
   schema.spec_line = "generic";
   schema.columns = {"coords", "seed"};
 
-  auto row_fn = [&](const SweepCell& cell) {
+  auto row_fn = [&](const SweepCell& cell, const CellContext&) {
     return std::vector<std::string>{
         std::to_string(cell.at(0)) + ":" + std::to_string(cell.at(1)),
         std::to_string(cell.seed)};

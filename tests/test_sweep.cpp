@@ -119,7 +119,9 @@ TEST(SweepMap, PropagatesFirstCellExceptionAfterDraining) {
     });
     FAIL() << "expected the cell exception to propagate";
   } catch (const std::runtime_error& e) {
-    EXPECT_STREQ(e.what(), "cell failure");
+    // The first failing cell in cell order is 1; its identity (index and
+    // axis-named coordinates) is attached to the propagated error.
+    EXPECT_STREQ(e.what(), "sweep cell 1 (i=1): cell failure");
   }
   // The sweep never abandons in-flight work: every cell ran to completion
   // (or threw) before the exception escaped.

@@ -5,22 +5,32 @@
 #
 #   tools/campaign_fanout.sh --spec scaled-class-grid --shards 4 \
 #       --out grid.csv [--hosts "alpha,beta"] [--bin PATH] [--threads T] \
-#       [--workdir DIR] [-- EXTRA_RUN_ARGS...]
+#       [--workdir DIR] [--retries N] [--backoff SECONDS] \
+#       [--allow-partial] [-- EXTRA_RUN_ARGS...]
 #
 # Without --hosts every shard runs as a local background process (useful to
 # saturate one big machine, and what CI smoke-tests). With --hosts the
-# shards round-robin over the comma-separated SSH hosts: each host must
-# have the sehc_campaign binary at --bin and a writable --workdir; shard
-# stores are copied back with scp before merging.
+# shards round-robin over the comma-separated SSH hosts (empty entries in
+# the list are ignored): each host must have the sehc_campaign binary at
+# --bin and a writable --workdir; shard stores are copied back with scp
+# (retried) before merging.
+#
+# Robustness: a failed shard is relaunched up to --retries times with
+# exponential backoff (resume semantics make a relaunch cheap: completed
+# cells are skipped). A shard that exhausts its retries prints its log tail
+# and the run exits non-zero BEFORE the merge — unless --allow-partial, in
+# which case the surviving shards are merged and a partial-merge report
+# names the failed shards. Shard exit code 3 (quarantined cells) counts as
+# failure: the quarantine sidecars land next to the shard stores.
 #
 # Shards are deterministic (cell seeds derive from grid coordinates), so
 # the merged output is byte-identical to a single-process run of the same
 # spec — rerunning after a partial failure resumes: completed cells are
-# skipped, and the merge only happens once every shard store is present.
+# skipped, and a full merge only happens once every shard store is present.
 set -euo pipefail
 
 usage() {
-  sed -n '2,16p' "$0" | sed 's/^# \{0,1\}//'
+  sed -n '2,29p' "$0" | sed 's/^# \{0,1\}//'
   exit 2
 }
 
@@ -31,6 +41,9 @@ HOSTS=""
 BIN="./build/sehc_campaign"
 WORKDIR=""
 THREADS=0
+RETRIES=0
+BACKOFF=2
+ALLOW_PARTIAL=0
 EXTRA_ARGS=()
 
 while [[ $# -gt 0 ]]; do
@@ -42,6 +55,9 @@ while [[ $# -gt 0 ]]; do
     --bin)     BIN="$2"; shift 2 ;;
     --workdir) WORKDIR="$2"; shift 2 ;;
     --threads) THREADS="$2"; shift 2 ;;
+    --retries) RETRIES="$2"; shift 2 ;;
+    --backoff) BACKOFF="$2"; shift 2 ;;
+    --allow-partial) ALLOW_PARTIAL=1; shift ;;
     --)        shift; EXTRA_ARGS=("$@"); break ;;
     -h|--help) usage ;;
     *) echo "campaign_fanout: unknown option '$1'" >&2; usage ;;
@@ -51,56 +67,163 @@ done
 [[ -n "$SPEC" && -n "$SHARDS" && -n "$OUT" ]] || usage
 [[ "$SHARDS" =~ ^[0-9]+$ && "$SHARDS" -ge 1 ]] || {
   echo "campaign_fanout: --shards must be a positive integer" >&2; exit 2; }
+[[ "$RETRIES" =~ ^[0-9]+$ ]] || {
+  echo "campaign_fanout: --retries must be a non-negative integer" >&2; exit 2; }
 WORKDIR="${WORKDIR:-$(pwd)/fanout-$SPEC}"
 mkdir -p "$WORKDIR"
 
-IFS=',' read -r -a HOST_LIST <<< "$HOSTS"
-NUM_HOSTS=0
-[[ -n "$HOSTS" ]] && NUM_HOSTS="${#HOST_LIST[@]}"
+# Filter empty entries so host lists like "alpha,,beta" or a trailing comma
+# don't produce a shard ssh'ing to the empty string.
+HOST_LIST=()
+if [[ -n "$HOSTS" ]]; then
+  IFS=',' read -r -a RAW_HOSTS <<< "$HOSTS"
+  for h in "${RAW_HOSTS[@]}"; do
+    [[ -n "$h" ]] && HOST_LIST+=("$h")
+  done
+  if [[ ${#HOST_LIST[@]} -eq 0 ]]; then
+    echo "campaign_fanout: --hosts '$HOSTS' contains no usable host" >&2
+    exit 2
+  fi
+fi
+NUM_HOSTS="${#HOST_LIST[@]}"
 
-echo "campaign_fanout: spec=$SPEC shards=$SHARDS" \
+echo "campaign_fanout: spec=$SPEC shards=$SHARDS retries=$RETRIES" \
      "mode=$([[ $NUM_HOSTS -gt 0 ]] && echo "ssh ($NUM_HOSTS hosts)" || echo local)"
 
-PIDS=()
+shard_host() {  # shard index -> host ("" in local mode)
+  [[ $NUM_HOSTS -gt 0 ]] && echo "${HOST_LIST[$(($1 % NUM_HOSTS))]}" || echo ""
+}
+
+# Launches one shard (local or ssh) in the background; sets LAUNCHED_PID.
+# (Must run in the parent shell — a $(...) capture would background the
+# process inside a subshell, and the parent could not wait on it.)
+launch_shard() {
+  local i="$1" attempt="$2"
+  local store="$WORKDIR/shard_${i}_of_${SHARDS}.csv"
+  local log="$WORKDIR/shard_$i.log"
+  local run_args=(run --spec "$SPEC" --shard "$i/$SHARDS" --threads "$THREADS")
+  [[ ${#EXTRA_ARGS[@]} -gt 0 ]] && run_args+=("${EXTRA_ARGS[@]}")
+  if [[ $NUM_HOSTS -gt 0 ]]; then
+    local host; host="$(shard_host "$i")"
+    # %q-quote every word so spaces/metacharacters survive the remote shell.
+    local remote_cmd; remote_cmd=$(printf '%q ' mkdir -p "$WORKDIR")
+    remote_cmd+=" && $(printf '%q ' "$BIN" "${run_args[@]}" --store "$store")"
+    # shellcheck disable=SC2029  # expansion on the client side is intended
+    if [[ "$attempt" -eq 0 ]]; then
+      ssh "$host" "$remote_cmd" > "$log" 2>&1 &
+    else
+      ssh "$host" "$remote_cmd" >> "$log" 2>&1 &
+    fi
+  else
+    if [[ "$attempt" -eq 0 ]]; then
+      "$BIN" "${run_args[@]}" --store "$store" > "$log" 2>&1 &
+    else
+      "$BIN" "${run_args[@]}" --store "$store" >> "$log" 2>&1 &
+    fi
+  fi
+  LAUNCHED_PID=$!
+}
+
+print_log_tail() {
+  local i="$1" log="$WORKDIR/shard_$1.log"
+  echo "campaign_fanout: --- shard $i log tail ($log) ---" >&2
+  tail -n 20 "$log" >&2 || true
+  echo "campaign_fanout: --- end of shard $i log ---" >&2
+}
+
+# Retry loop: every attempt launches the full set of still-failed shards in
+# parallel, waits, and relaunches the survivors' complement after backoff.
+# Resume semantics make relaunches cheap — completed cells are skipped, so
+# a retry only recomputes the cells the failure lost.
+ACTIVE=($(seq 0 $((SHARDS - 1))))
+FAILED_SHARDS=()
+for ((attempt = 0; ; ++attempt)); do
+  PIDS=()
+  for i in "${ACTIVE[@]}"; do
+    launch_shard "$i" "$attempt"
+    PIDS+=("$LAUNCHED_PID")
+  done
+  STILL_FAILED=()
+  for idx in "${!ACTIVE[@]}"; do
+    i="${ACTIVE[$idx]}"
+    if ! wait "${PIDS[$idx]}"; then
+      echo "campaign_fanout: shard $i/$SHARDS failed (attempt $((attempt + 1)))" >&2
+      STILL_FAILED+=("$i")
+    fi
+  done
+  [[ ${#STILL_FAILED[@]} -eq 0 ]] && break
+  if [[ "$attempt" -ge "$RETRIES" ]]; then
+    FAILED_SHARDS=("${STILL_FAILED[@]}")
+    break
+  fi
+  sleep_s=$((BACKOFF << attempt))
+  echo "campaign_fanout: retrying shard(s) ${STILL_FAILED[*]} in ${sleep_s}s" >&2
+  sleep "$sleep_s"
+  ACTIVE=("${STILL_FAILED[@]}")
+done
+
+# Collect remote stores (and any quarantine sidecars) with scp retries.
+fetch() {  # host remote_path local_path -> 0/1
+  local host="$1" remote="$2" local_path="$3" try
+  for try in 1 2 3; do
+    scp -q "$host:$remote" "$local_path" && return 0
+    [[ "$try" -lt 3 ]] && sleep $((BACKOFF * try))
+  done
+  return 1
+}
+
+is_failed() {
+  local i
+  for i in "${FAILED_SHARDS[@]:-}"; do [[ "$i" == "$1" ]] && return 0; done
+  return 1
+}
+
 SHARD_STORES=()
 for ((i = 0; i < SHARDS; ++i)); do
   store="$WORKDIR/shard_${i}_of_${SHARDS}.csv"
-  SHARD_STORES+=("$store")
-  run_args=(run --spec "$SPEC" --shard "$i/$SHARDS" --threads "$THREADS")
-  [[ ${#EXTRA_ARGS[@]} -gt 0 ]] && run_args+=("${EXTRA_ARGS[@]}")
+  is_failed "$i" && continue
   if [[ $NUM_HOSTS -gt 0 ]]; then
-    host="${HOST_LIST[$((i % NUM_HOSTS))]}"
-    remote_store="$WORKDIR/shard_${i}_of_${SHARDS}.csv"
-    # %q-quote every word so spaces/metacharacters survive the remote shell.
-    remote_cmd=$(printf '%q ' mkdir -p "$WORKDIR")
-    remote_cmd+=" && $(printf '%q ' "$BIN" "${run_args[@]}" --store "$remote_store")"
-    # shellcheck disable=SC2029  # expansion on the client side is intended
-    ssh "$host" "$remote_cmd" > "$WORKDIR/shard_$i.log" 2>&1 &
-  else
-    "$BIN" "${run_args[@]}" --store "$store" \
-      > "$WORKDIR/shard_$i.log" 2>&1 &
+    host="$(shard_host "$i")"
+    if ! fetch "$host" "$store" "$store"; then
+      echo "campaign_fanout: scp of shard $i store from $host failed after 3 attempts" >&2
+      FAILED_SHARDS+=("$i")
+      continue
+    fi
+    # Quarantine sidecar is optional (clean shards delete it).
+    scp -q "$host:$store.failed.csv" "$store.failed.csv" 2>/dev/null || true
   fi
-  PIDS+=($!)
+  SHARD_STORES+=("$store")
 done
 
-FAILED=0
-for ((i = 0; i < SHARDS; ++i)); do
-  if ! wait "${PIDS[$i]}"; then
-    echo "campaign_fanout: shard $i/$SHARDS FAILED (log: $WORKDIR/shard_$i.log)" >&2
-    FAILED=1
-  fi
-done
-if [[ $FAILED -ne 0 ]]; then
-  echo "campaign_fanout: rerun the same command to resume failed shards" >&2
-  exit 1
-fi
-
-if [[ $NUM_HOSTS -gt 0 ]]; then
-  for ((i = 0; i < SHARDS; ++i)); do
-    host="${HOST_LIST[$((i % NUM_HOSTS))]}"
-    scp -q "$host:$WORKDIR/shard_${i}_of_${SHARDS}.csv" "${SHARD_STORES[$i]}"
+if [[ ${#FAILED_SHARDS[@]} -gt 0 ]]; then
+  for i in "${FAILED_SHARDS[@]}"; do
+    print_log_tail "$i"
   done
+  if [[ $ALLOW_PARTIAL -eq 0 ]]; then
+    echo "campaign_fanout: ${#FAILED_SHARDS[@]} shard(s) failed" \
+         "(${FAILED_SHARDS[*]}); NOT merging — rerun the same command to" \
+         "resume, or pass --allow-partial to merge the surviving shards" >&2
+    exit 1
+  fi
+  if [[ ${#SHARD_STORES[@]} -eq 0 ]]; then
+    echo "campaign_fanout: every shard failed; nothing to merge" >&2
+    exit 1
+  fi
+  REPORT="$WORKDIR/partial_merge.txt"
+  {
+    echo "partial merge: $((SHARDS - ${#FAILED_SHARDS[@]}))/$SHARDS shards"
+    echo "failed shards: ${FAILED_SHARDS[*]}"
+    for i in "${FAILED_SHARDS[@]}"; do
+      echo "--- shard $i log tail ---"
+      tail -n 20 "$WORKDIR/shard_$i.log" 2>/dev/null || echo "(no log)"
+    done
+  } > "$REPORT"
+  echo "campaign_fanout: partial-merge report -> $REPORT" >&2
 fi
 
 "$BIN" merge --out "$OUT" "${SHARD_STORES[@]}"
-echo "campaign_fanout: merged $SHARDS shard store(s) -> $OUT"
+if [[ ${#FAILED_SHARDS[@]} -gt 0 ]]; then
+  echo "campaign_fanout: PARTIAL merge of ${#SHARD_STORES[@]}/$SHARDS shard store(s) -> $OUT"
+else
+  echo "campaign_fanout: merged $SHARDS shard store(s) -> $OUT"
+fi

@@ -5,7 +5,10 @@
 //   sehc_campaign show  --spec NAME [overrides]
 //   sehc_campaign run   --spec NAME --store PATH [--shard I/N] [--threads T]
 //                       [--max-cells N] [--fresh] [--merged-out PATH]
-//                       [--bench-json PATH] [--progress] [overrides]
+//                       [--bench-json PATH] [--progress]
+//                       [--cell-retries N] [--cell-timeout S]
+//                       [--retry-backoff-ms M] [--strict] [--quarantine P]
+//                       [--fault-plan SPEC] [overrides]
 //   sehc_campaign merge --out PATH STORE...
 //   sehc_campaign table --store PATH [--format md|csv]
 //
@@ -18,6 +21,13 @@
 // store are skipped). `merge` combines shard stores into the canonical
 // byte-stable table; for an iteration-budget spec it is byte-identical to
 // the canonical output of one uninterrupted single-process run.
+//
+// Failure isolation (README "Robustness"): a throwing cell is retried
+// --cell-retries times with exponential backoff, then quarantined to
+// `<store>.failed.csv` while the rest of the shard keeps running; the run
+// exits 3 when any cell was quarantined (rerunning the command retries
+// exactly those cells). --cell-timeout arms a per-cell watchdog; --strict
+// restores fail-fast; --fault-plan injects deterministic chaos (tests/CI).
 #include <cstdio>
 #include <fstream>
 #include <iostream>
@@ -42,6 +52,9 @@ int usage() {
          "  run   --spec NAME --store PATH [--shard I/N] [--threads T]\n"
          "        [--max-cells N] [--fresh] [--merged-out PATH]\n"
          "        [--bench-json PATH] [--progress]\n"
+         "        [--cell-retries N] [--cell-timeout S]\n"
+         "        [--retry-backoff-ms M] [--strict] [--quarantine PATH]\n"
+         "        [--fault-plan SPEC]   (exit 3 = cells quarantined)\n"
          "  merge --out PATH STORE... merge shard stores (canonical output)\n"
          "  table --store PATH [--format md|csv]\n"
          "                            aggregate tables from a store\n"
@@ -125,6 +138,17 @@ int cmd_run(const Options& opts) {
       if (done == total) std::cerr << '\n';
     };
   }
+  run_opts.cell_retries =
+      static_cast<std::size_t>(opts.get_int("cell-retries", 0));
+  run_opts.cell_timeout_seconds = opts.get_double("cell-timeout", 0.0);
+  run_opts.retry_backoff_ms =
+      static_cast<std::size_t>(opts.get_int("retry-backoff-ms", 50));
+  run_opts.strict = opts.has("strict");
+  run_opts.quarantine_path = opts.get("quarantine", "");
+  if (opts.has("fault-plan")) {
+    run_opts.fault_plan = FaultPlan::parse(opts.get("fault-plan", ""));
+    std::cout << "fault plan: " << run_opts.fault_plan.describe() << '\n';
+  }
 
   const CampaignRunSummary summary = run_campaign(spec, store, run_opts);
   const double rate = summary.seconds > 0.0
@@ -138,6 +162,23 @@ int cmd_run(const Options& opts) {
             << summary.executed_cells << " in "
             << format_fixed(summary.seconds, 2) << " s ("
             << format_fixed(rate, 1) << " cells/s)\n";
+  if (summary.retried_cells > 0) {
+    std::cout << "retried: " << summary.retried_cells
+              << " cell(s) succeeded after a failed attempt\n";
+  }
+  if (summary.failed_cells > 0) {
+    std::cout << "FAILED: " << summary.failed_cells
+              << " cell(s) quarantined after "
+              << (run_opts.cell_retries + 1) << " attempt(s) each";
+    if (!summary.quarantine_path.empty()) {
+      std::cout << " -> " << summary.quarantine_path;
+    }
+    std::cout << '\n';
+    for (const QuarantineRecord& q : summary.quarantined) {
+      std::cout << "  cell " << q.cell << " (" << q.coords << ") "
+                << q.label << ": " << q.error << '\n';
+    }
+  }
   std::cout << "store: " << store_path << " (" << store.size()
             << " records)\n";
 
@@ -169,7 +210,9 @@ int cmd_run(const Options& opts) {
        << "}\n";
     std::cout << "bench json: " << out_path << '\n';
   }
-  return 0;
+  // Exit 3 (documented): records were persisted for every healthy cell but
+  // some cells were quarantined — rerunning the same command retries them.
+  return summary.failed_cells > 0 ? 3 : 0;
 }
 
 int cmd_merge(int argc, char** argv) {
@@ -247,7 +290,9 @@ int main(int argc, char** argv) {
         "max-cells", "fresh",     "merged-out",   "bench-json",
         "progress",  "seeds",     "iters",        "evals",
         "curve-points", "base-seed", "tasks",     "machines",
-        "budget",    "out",       "format"};
+        "budget",    "out",       "format",       "cell-retries",
+        "cell-timeout", "retry-backoff-ms", "strict", "quarantine",
+        "fault-plan"};
     const Options opts(argc - 1, argv + 1, known);
     if (command == "show") return cmd_show(opts);
     if (command == "run") return cmd_run(opts);

@@ -24,6 +24,7 @@
 
 #include "analysis/report.h"
 #include "core/error.h"
+#include "exp/fault.h"
 #include "exp/result_store.h"
 
 namespace {
@@ -123,22 +124,42 @@ int run(const Cli& cli) {
   const ResultStore store = ResultStore::merge(cli.stores);
   const CampaignDataset dataset = build_dataset(store);
 
+  // Degraded-mode context: each input store's quarantine sidecar
+  // (`<store>.failed.csv`, written by sehc_campaign when cells exhaust
+  // their retries) feeds the report's missing-cells section. A store
+  // without a sidecar (the healthy case) contributes nothing.
+  Cli enriched = cli;
+  std::vector<std::string> sources;
+  for (const std::string& path : cli.stores) {
+    const std::string sidecar = default_quarantine_path(path);
+    std::vector<QuarantineRecord> records = read_quarantine(sidecar);
+    if (records.empty()) continue;
+    enriched.options.quarantined.insert(enriched.options.quarantined.end(),
+                                        records.begin(), records.end());
+    sources.push_back(sidecar);
+  }
+  for (std::size_t i = 0; i < sources.size(); ++i) {
+    if (i > 0) enriched.options.quarantine_source += ", ";
+    enriched.options.quarantine_source += sources[i];
+  }
+  const ReportOptions& options = enriched.options;
+
   // Render fully before touching --out: a failing command must not
   // truncate or replace a previous good report file.
   std::ostringstream os;
   if (cli.command == "summary") {
-    write_table(os, summary_table(dataset, cli.options), cli.format);
+    write_table(os, summary_table(dataset, options), cli.format);
   } else if (cli.command == "winloss") {
     const Table table = win_loss_table(dataset);
     SEHC_CHECK(table.rows() > 0,
                "winloss: fewer than two schedulers share seeds");
     write_table(os, table, cli.format);
   } else if (cli.command == "crossings") {
-    write_table(os, crossing_table(dataset, cli.options), cli.format);
+    write_table(os, crossing_table(dataset, options), cli.format);
   } else if (cli.command == "profile") {
-    write_table(os, profile_table(dataset, cli.options), cli.format);
+    write_table(os, profile_table(dataset, options), cli.format);
   } else {
-    write_report(os, dataset, cli.options, cli.format);
+    write_report(os, dataset, options, cli.format);
   }
 
   if (cli.out_path.empty()) {
