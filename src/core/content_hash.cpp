@@ -1,0 +1,14 @@
+#include "core/content_hash.h"
+
+namespace sehc {
+
+std::uint64_t content_hash64(std::string_view text) {
+  std::uint64_t hash = 0xcbf29ce484222325ULL;
+  for (const char c : text) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace sehc

@@ -1,0 +1,18 @@
+// Content hashing: the one hashing discipline behind every
+// content-addressed identity in the library — campaign spec / result-store
+// identity (exp/result_store) and the serving layer's request cache keys
+// (serve/cache). Callers build a canonical string (fixed field order, fixed
+// numeric formatting) and hash that, so two semantically identical inputs
+// always collide on purpose and two different inputs practically never do.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+namespace sehc {
+
+/// FNV-1a 64-bit hash. Simple, stable across platforms and standard-library
+/// versions (an integrity/identity check, not a security boundary).
+std::uint64_t content_hash64(std::string_view text);
+
+}  // namespace sehc

@@ -24,17 +24,6 @@ void set_torn_write_hook(
   g_torn_write_hook = std::move(hook);
 }
 
-std::uint64_t content_hash64(std::string_view text) {
-  // FNV-1a, 64-bit: simple, stable across platforms, and good enough for
-  // spec identity (this is an integrity check, not a security boundary).
-  std::uint64_t hash = 0xcbf29ce484222325ULL;
-  for (const char c : text) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 0x100000001b3ULL;
-  }
-  return hash;
-}
-
 bool StoreSchema::compatible_with(const StoreSchema& other) const {
   return kind == other.kind && spec_hash == other.spec_hash &&
          columns == other.columns && volatile_columns == other.volatile_columns;

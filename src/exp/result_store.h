@@ -29,14 +29,14 @@
 #include <mutex>
 #include <optional>
 #include <string>
-#include <string_view>
 #include <unordered_set>
 #include <vector>
 
-namespace sehc {
+// Spec identity is content_hash64(canonical string) — the shared discipline
+// now lives in core so the serving layer's request cache keys the same way.
+#include "core/content_hash.h"
 
-/// FNV-1a 64-bit content hash; used for spec identity.
-std::uint64_t content_hash64(std::string_view text);
+namespace sehc {
 
 /// Process-global crash injection for chaos tests: when a hook is
 /// installed, ResultStore::append consults it with the cell index before

@@ -67,7 +67,7 @@ void GaEngine::init() {
   const Workload& w = *workload_;
   const TaskGraph& g = w.graph();
   rng_ = Rng(params_.seed);
-  eval_.reset_trial_count();
+  eval_.reset_trial_state();
   prepared_lru_.clear();
   timer_.reset();
 

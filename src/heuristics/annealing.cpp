@@ -59,7 +59,7 @@ SaEngine::SaEngine(const Workload& workload, SaParams params)
 void SaEngine::init() {
   const Workload& w = *workload_;
   rng_ = Rng(params_.seed);
-  eval_.reset_trial_count();
+  eval_.reset_trial_state();
   timer_.reset();
 
   current_ = random_initial_solution(w.graph(), w.num_machines(), rng_);

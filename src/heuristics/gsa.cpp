@@ -46,7 +46,7 @@ void GsaEngine::init() {
   const Workload& w = *workload_;
   const TaskGraph& g = w.graph();
   rng_ = Rng(params_.seed);
-  eval_.reset_trial_count();
+  eval_.reset_trial_state();
   timer_.reset();
 
   pop_.clear();

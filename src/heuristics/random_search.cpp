@@ -14,7 +14,7 @@ RandomSearchEngine::RandomSearchEngine(const Workload& workload,
 
 void RandomSearchEngine::init() {
   rng_ = Rng(seed_);
-  eval_.reset_trial_count();
+  eval_.reset_trial_state();
   timer_.reset();
   best_ = SolutionString();
   best_len_ = std::numeric_limits<double>::infinity();

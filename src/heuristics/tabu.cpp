@@ -22,7 +22,7 @@ TabuEngine::TabuEngine(const Workload& workload, TabuParams params)
 void TabuEngine::init() {
   const Workload& w = *workload_;
   rng_ = Rng(params_.seed);
-  eval_.reset_trial_count();
+  eval_.reset_trial_state();
   timer_.reset();
 
   current_ = random_initial_solution(w.graph(), w.num_machines(), rng_);

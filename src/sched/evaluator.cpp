@@ -160,6 +160,19 @@ double Evaluator::makespan(const SolutionString& s) const {
   return run_suffix(s, 0, 0.0, kInf);
 }
 
+void Evaluator::reset_trial_state() const {
+  // clear() keeps capacity: the buffers are re-filled by the next
+  // begin_trials()/prepare() without reallocating, and ready()/the
+  // checkpoint prefix report "no state" until then.
+  cp_avail_.clear();
+  cp_makespan_ = 0.0;
+  cp_prefix_ = 0;
+  prepared_.avail_rows.clear();
+  prepared_.prefix_makespan.clear();
+  prepared_.finish.clear();
+  trial_count_ = 0;
+}
+
 void Evaluator::begin_trials(const SolutionString& s,
                              std::size_t prefix) const {
   const Workload& w = *workload_;

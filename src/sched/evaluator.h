@@ -182,6 +182,15 @@ class Evaluator {
   std::size_t trial_count() const { return trial_count_; }
   void reset_trial_count() const { trial_count_ = 0; }
 
+  /// Releases every piece of per-run trial state — the rolling checkpoint,
+  /// the default prepared snapshots and the trial counter — keeping the
+  /// allocated buffer capacity. Engines call this from init() so a
+  /// re-initialized engine (e.g. a Deadline-preempted run whose worker slot
+  /// the serving layer recycles) can never observe a stale checkpoint or
+  /// prepared snapshot left behind by the preempted run: ready() reports
+  /// false until the new run prepares its own state.
+  void reset_trial_state() const;
+
   const Workload& workload() const { return *workload_; }
 
  private:

@@ -35,7 +35,7 @@ void SeEngine::init_from(SolutionString initial) {
   // The selection stream continues from a distinct sub-seed so that run()
   // and run_from() behave identically given the same initial solution.
   rng_ = Rng(params_.seed).split(0xA110C);
-  evaluator_.reset_trial_count();
+  evaluator_.reset_trial_state();
   timer_.reset();
   current_ = std::move(initial);
   best_solution_ = current_;

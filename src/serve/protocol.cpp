@@ -1,0 +1,395 @@
+#include "serve/protocol.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cinttypes>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <sstream>
+
+namespace sehc {
+
+namespace {
+
+constexpr const char* kFrameMagic = "SEHC1 ";
+constexpr const char* kRequestMagic = "sehc-request v1";
+constexpr const char* kResponseMagic = "sehc-response v1";
+
+[[noreturn]] void proto_fail(const std::string& what) {
+  throw ProtocolError("serve protocol: " + what);
+}
+
+std::string errno_text() { return std::strerror(errno); }
+
+/// Writes the whole buffer, retrying on EINTR / short writes. MSG_NOSIGNAL:
+/// a vanished peer must surface as ProtocolError, not SIGPIPE.
+void send_all(int fd, const char* data, std::size_t n) {
+  while (n > 0) {
+    const ssize_t wrote = ::send(fd, data, n, MSG_NOSIGNAL);
+    if (wrote < 0) {
+      if (errno == EINTR) continue;
+      proto_fail("send failed: " + errno_text());
+    }
+    data += wrote;
+    n -= static_cast<std::size_t>(wrote);
+  }
+}
+
+/// Reads exactly n bytes; returns false on EOF at offset 0, throws on EOF
+/// mid-buffer (a truncated frame is malformed, not a clean close).
+bool recv_exact(int fd, char* data, std::size_t n, const char* what) {
+  std::size_t got = 0;
+  while (got < n) {
+    const ssize_t r = ::recv(fd, data + got, n - got, 0);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      proto_fail(std::string("recv failed: ") + errno_text());
+    }
+    if (r == 0) {
+      if (got == 0) return false;
+      proto_fail(std::string("connection closed mid-") + what + " (got " +
+                 std::to_string(got) + " of " + std::to_string(n) + " bytes)");
+    }
+    got += static_cast<std::size_t>(r);
+  }
+  return true;
+}
+
+double parse_double_field(const std::string& value, const std::string& key) {
+  char* end = nullptr;
+  errno = 0;
+  const double d = std::strtod(value.c_str(), &end);
+  if (value.empty() || end != value.c_str() + value.size() || errno == ERANGE) {
+    proto_fail("bad numeric value '" + value + "' for " + key);
+  }
+  return d;
+}
+
+std::uint64_t parse_u64_field(const std::string& value,
+                              const std::string& key) {
+  char* end = nullptr;
+  errno = 0;
+  const unsigned long long v = std::strtoull(value.c_str(), &end, 10);
+  if (value.empty() || end != value.c_str() + value.size() ||
+      errno == ERANGE || value[0] == '-') {
+    proto_fail("bad unsigned value '" + value + "' for " + key);
+  }
+  return static_cast<std::uint64_t>(v);
+}
+
+bool parse_bool_field(const std::string& value, const std::string& key) {
+  if (value == "0") return false;
+  if (value == "1") return true;
+  proto_fail("bad boolean value '" + value + "' for " + key);
+}
+
+std::string format_double(const char* fmt, double v) {
+  char buf[64];
+  std::snprintf(buf, sizeof buf, fmt, v);
+  return buf;
+}
+
+/// Splits a payload into leading "key=value" lines and an optional tail
+/// section introduced by `section_marker` (e.g. "workload:"); the tail is
+/// everything after the marker line, verbatim.
+struct KvDocument {
+  std::vector<std::pair<std::string, std::string>> fields;
+  bool has_section = false;
+  std::string section;
+};
+
+KvDocument parse_kv_document(const std::string& payload, const char* magic,
+                             const std::string& section_marker) {
+  KvDocument doc;
+  std::size_t pos = 0;
+  bool first = true;
+  while (pos <= payload.size()) {
+    std::size_t eol = payload.find('\n', pos);
+    const bool last = eol == std::string::npos;
+    std::string line = payload.substr(pos, last ? std::string::npos : eol - pos);
+    if (first) {
+      if (line != magic) proto_fail("expected '" + std::string(magic) +
+                                    "' header, got '" + line + "'");
+      first = false;
+    } else if (line == section_marker) {
+      doc.has_section = true;
+      doc.section = last ? std::string() : payload.substr(eol + 1);
+      return doc;
+    } else if (!line.empty()) {
+      const std::size_t eq = line.find('=');
+      if (eq == std::string::npos) {
+        proto_fail("malformed line '" + line + "' (expected key=value)");
+      }
+      doc.fields.emplace_back(line.substr(0, eq), line.substr(eq + 1));
+    }
+    if (last) break;
+    pos = eol + 1;
+  }
+  return doc;
+}
+
+}  // namespace
+
+// --- Framing ---------------------------------------------------------------
+
+void write_frame(int fd, std::string_view payload) {
+  char header[32];
+  const int len = std::snprintf(header, sizeof header, "%s%zu\n", kFrameMagic,
+                                payload.size());
+  send_all(fd, header, static_cast<std::size_t>(len));
+  send_all(fd, payload.data(), payload.size());
+}
+
+std::optional<std::string> read_frame(int fd, std::size_t max_bytes) {
+  // Header: read byte-wise up to the newline. Bounded at 32 bytes — enough
+  // for the magic plus any length within the frame cap — so garbage input
+  // fails fast instead of scanning an unbounded stream for '\n'.
+  char header[32];
+  std::size_t len = 0;
+  for (;;) {
+    if (len == sizeof header) proto_fail("frame header too long");
+    if (!recv_exact(fd, header + len, 1, "frame header")) {
+      if (len == 0) return std::nullopt;  // clean EOF between frames
+      proto_fail("connection closed mid-frame header");
+    }
+    if (header[len] == '\n') break;
+    ++len;
+  }
+  const std::string_view head(header, len);
+  const std::string_view magic(kFrameMagic);
+  if (head.substr(0, magic.size()) != magic) {
+    proto_fail("bad frame magic (expected 'SEHC1 ')");
+  }
+  const std::string count(head.substr(magic.size()));
+  const std::uint64_t payload_len = parse_u64_field(count, "frame length");
+  if (payload_len > max_bytes) {
+    proto_fail("frame of " + std::to_string(payload_len) +
+               " bytes exceeds the " + std::to_string(max_bytes) +
+               "-byte limit");
+  }
+  std::string payload(payload_len, '\0');
+  if (payload_len > 0 && !recv_exact(fd, payload.data(), payload_len,
+                                     "frame payload")) {
+    proto_fail("connection closed before frame payload");
+  }
+  return payload;
+}
+
+int connect_unix(const std::string& path) {
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof addr.sun_path) {
+    proto_fail("socket path '" + path + "' is empty or too long");
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) proto_fail("socket() failed: " + errno_text());
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr) <
+      0) {
+    const std::string why = errno_text();
+    ::close(fd);
+    proto_fail("connect('" + path + "') failed: " + why);
+  }
+  return fd;
+}
+
+// --- Requests --------------------------------------------------------------
+
+std::string ScheduleRequest::budget_token(const Budget& budget) {
+  switch (budget.kind) {
+    case Budget::Kind::kSteps:
+      return "steps:" + std::to_string(budget.count);
+    case Budget::Kind::kEvals:
+      return "evals:" + std::to_string(budget.count);
+    case Budget::Kind::kSeconds:
+      // Fixed 6-decimal form: the token is hashed into the request
+      // identity, so formatting must be canonical (same discipline as
+      // CampaignSpec::canonical_string).
+      return "seconds:" + format_double("%.6f", budget.wall_seconds);
+  }
+  return "?";
+}
+
+Budget ScheduleRequest::parse_budget_token(const std::string& token) {
+  const std::size_t colon = token.find(':');
+  if (colon == std::string::npos) {
+    proto_fail("bad budget '" + token + "' (expected kind:value)");
+  }
+  const std::string kind = token.substr(0, colon);
+  const std::string value = token.substr(colon + 1);
+  Budget budget;
+  if (kind == "steps") {
+    budget = Budget::steps(parse_u64_field(value, "budget steps"));
+  } else if (kind == "evals") {
+    budget = Budget::evals(parse_u64_field(value, "budget evals"));
+  } else if (kind == "seconds") {
+    budget = Budget::seconds(parse_double_field(value, "budget seconds"));
+  } else {
+    proto_fail("unknown budget kind '" + kind + "'");
+  }
+  try {
+    budget.validate();
+  } catch (const Error& e) {
+    proto_fail("invalid budget '" + token + "': " + e.what());
+  }
+  return budget;
+}
+
+std::string ScheduleRequest::serialize() const {
+  std::ostringstream os;
+  os << kRequestMagic << '\n';
+  os << "op=" << op << '\n';
+  os << "engine=" << engine << '\n';
+  os << "seed=" << seed << '\n';
+  os << "y_limit=" << y_limit << '\n';
+  os << "budget=" << budget_token(budget) << '\n';
+  os << "deadline_ms=" << format_double("%.3f", deadline_ms) << '\n';
+  if (!workload_text.empty()) {
+    os << "workload:\n" << workload_text;
+  }
+  return os.str();
+}
+
+ScheduleRequest ScheduleRequest::parse(const std::string& payload) {
+  const KvDocument doc = parse_kv_document(payload, kRequestMagic,
+                                           "workload:");
+  ScheduleRequest req;
+  for (const auto& [key, value] : doc.fields) {
+    if (key == "op") {
+      if (value != "solve" && value != "stats") {
+        proto_fail("unknown op '" + value + "'");
+      }
+      req.op = value;
+    } else if (key == "engine") {
+      req.engine = value;
+    } else if (key == "seed") {
+      req.seed = parse_u64_field(value, key);
+    } else if (key == "y_limit") {
+      req.y_limit = static_cast<std::size_t>(parse_u64_field(value, key));
+    } else if (key == "budget") {
+      req.budget = parse_budget_token(value);
+    } else if (key == "deadline_ms") {
+      req.deadline_ms = parse_double_field(value, key);
+      if (req.deadline_ms < 0.0) proto_fail("deadline_ms must be >= 0");
+    } else {
+      proto_fail("unknown request field '" + key + "'");
+    }
+  }
+  req.workload_text = doc.section;
+  if (req.op == "solve" && req.workload_text.empty()) {
+    proto_fail("solve request carries no workload section");
+  }
+  return req;
+}
+
+std::string ScheduleRequest::canonical_string(
+    const std::string& canonical_workload) const {
+  std::ostringstream os;
+  os << "sehc-serve-request v1\n";
+  os << "engine=" << engine << '\n';
+  os << "seed=" << seed << '\n';
+  os << "y_limit=" << y_limit << '\n';
+  os << "budget=" << budget_token(budget) << '\n';
+  os << "workload:\n" << canonical_workload;
+  return os.str();
+}
+
+// --- Responses -------------------------------------------------------------
+
+const char* to_string(ServeStatus status) {
+  switch (status) {
+    case ServeStatus::kOk:
+      return "ok";
+    case ServeStatus::kOverloaded:
+      return "overloaded";
+    case ServeStatus::kError:
+      return "error";
+  }
+  return "?";
+}
+
+std::string ScheduleResponse::serialize() const {
+  std::ostringstream os;
+  os << kResponseMagic << '\n';
+  os << "status=" << to_string(status) << '\n';
+  if (!error.empty()) {
+    // The payload is line-oriented; fold any newlines an exception message
+    // might carry.
+    std::string flat = error;
+    for (char& c : flat) {
+      if (c == '\n' || c == '\r') c = ' ';
+    }
+    os << "error=" << flat << '\n';
+  }
+  os << "makespan=" << format_double("%.17g", makespan) << '\n';
+  os << "evals=" << evals << '\n';
+  os << "steps=" << steps << '\n';
+  os << "timed_out=" << (timed_out ? 1 : 0) << '\n';
+  os << "cache_hit=" << (cache_hit ? 1 : 0) << '\n';
+  os << "queue_ms=" << format_double("%.3f", queue_ms) << '\n';
+  os << "solve_ms=" << format_double("%.3f", solve_ms) << '\n';
+  for (const auto& [key, value] : extra) {
+    os << key << '=' << value << '\n';
+  }
+  if (!schedule_csv.empty()) {
+    os << "schedule:\n" << schedule_csv;
+  }
+  return os.str();
+}
+
+ScheduleResponse ScheduleResponse::parse(const std::string& payload) {
+  const KvDocument doc = parse_kv_document(payload, kResponseMagic,
+                                           "schedule:");
+  ScheduleResponse resp;
+  bool saw_status = false;
+  for (const auto& [key, value] : doc.fields) {
+    if (key == "status") {
+      if (value == "ok") {
+        resp.status = ServeStatus::kOk;
+      } else if (value == "overloaded") {
+        resp.status = ServeStatus::kOverloaded;
+      } else if (value == "error") {
+        resp.status = ServeStatus::kError;
+      } else {
+        proto_fail("unknown status '" + value + "'");
+      }
+      saw_status = true;
+    } else if (key == "error") {
+      resp.error = value;
+    } else if (key == "makespan") {
+      resp.makespan = parse_double_field(value, key);
+    } else if (key == "evals") {
+      resp.evals = parse_u64_field(value, key);
+    } else if (key == "steps") {
+      resp.steps = parse_u64_field(value, key);
+    } else if (key == "timed_out") {
+      resp.timed_out = parse_bool_field(value, key);
+    } else if (key == "cache_hit") {
+      resp.cache_hit = parse_bool_field(value, key);
+    } else if (key == "queue_ms") {
+      resp.queue_ms = parse_double_field(value, key);
+    } else if (key == "solve_ms") {
+      resp.solve_ms = parse_double_field(value, key);
+    } else {
+      resp.extra.emplace_back(key, value);
+    }
+  }
+  if (!saw_status) proto_fail("response carries no status field");
+  resp.schedule_csv = doc.section;
+  return resp;
+}
+
+ScheduleResponse call_server(int fd, const ScheduleRequest& request) {
+  write_frame(fd, request.serialize());
+  std::optional<std::string> payload = read_frame(fd);
+  if (!payload) {
+    proto_fail("connection closed before a response arrived");
+  }
+  return ScheduleResponse::parse(*payload);
+}
+
+}  // namespace sehc

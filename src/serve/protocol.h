@@ -1,0 +1,143 @@
+// Wire protocol of the scheduling service (tools/sehc_serve).
+//
+// Transport: a local SOCK_STREAM Unix-domain socket carrying length-prefixed
+// frames. Each frame is one ASCII header line
+//
+//   SEHC1 <payload-bytes>\n
+//
+// followed by exactly that many payload bytes. The prefix makes framing
+// unambiguous for payloads that themselves contain newlines (workload
+// documents, schedule CSVs); the text header keeps the stream inspectable
+// with socat/strace. Malformed input — wrong magic, non-numeric or oversized
+// length, EOF mid-header or mid-payload — raises ProtocolError loudly
+// instead of desynchronizing; the server answers by closing the connection
+// (once framing is broken the stream cannot be trusted).
+//
+// Payloads are key=value documents:
+//
+//   sehc-request v1              sehc-response v1
+//   op=solve                     status=ok | overloaded | error
+//   engine=SE                    makespan=... evals=... steps=...
+//   seed=42                      timed_out=0|1 cache_hit=0|1
+//   y_limit=0                    queue_ms=... solve_ms=...
+//   budget=evals:20000           <extra k=v lines (stats endpoint)>
+//   deadline_ms=250              schedule:
+//   workload:                    task,name,machine,start,finish CSV
+//   <sehc-workload v1 document>  ...
+//
+// Request identity (the response-cache key) is
+// content_hash64(canonical_request_string()): the workload re-serialized
+// through workload_to_string (so formatting differences in the submitted
+// document cannot split the cache) plus engine/seed/y_limit/budget in fixed
+// order. deadline_ms is deliberately excluded — a deadline bounds how long
+// the caller waits, not what the fully-solved answer is, so a cached
+// complete answer may legitimately serve a later deadline-limited request.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/error.h"
+#include "search/engine.h"
+
+namespace sehc {
+
+/// Malformed frame or payload: wrong magic, bad length, truncated stream.
+class ProtocolError : public Error {
+ public:
+  explicit ProtocolError(const std::string& what) : Error(what) {}
+};
+
+// --- Framing ---------------------------------------------------------------
+
+/// Hard cap every reader enforces; requests carrying full workload matrices
+/// for paper-scale instances are well under 1 MiB.
+constexpr std::size_t kMaxFrameBytes = 16u << 20;
+
+/// Writes one frame (header + payload) to a socket fd. Throws ProtocolError
+/// when the peer is gone (EPIPE/ECONNRESET) or on any other write failure.
+void write_frame(int fd, std::string_view payload);
+
+/// Reads one frame from a socket fd. Returns std::nullopt on clean EOF
+/// (connection closed between frames); throws ProtocolError on malformed
+/// headers, payloads larger than `max_bytes`, or EOF mid-frame.
+std::optional<std::string> read_frame(int fd,
+                                      std::size_t max_bytes = kMaxFrameBytes);
+
+/// Connects to a Unix-domain socket path. Throws ProtocolError on failure
+/// (absent socket, path too long for sockaddr_un, refused connection).
+int connect_unix(const std::string& path);
+
+// --- Requests --------------------------------------------------------------
+
+struct ScheduleRequest {
+  /// "solve" answers with a schedule; "stats" answers with the server's
+  /// counters in the response's extra fields (no workload needed).
+  std::string op = "solve";
+  /// Scheduler registry name ("SE", "GA", ..., "HEFT", "MinMin", ...).
+  std::string engine = "SE";
+  std::uint64_t seed = 1;
+  /// SE's Y parameter (ignored by every other engine; 0 = all machines).
+  std::size_t y_limit = 0;
+  Budget budget = Budget::steps(150);
+  /// Caller latency bound in milliseconds (0 = none): the solve is
+  /// preempted by a Deadline when it expires and answered with the
+  /// incumbent best() plus timed_out=1.
+  double deadline_ms = 0.0;
+  /// A "sehc-workload v1" document (hc/workload_io.h). Required for solve.
+  std::string workload_text;
+
+  std::string serialize() const;
+  /// Throws ProtocolError on unknown keys, missing sections or bad values.
+  static ScheduleRequest parse(const std::string& payload);
+
+  /// "steps:N" / "evals:N" / "seconds:S" <-> Budget.
+  static std::string budget_token(const Budget& budget);
+  static Budget parse_budget_token(const std::string& token);
+
+  /// Canonical identity string (see file header); `canonical_workload` must
+  /// be the workload re-serialized via workload_to_string.
+  std::string canonical_string(const std::string& canonical_workload) const;
+};
+
+// --- Responses -------------------------------------------------------------
+
+enum class ServeStatus { kOk, kOverloaded, kError };
+
+const char* to_string(ServeStatus status);
+
+struct ScheduleResponse {
+  ServeStatus status = ServeStatus::kOk;
+  /// Human-readable cause for kError (and the "draining" overload note).
+  std::string error;
+  double makespan = 0.0;
+  std::uint64_t evals = 0;
+  /// Engine steps of the solve that produced the schedule.
+  std::uint64_t steps = 0;
+  /// Deadline preempted the solve; the schedule is the incumbent best.
+  bool timed_out = false;
+  /// Served from the response cache (bit-identical to the cold solve).
+  bool cache_hit = false;
+  /// Milliseconds between admission and the solve starting (0 on hits).
+  double queue_ms = 0.0;
+  /// Milliseconds the solve itself took (0 on hits).
+  double solve_ms = 0.0;
+  /// Additional key=value pairs (the stats endpoint's counters), emitted in
+  /// the order given.
+  std::vector<std::pair<std::string, std::string>> extra;
+  /// write_schedule_csv document (empty for stats/error responses).
+  std::string schedule_csv;
+
+  std::string serialize() const;
+  static ScheduleResponse parse(const std::string& payload);
+};
+
+/// One round-trip: write the request frame, read the response frame.
+/// Throws ProtocolError on transport failure or a connection closed before
+/// the response arrived.
+ScheduleResponse call_server(int fd, const ScheduleRequest& request);
+
+}  // namespace sehc

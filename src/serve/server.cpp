@@ -1,0 +1,537 @@
+#include "serve/server.h"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <future>
+#include <sstream>
+
+#include "core/content_hash.h"
+#include "core/error.h"
+#include "exp/trace_io.h"
+#include "hc/workload_io.h"
+#include "heuristics/scheduler.h"
+#include "sched/validate.h"
+#include "search/engine.h"
+
+namespace sehc {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+/// poll() for readability with EINTR handling; false on timeout.
+bool poll_readable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLIN, 0};
+  for (;;) {
+    const int r = ::poll(&pfd, 1, timeout_ms);
+    if (r < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    return r > 0;
+  }
+}
+
+void raise_max(std::atomic<std::uint64_t>& target, std::uint64_t value) {
+  std::uint64_t seen = target.load();
+  while (value > seen && !target.compare_exchange_weak(seen, value)) {
+  }
+}
+
+}  // namespace
+
+/// Outcome of one solve, fanned out to every coalesced waiter.
+struct SolveOutcome {
+  bool ok = false;
+  std::string error;
+  CachedSolve result;
+  bool timed_out = false;
+  Clock::time_point solve_start{};
+  Clock::time_point solve_end{};
+};
+
+/// One admitted cache-miss request plus everyone waiting on it.
+struct Server::InFlight {
+  std::uint64_t hash = 0;
+  std::string canonical;
+  ScheduleRequest request;                   // workload_text cleared
+  std::shared_ptr<const Workload> workload;  // parsed once, shared
+  std::vector<std::promise<SolveOutcome>> promises;  // guarded by inflight_mutex_
+};
+
+/// Per-worker reusable state. A slot is exclusively owned by one solve at a
+/// time (the dispatcher acquires it before submitting), so no locking. The
+/// retained engine answers the one traffic pattern the response cache
+/// cannot: an identical request re-solving because the previous attempt was
+/// deadline-preempted (timed-out responses are not cached). Retention
+/// policy is the safety half of that feature: a preempted run's engine is
+/// dropped on the spot — together with engines resetting their evaluator
+/// trial state on init() — so a recycled slot can never expose a stale
+/// prepared snapshot to the next request.
+struct Server::WorkerSlot {
+  std::uint64_t request_hash = 0;  // identity of the retained engine
+  std::shared_ptr<const Workload> workload;
+  std::unique_ptr<SearchEngine> engine;
+
+  void reset() {
+    engine.reset();
+    workload.reset();
+    request_hash = 0;
+  }
+};
+
+Server::Server(ServeOptions options)
+    : options_(std::move(options)),
+      cache_(options_.cache_capacity),
+      workload_cache_(options_.workload_cache_capacity),
+      queue_(options_.queue_capacity) {
+  SEHC_CHECK(!options_.socket_path.empty(), "Server: socket_path is empty");
+  SEHC_CHECK(options_.threads > 0, "Server: need at least one worker thread");
+  SEHC_CHECK(options_.batch_max > 0, "Server: batch_max must be >= 1");
+}
+
+Server::~Server() {
+  if (started_.load() && !joined_.load()) {
+    request_drain();
+    join();
+  }
+}
+
+void Server::start() {
+  SEHC_CHECK(!started_.load(), "Server: start() called twice");
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  SEHC_CHECK(options_.socket_path.size() < sizeof addr.sun_path,
+             "Server: socket path too long for sockaddr_un: " +
+                 options_.socket_path);
+  std::memcpy(addr.sun_path, options_.socket_path.c_str(),
+              options_.socket_path.size() + 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  SEHC_CHECK(listen_fd_ >= 0,
+             std::string("Server: socket() failed: ") + std::strerror(errno));
+  ::unlink(options_.socket_path.c_str());
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof addr) < 0 ||
+      ::listen(listen_fd_, 128) < 0) {
+    const std::string why = std::strerror(errno);
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    SEHC_CHECK(false, "Server: bind/listen('" + options_.socket_path +
+                          "') failed: " + why);
+  }
+
+  pool_ = std::make_unique<ThreadPool>(options_.threads);
+  slots_.clear();
+  free_slots_.clear();
+  for (std::size_t i = 0; i < options_.threads; ++i) {
+    slots_.push_back(std::make_unique<WorkerSlot>());
+    free_slots_.push_back(options_.threads - 1 - i);  // pop_back yields 0..n
+  }
+
+  started_.store(true);
+  dispatch_thread_ = std::thread([this] { dispatch_loop(); });
+  accept_thread_ = std::thread([this] { accept_loop(); });
+}
+
+void Server::request_drain() { draining_.store(true); }
+
+void Server::join() {
+  SEHC_CHECK(started_.load(), "Server: join() before start()");
+  if (joined_.exchange(true)) return;
+
+  // Shutdown order matters: connections stop admitting new work once
+  // draining_ is set; after every connection thread has exited nothing can
+  // push, so closing the queue lets the dispatcher drain what remains and
+  // exit; destroying the pool then waits for the last solve, whose promise
+  // every waiter has already consumed (waiters are the connection threads,
+  // all gone by then — their futures were fulfilled before they exited).
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (;;) {
+    std::vector<std::thread> threads;
+    {
+      std::lock_guard<std::mutex> lock(conn_mutex_);
+      threads.swap(connection_threads_);
+    }
+    if (threads.empty()) break;
+    for (std::thread& t : threads) t.join();
+  }
+  queue_.close();
+  if (dispatch_thread_.joinable()) dispatch_thread_.join();
+  pool_.reset();  // joins workers; all submitted solves have finished
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  ::unlink(options_.socket_path.c_str());
+}
+
+void Server::accept_loop() {
+  while (!draining_.load()) {
+    if (!poll_readable(listen_fd_, 100)) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;  // EINTR / racing shutdown
+    connections_.fetch_add(1);
+    if (open_connections_.load() >= options_.max_connections) {
+      // Connection-level shedding: answer before the client blocks on us.
+      ScheduleResponse resp;
+      resp.status = ServeStatus::kOverloaded;
+      resp.error = "connection limit reached";
+      try {
+        write_frame(fd, resp.serialize());
+      } catch (const ProtocolError&) {
+      }
+      ::close(fd);
+      shed_.fetch_add(1);
+      continue;
+    }
+    open_connections_.fetch_add(1);
+    std::lock_guard<std::mutex> lock(conn_mutex_);
+    connection_threads_.emplace_back([this, fd] { connection_loop(fd); });
+  }
+}
+
+void Server::connection_loop(int fd) {
+  for (;;) {
+    if (!poll_readable(fd, 100)) {
+      if (draining_.load()) break;
+      continue;
+    }
+    std::optional<std::string> payload;
+    try {
+      payload = read_frame(fd, options_.max_frame_bytes);
+    } catch (const ProtocolError&) {
+      // Framing is broken; the stream cannot be re-synchronized. Drop the
+      // connection loudly (counted) rather than guessing at a boundary.
+      protocol_errors_.fetch_add(1);
+      break;
+    }
+    if (!payload) break;  // clean EOF
+    try {
+      handle_payload(fd, *payload);
+    } catch (const ProtocolError&) {
+      // Response write failed: peer vanished mid-reply.
+      protocol_errors_.fetch_add(1);
+      break;
+    }
+  }
+  ::close(fd);
+  open_connections_.fetch_sub(1);
+}
+
+void Server::handle_payload(int fd, const std::string& payload) {
+  ScheduleRequest request;
+  try {
+    request = ScheduleRequest::parse(payload);
+  } catch (const Error& e) {
+    // Parseable frame, malformed request document: the stream is still in
+    // sync, so answer with an error instead of dropping the connection.
+    errors_.fetch_add(1);
+    ScheduleResponse resp;
+    resp.status = ServeStatus::kError;
+    resp.error = e.what();
+    write_frame(fd, resp.serialize());
+    return;
+  }
+  requests_.fetch_add(1);
+  if (request.op == "stats") {
+    respond_stats(fd);
+    return;
+  }
+  handle_solve(fd, request);
+}
+
+void Server::handle_solve(int fd, const ScheduleRequest& request) {
+  const Clock::time_point arrival = Clock::now();
+  ScheduleResponse resp;
+
+  // Parse (or recall) the workload and canonicalize the request. The
+  // workload cache is keyed by the raw document bytes: repeated bodies skip
+  // the matrix parse even when engine/seed/budget differ.
+  std::shared_ptr<const Workload> workload;
+  const std::uint64_t body_hash = content_hash64(request.workload_text);
+  try {
+    if (auto cached = workload_cache_.lookup(body_hash,
+                                             request.workload_text)) {
+      workload = *cached;
+    } else {
+      workload = std::make_shared<const Workload>(
+          workload_from_string(request.workload_text));
+      workload_cache_.insert(body_hash, request.workload_text, workload);
+    }
+  } catch (const std::exception& e) {
+    errors_.fetch_add(1);
+    resp.status = ServeStatus::kError;
+    resp.error = std::string("workload: ") + e.what();
+    write_frame(fd, resp.serialize());
+    return;
+  }
+
+  const std::string canonical =
+      request.canonical_string(workload_to_string(*workload));
+  const std::uint64_t hash = content_hash64(canonical);
+
+  // Response cache: a hit IS the cold solve's deterministic bytes.
+  if (auto cached = cache_.lookup(hash, canonical)) {
+    resp.status = ServeStatus::kOk;
+    resp.makespan = cached->makespan;
+    resp.evals = cached->evals;
+    resp.steps = cached->steps;
+    resp.schedule_csv = cached->schedule_csv;
+    resp.cache_hit = true;
+    completed_.fetch_add(1);
+    write_frame(fd, resp.serialize());
+    return;
+  }
+
+  if (draining_.load()) {
+    shed_.fetch_add(1);
+    resp.status = ServeStatus::kOverloaded;
+    resp.error = "server is draining";
+    write_frame(fd, resp.serialize());
+    return;
+  }
+
+  // Admission + single-flight under one lock: either attach to an in-flight
+  // identical request, or register and enqueue a new entry. Holding the
+  // lock across try_push keeps attach/shed races out.
+  std::future<SolveOutcome> future;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    auto it = inflight_.find(hash);
+    if (it != inflight_.end() && it->second->canonical == canonical) {
+      it->second->promises.emplace_back();
+      future = it->second->promises.back().get_future();
+      coalesced_.fetch_add(1);
+    } else {
+      auto entry = std::make_shared<InFlight>();
+      entry->hash = hash;
+      entry->canonical = canonical;
+      entry->request = request;
+      entry->request.workload_text.clear();  // parsed copy travels instead
+      entry->workload = workload;
+      entry->promises.emplace_back();
+      future = entry->promises.back().get_future();
+      if (!queue_.try_push(entry)) {
+        shed_.fetch_add(1);
+        resp.status = ServeStatus::kOverloaded;
+        resp.error = "admission queue full";
+        write_frame(fd, resp.serialize());
+        return;
+      }
+      inflight_[hash] = std::move(entry);
+    }
+  }
+
+  const SolveOutcome outcome = future.get();
+  if (!outcome.ok) {
+    errors_.fetch_add(1);
+    resp.status = ServeStatus::kError;
+    resp.error = outcome.error;
+    write_frame(fd, resp.serialize());
+    return;
+  }
+  resp.status = ServeStatus::kOk;
+  resp.makespan = outcome.result.makespan;
+  resp.evals = outcome.result.evals;
+  resp.steps = outcome.result.steps;
+  resp.schedule_csv = outcome.result.schedule_csv;
+  resp.timed_out = outcome.timed_out;
+  // Per-request accounting: queue wait is from THIS request's arrival (a
+  // coalesced rider waited less than the request that started the solve).
+  resp.queue_ms = std::max(0.0, ms_between(arrival, outcome.solve_start));
+  resp.solve_ms = ms_between(outcome.solve_start, outcome.solve_end);
+  completed_.fetch_add(1);
+  write_frame(fd, resp.serialize());
+}
+
+void Server::dispatch_loop() {
+  std::vector<std::shared_ptr<InFlight>> batch;
+  while (queue_.pop_batch(batch, options_.batch_max) > 0) {
+    batches_.fetch_add(1);
+    raise_max(max_batch_, batch.size());
+    for (std::shared_ptr<InFlight>& entry : batch) {
+      const std::size_t slot = acquire_slot();
+      std::shared_ptr<InFlight> task_entry = std::move(entry);
+      pool_->submit([this, slot, task_entry] {
+        solve_on_slot(slot, task_entry);
+        release_slot(slot);
+      });
+    }
+    batch.clear();
+  }
+}
+
+std::size_t Server::acquire_slot() {
+  std::unique_lock<std::mutex> lock(slot_mutex_);
+  slot_cv_.wait(lock, [this] { return !free_slots_.empty(); });
+  const std::size_t slot = free_slots_.back();
+  free_slots_.pop_back();
+  return slot;
+}
+
+void Server::release_slot(std::size_t slot_index) {
+  {
+    std::lock_guard<std::mutex> lock(slot_mutex_);
+    free_slots_.push_back(slot_index);
+  }
+  slot_cv_.notify_one();
+}
+
+void Server::solve_on_slot(std::size_t slot_index,
+                           const std::shared_ptr<InFlight>& entry) {
+  WorkerSlot& slot = *slots_[slot_index];
+  SolveOutcome outcome;
+  outcome.solve_start = Clock::now();
+  try {
+    const ScheduleRequest& req = entry->request;
+    // Warm slot: an engine retained from a previous solve of this exact
+    // request identity (the deadline-preempted-retry pattern; see
+    // WorkerSlot). run_search() re-init()s it, which restores the full RNG
+    // and evaluator state of a cold start.
+    if (slot.engine && slot.request_hash == entry->hash) {
+      slot_reuses_.fetch_add(1);
+    } else {
+      slot.reset();
+      slot.workload = entry->workload;
+      if (is_search_engine_name(req.engine)) {
+        slot.engine = make_search_engine(req.engine, *slot.workload,
+                                         req.budget, req.seed, req.y_limit);
+      } else {
+        // One-shot schedulers (HEFT, CPOP, DLS, level mappers) ride as
+        // degenerate single-step engines.
+        bool found = false;
+        for (SchedulerFactory& factory : make_all_scheduler_factories(1)) {
+          if (factory.name == req.engine) {
+            slot.engine = factory.make_engine(*slot.workload, req.budget,
+                                              req.seed);
+            found = true;
+            break;
+          }
+        }
+        SEHC_CHECK(found, "unknown engine '" + req.engine + "'");
+      }
+      slot.request_hash = entry->hash;
+    }
+
+    Deadline deadline;
+    if (req.deadline_ms > 0.0) {
+      deadline = Deadline::after(req.deadline_ms / 1000.0);
+    } else if (options_.default_deadline_seconds > 0.0) {
+      deadline = Deadline::after(options_.default_deadline_seconds);
+    }
+
+    const SearchResult result = run_search(*slot.engine, req.budget, {},
+                                           deadline);
+    const std::vector<std::string> violations =
+        validate_schedule(*slot.workload, result.schedule);
+    SEHC_CHECK(violations.empty(),
+               "engine produced an invalid schedule: " + violations.front());
+
+    std::ostringstream csv;
+    write_schedule_csv(csv, *slot.workload, result.schedule);
+    outcome.ok = true;
+    outcome.timed_out = result.timed_out;
+    outcome.result.makespan = result.best_makespan;
+    outcome.result.evals = result.evals;
+    outcome.result.steps = result.steps;
+    outcome.result.schedule_csv = csv.str();
+
+    if (result.timed_out) {
+      timeouts_.fetch_add(1);
+      // Release the preempted engine: its evaluator may hold a prepared
+      // snapshot of the aborted run, and the next occupant of this slot
+      // must start from nothing (see WorkerSlot).
+      slot.reset();
+    }
+  } catch (const std::exception& e) {
+    outcome.ok = false;
+    outcome.error = e.what();
+    slot.reset();
+  }
+  outcome.solve_end = Clock::now();
+
+  // Cache before unregistering so a request arriving in the gap either
+  // attaches (pre-erase) or hits the cache (post-insert) — never re-solves.
+  if (outcome.ok && !outcome.timed_out) {
+    cache_.insert(entry->hash, entry->canonical, outcome.result);
+  }
+  std::vector<std::promise<SolveOutcome>> promises;
+  {
+    std::lock_guard<std::mutex> lock(inflight_mutex_);
+    inflight_.erase(entry->hash);
+    promises = std::move(entry->promises);
+  }
+  for (std::promise<SolveOutcome>& p : promises) p.set_value(outcome);
+}
+
+void Server::respond_stats(int fd) {
+  const ServerStats s = stats_snapshot();
+  ScheduleResponse resp;
+  resp.status = ServeStatus::kOk;
+  auto add = [&resp](const char* key, std::uint64_t value) {
+    resp.extra.emplace_back(key, std::to_string(value));
+  };
+  add("connections", s.connections);
+  add("requests", s.requests);
+  add("completed", s.completed);
+  add("shed", s.shed);
+  add("errors", s.errors);
+  add("timeouts", s.timeouts);
+  add("protocol_errors", s.protocol_errors);
+  add("serve_cache_hits", s.cache_hits);
+  add("serve_cache_misses", s.cache_misses);
+  add("serve_cache_size", s.cache_size);
+  add("coalesced", s.coalesced);
+  add("batches", s.batches);
+  add("max_batch", s.max_batch);
+  add("slot_reuses", s.slot_reuses);
+  add("workload_cache_hits", s.workload_cache_hits);
+  add("queue_depth", s.queue_depth);
+  add("queue_peak", s.queue_peak);
+  add("pool_pending", s.pool_pending);
+  add("pool_active", s.pool_active);
+  add("draining", s.draining ? 1 : 0);
+  completed_.fetch_add(1);
+  write_frame(fd, resp.serialize());
+}
+
+ServerStats Server::stats_snapshot() const {
+  ServerStats s;
+  s.connections = connections_.load();
+  s.requests = requests_.load();
+  s.completed = completed_.load();
+  s.shed = shed_.load();
+  s.errors = errors_.load();
+  s.timeouts = timeouts_.load();
+  s.protocol_errors = protocol_errors_.load();
+  s.cache_hits = cache_.hits();
+  s.cache_misses = cache_.misses();
+  s.cache_size = cache_.size();
+  s.coalesced = coalesced_.load();
+  s.batches = batches_.load();
+  s.max_batch = max_batch_.load();
+  s.slot_reuses = slot_reuses_.load();
+  s.workload_cache_hits = workload_cache_.hits();
+  s.queue_depth = queue_.depth();
+  s.queue_peak = queue_.peak_depth();
+  if (pool_) {
+    s.pool_pending = pool_->pending();
+    s.pool_active = pool_->active();
+  }
+  s.draining = draining_.load();
+  return s;
+}
+
+}  // namespace sehc

@@ -1,0 +1,186 @@
+// The scheduling service: a long-running server answering schedule requests
+// over a Unix-domain socket (see serve/protocol.h for the wire format).
+//
+// Request path:
+//
+//   connection thread                dispatcher            ThreadPool worker
+//   -----------------                ----------            -----------------
+//   read frame, parse request
+//   parse workload (LRU by body)
+//   canonicalize + content-hash
+//   response cache lookup --hit--> reply (bit-identical to the cold solve)
+//   single-flight: identical
+//     request already in flight? --> attach, wait  <------ fulfil promises
+//   admission: bounded queue;
+//     full -> reply `overloaded`
+//   wait on promise                  pop_batch(),
+//                                    acquire worker slot,
+//                                    submit solve  ------>  run_search with
+//                                                           Deadline armed,
+//                                                           render schedule,
+//                                                           cache, fulfil
+//
+// Production properties this file owns:
+//   * admission control — at most queue_capacity requests wait; excess load
+//     is shed with an immediate `overloaded` reply instead of queueing into
+//     unbounded latency;
+//   * batched dispatch — the dispatcher drains every queued request (up to
+//     batch_max) in one queue acquisition and feeds free worker slots;
+//   * single-flight coalescing — concurrent identical requests (same
+//     content hash) ride one solve and each get their own response;
+//   * response caching — ContentLru keyed by request content hash; hits are
+//     bit-identical to the cold solve (deterministic fields are cached
+//     verbatim). Timed-out solves are never cached: their incumbent depends
+//     on wall clock, and the next identical request deserves a full solve;
+//   * deadline preemption — every solve runs under run_search with the
+//     request's Deadline armed, so an expired deadline answers early with
+//     the incumbent best() and timed_out=1;
+//   * worker-slot hygiene — slots retain the parsed workload and engine for
+//     identical follow-up requests, but a Deadline-preempted run releases
+//     its engine (and with it the evaluator's prepared/LRU state, which
+//     engines also reset on init()) so a recycled slot can never observe a
+//     stale prepared snapshot;
+//   * graceful drain — request_drain() (the daemon wires SIGTERM to it)
+//     stops accepting work, completes every admitted request, then shuts
+//     the pool down; join() returns once the last response is written.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "core/thread_pool.h"
+#include "hc/workload.h"
+#include "serve/admission.h"
+#include "serve/cache.h"
+#include "serve/protocol.h"
+
+namespace sehc {
+
+struct ServeOptions {
+  /// Unix-domain socket path to bind (must fit sockaddr_un; an existing
+  /// socket file is replaced).
+  std::string socket_path;
+  /// Solver worker threads (= concurrent solves = worker slots).
+  std::size_t threads = 2;
+  /// Admission bound: requests waiting for a worker slot beyond the ones
+  /// being solved. Full queue => `overloaded` reply.
+  std::size_t queue_capacity = 64;
+  /// Response-cache entries (0 disables caching).
+  std::size_t cache_capacity = 512;
+  /// Parsed-workload cache entries (0 disables).
+  std::size_t workload_cache_capacity = 64;
+  /// Dispatcher batch cap: queued requests moved per queue acquisition.
+  std::size_t batch_max = 16;
+  /// Concurrent client connections; excess connections get an immediate
+  /// `overloaded` reply and are closed.
+  std::size_t max_connections = 128;
+  /// Deadline armed for requests that do not carry their own (0 = none).
+  double default_deadline_seconds = 0.0;
+  /// Per-frame payload cap.
+  std::size_t max_frame_bytes = kMaxFrameBytes;
+};
+
+/// Snapshot of the server's counters (the `stats` endpoint serializes it).
+struct ServerStats {
+  std::uint64_t connections = 0;      // accepted so far
+  std::uint64_t requests = 0;         // frames parsed as requests
+  std::uint64_t completed = 0;        // responses with status=ok
+  std::uint64_t shed = 0;             // overloaded replies (queue full/drain)
+  std::uint64_t errors = 0;           // status=error replies
+  std::uint64_t timeouts = 0;         // solves preempted by a Deadline
+  std::uint64_t protocol_errors = 0;  // malformed frames (connection dropped)
+  std::uint64_t cache_hits = 0;
+  std::uint64_t cache_misses = 0;
+  std::uint64_t coalesced = 0;        // requests that rode another's solve
+  std::uint64_t batches = 0;          // dispatcher queue acquisitions
+  std::uint64_t max_batch = 0;        // largest batch drained at once
+  std::uint64_t slot_reuses = 0;      // solves on a warm worker slot
+  std::uint64_t workload_cache_hits = 0;
+  std::size_t cache_size = 0;
+  std::size_t queue_depth = 0;
+  std::size_t queue_peak = 0;
+  std::size_t pool_pending = 0;
+  std::size_t pool_active = 0;
+  bool draining = false;
+};
+
+class Server {
+ public:
+  explicit Server(ServeOptions options);
+  /// Joins everything (drains first if still running).
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Binds the socket and starts the accept loop, dispatcher and solver
+  /// pool. Throws sehc::Error / ProtocolError on bind failure.
+  void start();
+
+  /// Initiates graceful drain: stop accepting connections and admitting
+  /// solves, finish every admitted request, write its response, then shut
+  /// down. Safe to call from a signal-watching thread; idempotent.
+  void request_drain();
+
+  /// Blocks until the drained server has fully shut down.
+  void join();
+
+  const ServeOptions& options() const { return options_; }
+  bool draining() const { return draining_.load(); }
+  ServerStats stats_snapshot() const;
+
+ private:
+  struct InFlight;
+  struct WorkerSlot;
+
+  void accept_loop();
+  void connection_loop(int fd);
+  void dispatch_loop();
+  /// Handles one parsed frame on a connection; writes exactly one response.
+  void handle_payload(int fd, const std::string& payload);
+  void handle_solve(int fd, const ScheduleRequest& request);
+  void respond_stats(int fd);
+  void solve_on_slot(std::size_t slot_index, const std::shared_ptr<InFlight>& entry);
+  std::size_t acquire_slot();
+  void release_slot(std::size_t slot_index);
+
+  ServeOptions options_;
+  int listen_fd_ = -1;
+
+  std::unique_ptr<ThreadPool> pool_;
+  ResponseCache cache_;
+  ContentLru<std::shared_ptr<const Workload>> workload_cache_;
+  BoundedQueue<std::shared_ptr<InFlight>> queue_;
+
+  std::vector<std::unique_ptr<WorkerSlot>> slots_;
+  std::vector<std::size_t> free_slots_;  // guarded by slot_mutex_
+  std::mutex slot_mutex_;
+  std::condition_variable slot_cv_;
+
+  std::unordered_map<std::uint64_t, std::shared_ptr<InFlight>> inflight_;
+  std::mutex inflight_mutex_;
+
+  std::thread accept_thread_;
+  std::thread dispatch_thread_;
+  std::vector<std::thread> connection_threads_;  // guarded by conn_mutex_
+  std::mutex conn_mutex_;
+  std::atomic<std::size_t> open_connections_{0};
+
+  std::atomic<bool> started_{false};
+  std::atomic<bool> draining_{false};
+  std::atomic<bool> joined_{false};
+
+  // Counters (see ServerStats).
+  std::atomic<std::uint64_t> connections_{0}, requests_{0}, completed_{0},
+      shed_{0}, errors_{0}, timeouts_{0}, protocol_errors_{0}, coalesced_{0},
+      batches_{0}, max_batch_{0}, slot_reuses_{0};
+};
+
+}  // namespace sehc

@@ -1,0 +1,117 @@
+#!/usr/bin/env bash
+# Serving smoke check (CI + the serve_smoke ctest): start sehc_serve on a
+# private socket, drive it with a short fixed-seed loadgen run, and assert
+# the service-level invariants that matter:
+#
+#   1. the loadgen run completes with zero protocol errors and zero
+#      status=error replies (loadgen exits nonzero otherwise);
+#   2. p99 latency stays under a deliberately generous bound — this catches
+#      a wedged dispatcher or lost wakeup, not performance regressions;
+#   3. a second identical run is served (almost) entirely from the response
+#      cache: cache_hit_rate >= 0.95;
+#   4. SIGTERM drains gracefully: the daemon exits 0 and its final stats
+#      line says "drained".
+#
+#   tools/serve_check.sh --serve-bin build/sehc_serve \
+#       --loadgen-bin build/sehc_loadgen [--workdir DIR] [--p99-ms BOUND]
+set -euo pipefail
+
+SERVE_BIN=""
+LOADGEN_BIN=""
+WORKDIR="serve-check"
+P99_MS=5000
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --serve-bin)   SERVE_BIN="$2"; shift 2 ;;
+    --loadgen-bin) LOADGEN_BIN="$2"; shift 2 ;;
+    --workdir)     WORKDIR="$2"; shift 2 ;;
+    --p99-ms)      P99_MS="$2"; shift 2 ;;
+    *) echo "serve_check: unknown option '$1'" >&2; exit 2 ;;
+  esac
+done
+[[ -n "$SERVE_BIN" && -n "$LOADGEN_BIN" ]] || {
+  echo "serve_check: --serve-bin and --loadgen-bin are required" >&2; exit 2;
+}
+
+rm -rf "$WORKDIR"
+mkdir -p "$WORKDIR"
+# Unix socket paths are length-limited (sockaddr_un); use a short /tmp name
+# instead of a possibly deep build-tree path.
+SOCK="$(mktemp -u /tmp/sehc_serve_check.XXXXXX.sock)"
+SERVER_LOG="$WORKDIR/serve.log"
+
+cleanup() {
+  if [[ -n "${SERVER_PID:-}" ]] && kill -0 "$SERVER_PID" 2>/dev/null; then
+    kill -KILL "$SERVER_PID" 2>/dev/null || true
+  fi
+  rm -f "$SOCK"
+}
+trap cleanup EXIT
+
+echo "serve_check: [1/4] starting sehc_serve on $SOCK"
+"$SERVE_BIN" --socket "$SOCK" --threads 2 --queue 32 \
+    > "$SERVER_LOG" 2>&1 &
+SERVER_PID=$!
+for _ in $(seq 1 100); do
+  [[ -S "$SOCK" ]] && break
+  kill -0 "$SERVER_PID" 2>/dev/null || {
+    echo "serve_check: FAIL: server died during startup" >&2
+    cat "$SERVER_LOG" >&2
+    exit 1
+  }
+  sleep 0.1
+done
+[[ -S "$SOCK" ]] || { echo "serve_check: FAIL: socket never appeared" >&2; exit 1; }
+
+LOADGEN=("$LOADGEN_BIN" --socket "$SOCK" --requests 120 --rate 60 \
+    --connections 4 --engine SE --budget steps:25 --workloads 6 \
+    --tasks 30 --machines 6 --seed 7)
+
+echo "serve_check: [2/4] cold loadgen run (fixed seed, low rate)"
+"${LOADGEN[@]}" --out "$WORKDIR/BENCH_serve.json" \
+    > "$WORKDIR/loadgen_cold.log" 2>&1 || {
+  echo "serve_check: FAIL: cold loadgen run failed (protocol errors or error replies)" >&2
+  cat "$WORKDIR/loadgen_cold.log" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+}
+
+p99=$(grep -o '"p99": [0-9.]*' "$WORKDIR/BENCH_serve.json" | awk '{print $2}')
+awk -v p="$p99" -v bound="$P99_MS" 'BEGIN { exit !(p < bound) }' || {
+  echo "serve_check: FAIL: p99=${p99}ms exceeds the ${P99_MS}ms sanity bound" >&2
+  cat "$WORKDIR/BENCH_serve.json" >&2
+  exit 1
+}
+echo "serve_check: cold p99=${p99}ms (bound ${P99_MS}ms)"
+
+echo "serve_check: [3/4] warm rerun must hit the response cache"
+"${LOADGEN[@]}" --out "$WORKDIR/BENCH_serve_warm.json" \
+    > "$WORKDIR/loadgen_warm.log" 2>&1 || {
+  echo "serve_check: FAIL: warm loadgen run failed" >&2
+  cat "$WORKDIR/loadgen_warm.log" >&2
+  exit 1
+}
+hit_rate=$(grep -o '"cache_hit_rate": [0-9.]*' "$WORKDIR/BENCH_serve_warm.json" \
+    | awk '{print $2}')
+awk -v h="$hit_rate" 'BEGIN { exit !(h >= 0.95) }' || {
+  echo "serve_check: FAIL: warm cache_hit_rate=$hit_rate (expected >= 0.95)" >&2
+  cat "$WORKDIR/BENCH_serve_warm.json" >&2
+  exit 1
+}
+echo "serve_check: warm cache_hit_rate=$hit_rate"
+
+echo "serve_check: [4/4] SIGTERM must drain gracefully"
+kill -TERM "$SERVER_PID"
+code=0
+wait "$SERVER_PID" || code=$?
+if [[ $code -ne 0 ]]; then
+  echo "serve_check: FAIL: server exited $code after SIGTERM" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+fi
+grep -q 'drained' "$SERVER_LOG" || {
+  echo "serve_check: FAIL: server log has no drained-stats line" >&2
+  cat "$SERVER_LOG" >&2
+  exit 1
+}
+echo "serve_check: OK — zero protocol errors, p99 bounded, cache warm, drain clean"
