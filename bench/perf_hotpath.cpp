@@ -46,6 +46,7 @@
 #include "core/timer.h"
 #include "ga/ga.h"
 #include "heuristics/gsa.h"
+#include "obs/metrics.h"
 #include "se/allocation.h"
 #include "se/se.h"
 #include "workload/generator.h"
@@ -253,9 +254,9 @@ ThroughputResult measure_throughput(const Workload& w, std::size_t passes,
 /// The shipped hot path: allocate_tasks() driving Evaluator::TrialBatch over
 /// every task (one SoA sweep per trial position). Must commit strings
 /// bit-identical to the scalar passes above.
-ThroughputResult measure_batch_throughput(const Workload& w,
-                                          std::size_t passes,
-                                          std::vector<double>& finals) {
+ThroughputResult measure_batch_throughput(
+    const Workload& w, std::size_t passes, std::vector<double>& finals,
+    Evaluator::TrialBatch::BatchMetrics& metrics) {
   Evaluator eval(w);
   Evaluator check(w);
   Evaluator::TrialBatch batch(eval);
@@ -274,6 +275,7 @@ ThroughputResult measure_batch_throughput(const Workload& w,
     out.seconds += timer.seconds();
     finals.push_back(check.makespan(s));
   }
+  metrics = batch.metrics();
   return out;
 }
 
@@ -415,6 +417,11 @@ int main(int argc, char** argv) {
   const auto iters =
       static_cast<std::size_t>(opts.get_int("iters", static_cast<std::int64_t>(scaled(60, 3))));
   const std::string out_path = opts.get("out", "BENCH_hotpath.json");
+  // Ambient registry for the run: every run_search() call inside the
+  // measurements records its engine spans/counters here, and the merged
+  // snapshot lands at the bottom of the JSON artifact.
+  MetricsRegistry registry;
+  const MetricsScope metrics_scope(&registry);
   // --check-overhead TOL: fail (exit 1) when the stepwise driver is more
   // than TOL slower than the monolithic run() on any class (0.05 = the 5%
   // contract the committed baseline demonstrates; CI smoke passes a looser
@@ -448,8 +455,9 @@ int main(int argc, char** argv) {
         measure_throughput<false, BaselineEvaluator>(w, passes, naive_finals);
     const ThroughputResult inc =
         measure_throughput<true, Evaluator>(w, passes, inc_finals);
+    Evaluator::TrialBatch::BatchMetrics batch_metrics;
     const ThroughputResult batch =
-        measure_batch_throughput(w, passes, batch_finals);
+        measure_batch_throughput(w, passes, batch_finals, batch_metrics);
     const TargetResult target = measure_time_to_target(w, iters);
     const StepOverheadResult overhead = measure_step_overhead(w, iters);
     const LruResult lru = measure_prepared_lru(w, std::max<std::size_t>(
@@ -506,6 +514,18 @@ int main(int argc, char** argv) {
                 inc.trials_per_sec(), inc.trials, inc.seconds);
     std::printf("  batch       %12.0f trials/sec (%zu trials, %.3fs)\n",
                 batch.trials_per_sec(), batch.trials, batch.seconds);
+    const double pruned_rate =
+        batch_metrics.trials > 0
+            ? static_cast<double>(batch_metrics.pruned) /
+                  static_cast<double>(batch_metrics.trials)
+            : 0.0;
+    std::printf("  batch sizes %12llu batches, p50=%llu max=%llu, "
+                "pruned=%.3f\n",
+                static_cast<unsigned long long>(batch_metrics.batches),
+                static_cast<unsigned long long>(
+                    batch_metrics.batch_sizes.quantile(0.50)),
+                static_cast<unsigned long long>(batch_metrics.max_batch),
+                pruned_rate);
     std::printf("  speedup     %12.2fx incremental/baseline, %.2fx "
                 "batch/incremental\n",
                 speedup, batch_speedup);
@@ -532,8 +552,16 @@ int main(int argc, char** argv) {
     std::fprintf(json, "      \"batch_trials\": {\n");
     std::fprintf(json, "        \"trials_per_sec\": %.1f,\n",
                  batch.trials_per_sec());
-    std::fprintf(json, "        \"speedup_vs_incremental\": %.3f\n",
+    std::fprintf(json, "        \"speedup_vs_incremental\": %.3f,\n",
                  batch_speedup);
+    std::fprintf(json, "        \"batches\": %llu,\n",
+                 static_cast<unsigned long long>(batch_metrics.batches));
+    std::fprintf(json, "        \"batch_size_p50\": %llu,\n",
+                 static_cast<unsigned long long>(
+                     batch_metrics.batch_sizes.quantile(0.50)));
+    std::fprintf(json, "        \"batch_size_max\": %llu,\n",
+                 static_cast<unsigned long long>(batch_metrics.max_batch));
+    std::fprintf(json, "        \"pruned_rate\": %.4f\n", pruned_rate);
     std::fprintf(json, "      },\n");
     std::fprintf(json, "      \"prepared_lru\": {\n");
     std::fprintf(json, "        \"ga_hit_rate\": %.4f,\n", lru.ga_hit_rate);
@@ -554,7 +582,12 @@ int main(int argc, char** argv) {
     std::fprintf(json, "      }\n");
     std::fprintf(json, "    }");
   }
-  std::fprintf(json, "\n  ]\n}\n");
+  std::fprintf(json, "\n  ],\n");
+  // The run's merged observability snapshot: engine step/eval/improvement
+  // counters and per-engine spans from every run_search() the measurements
+  // drove. Counts are deterministic; the phases' ms values are wall-clock.
+  std::fprintf(json, "  \"metrics\":\n%s\n}\n",
+               registry.snapshot().to_json(2).c_str());
   std::fclose(json);
   std::printf("wrote %s\n", out_path.c_str());
   if (!overhead_ok) {

@@ -466,6 +466,45 @@ Table profile_table(const CampaignDataset& dataset,
   return table;
 }
 
+Table timing_table(const std::vector<MetricsRow>& rows, bool include_ms) {
+  std::vector<std::string> headers{"name", "kind", "cells", "count", "rounds"};
+  if (include_ms) headers.push_back("ms");
+  Table table(std::move(headers));
+
+  // Aggregate over cells by (kind, name); std::map gives the canonical
+  // (kind-major, name-minor) row order whatever order the rows arrived in.
+  struct Agg {
+    std::size_t cells = 0;
+    std::uint64_t count = 0;
+    std::uint64_t rounds = 0;
+    double ms = 0.0;
+    std::uint64_t last_cell = 0;
+    bool any_cell = false;
+  };
+  std::map<std::pair<std::string, std::string>, Agg> aggs;
+  for (const MetricsRow& row : rows) {
+    Agg& agg = aggs[{row.kind, row.name}];
+    if (!agg.any_cell || agg.last_cell != row.cell) {
+      agg.cells += 1;
+      agg.last_cell = row.cell;
+      agg.any_cell = true;
+    }
+    agg.count += row.count;
+    agg.rounds += row.rounds;
+    agg.ms += row.ms;
+  }
+  for (const auto& [key, agg] : aggs) {
+    table.begin_row()
+        .add(key.second)
+        .add(key.first)
+        .add(agg.cells)
+        .add(agg.count)
+        .add(agg.rounds);
+    if (include_ms) table.add(agg.ms, 3);
+  }
+  return table;
+}
+
 namespace {
 
 void section_heading(std::ostream& os, ReportFormat format,
@@ -636,6 +675,23 @@ void write_report(std::ostream& os, const CampaignDataset& dataset,
                   "profile");
   write_table(os, profile_table(dataset, options), format);
   os << '\n';
+
+  // Timing section: phase/counter observability rolled up over cells.
+  // Counts, rounds and cell tallies are deterministic (they come from the
+  // sidecar's canonical columns); wall-clock ms is volatile and only
+  // rendered behind show_timings, so golden-compared reports never see it.
+  if (!options.metrics.empty()) {
+    section_heading(os, format,
+                    "Timing (deterministic phase counts" +
+                        std::string(options.show_timings
+                                        ? ", volatile wall-clock ms"
+                                        : "") +
+                        ")",
+                    "timing");
+    write_table(os, timing_table(options.metrics, options.show_timings),
+                format);
+    os << '\n';
+  }
 
   note_line(os, format,
             "Lower is better throughout; every number is a deterministic "

@@ -108,7 +108,24 @@ struct ReportOptions {
   /// Where the quarantine records came from (sidecar path(s)); echoed in
   /// the missing-cells section.
   std::string quarantine_source;
+
+  /// Campaign metrics rows (loaded from `<store>.metrics.csv` sidecars),
+  /// rendered as the Timing section aggregated by (kind, name). Counts and
+  /// rounds are deterministic; the volatile ms column only appears with
+  /// show_timings, so default reports stay byte-comparable. (No source
+  /// path is echoed: the section must not depend on where the sidecar
+  /// happened to live, or golden comparisons would break.)
+  std::vector<MetricsRow> metrics;
+  /// Adds the wall-clock ms column to the Timing table (volatile output;
+  /// never enabled when generating goldens).
+  bool show_timings = false;
 };
+
+/// The Timing section's table: metrics rows aggregated over cells by
+/// (kind, name) — name, kind, cells, count, rounds, and (with include_ms)
+/// total wall-clock ms. All columns but ms are deterministic functions of
+/// the sidecar's canonical rows.
+Table timing_table(const std::vector<MetricsRow>& rows, bool include_ms);
 
 /// Per-(class, scheduler) means with seeded-bootstrap confidence intervals:
 /// class, scheduler, n, mean, ci_lo, ci_hi, mean_vs_lb. The bootstrap seed

@@ -14,6 +14,7 @@
 #include "exp/anytime.h"
 #include "exp/trace_io.h"
 #include "heuristics/scheduler.h"
+#include "obs/phase.h"
 #include "sched/bounds.h"
 #include "sched/validate.h"
 #include "workload/generator.h"
@@ -293,6 +294,11 @@ CampaignRunSummary run_store_grid(
     quarantine_path = default_quarantine_path(store.path());
   }
   QuarantineLog quarantine(quarantine_path);
+  std::string metrics_path = options.metrics_path;
+  if (metrics_path.empty() && !store.path().empty()) {
+    metrics_path = default_metrics_path(store.path());
+  }
+  MetricsSidecarLog metrics_log(metrics_path, store.schema().spec_hash);
   std::atomic<std::size_t> failed{0};
   std::atomic<std::size_t> retried{0};
 
@@ -302,26 +308,38 @@ CampaignRunSummary run_store_grid(
   sweep_options.progress = options.progress;
   const std::size_t attempts = options.cell_retries + 1;
   sweep_for_each(grid, pending, sweep_options, [&](const SweepCell& cell) {
+    // Each cell records into its own registry, installed as the thread's
+    // ambient sink so the engine layer's run_search counters land here.
+    // Deterministic fields of the snapshot are pure functions of
+    // (spec, cell, fault plan) — a retried cell that succeeds reports the
+    // same counts as a first-try success plus the extra "cell" span visits.
+    MetricsRegistry cell_metrics;
+    const MetricsScope metrics_scope(&cell_metrics);
     std::string last_error;
-    for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    bool stored = false;
+    for (std::size_t attempt = 0; attempt < attempts && !stored; ++attempt) {
       CellContext ctx;
       ctx.attempt = attempt;
       if (options.cell_timeout_seconds > 0.0) {
         ctx.deadline = Deadline::after(options.cell_timeout_seconds);
       }
       try {
+        // One span per attempt: a throwing attempt still records its visit
+        // (SpanScope closes during unwinding), so quarantined cells keep
+        // their attempt spans in the sidecar.
+        SpanScope cell_span(&cell_metrics, "cell");
         apply_cell_fault(options.fault_plan, cell.index, attempt,
                          ctx.deadline);
         store.append(StoreRow{cell.index, row_fn(cell, ctx)});
         if (attempt > 0) retried.fetch_add(1);
-        return;
+        stored = true;
       } catch (const std::exception& e) {
         // Fail-fast mode: rethrow immediately; the sweep layer attaches the
         // cell's coordinates before propagating to the caller.
         if (options.strict) throw;
         last_error = e.what();
       }
-      if (attempt + 1 < attempts && options.retry_backoff_ms > 0) {
+      if (!stored && attempt + 1 < attempts && options.retry_backoff_ms > 0) {
         // Deterministic exponential backoff: base * 2^attempt ms. Timing
         // never feeds results (cell seeds are coordinate-derived), so the
         // sleep only spaces out retries against transient contention.
@@ -329,22 +347,28 @@ CampaignRunSummary run_store_grid(
             options.retry_backoff_ms << attempt));
       }
     }
-    QuarantineRecord record;
-    record.cell = cell.index;
-    record.coords = describe_coords(grid, cell.coords);
-    if (options.cell_label) record.label = options.cell_label(cell);
-    record.attempts = attempts;
-    record.error = last_error;
-    quarantine.append(std::move(record));
-    failed.fetch_add(1);
+    if (!stored) {
+      QuarantineRecord record;
+      record.cell = cell.index;
+      record.coords = describe_coords(grid, cell.coords);
+      if (options.cell_label) record.label = options.cell_label(cell);
+      record.attempts = attempts;
+      record.error = last_error;
+      quarantine.append(std::move(record));
+      failed.fetch_add(1);
+    }
+    metrics_log.append(cell.index, cell_metrics.snapshot());
   });
 
   quarantine.finalize();
+  metrics_log.finalize();
   summary.failed_cells = failed.load();
   summary.retried_cells = retried.load();
   summary.executed_cells = pending.size() - summary.failed_cells;
   summary.quarantined = quarantine.sorted_records();
   summary.quarantine_path = quarantine.path();
+  summary.metrics = metrics_log.sorted_rows();
+  summary.metrics_path = metrics_log.path();
   summary.seconds = timer.seconds();
   return summary;
 }

@@ -29,6 +29,7 @@
 #include "exp/fault.h"
 #include "exp/result_store.h"
 #include "exp/sweep.h"
+#include "obs/metrics_sidecar.h"
 #include "workload/params.h"
 
 namespace sehc {
@@ -182,6 +183,12 @@ struct CampaignRunOptions {
   /// file-backed stores (in-memory stores keep records only in the
   /// summary).
   std::string quarantine_path;
+  /// Metrics sidecar path; empty derives `<store path>.metrics.csv` for
+  /// file-backed stores (in-memory stores aggregate without a file). Every
+  /// cell runs inside its own MetricsRegistry (spans + engine counters);
+  /// the snapshot's deterministic columns are pure functions of
+  /// (spec, cell), so sidecars shard/merge like the store itself.
+  std::string metrics_path;
   /// Resolves a human label for quarantine records (e.g.
   /// "class=low-low-0.1 rep=2 scheduler=GA"); run_campaign installs one.
   std::function<std::string(const SweepCell&)> cell_label;
@@ -199,6 +206,11 @@ struct CampaignRunSummary {
   std::vector<QuarantineRecord> quarantined;
   /// Sidecar the quarantine was written to (empty for in-memory logs).
   std::string quarantine_path;
+  /// Per-cell metrics recorded this run (loaded + appended; sorted and
+  /// deduped). Quarantined cells still record their attempt spans.
+  std::vector<MetricsRow> metrics;
+  /// Sidecar the metrics were written to (empty for in-memory stores).
+  std::string metrics_path;
 };
 
 /// Generic sharded/resumable grid driver: for every owned cell missing from

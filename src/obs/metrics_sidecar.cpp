@@ -1,0 +1,221 @@
+#include "obs/metrics_sidecar.h"
+
+#include <algorithm>
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+
+#include "core/error.h"
+#include "core/table.h"
+
+namespace sehc {
+
+namespace {
+
+constexpr const char* kColumnsFull = "cell,kind,name,count,rounds,ms";
+constexpr const char* kColumnsCanonical = "cell,kind,name,count,rounds";
+
+std::string header_line(std::uint64_t spec_hash) {
+  return "# sehc-metrics v1 spec=" + std::to_string(spec_hash);
+}
+
+std::string format_row(const MetricsRow& r, bool include_ms) {
+  // Metric names never contain commas (slash-joined paths, ':' separators),
+  // so the sidecar needs no CSV quoting.
+  std::string line = std::to_string(r.cell) + "," + r.kind + "," + r.name +
+                     "," + std::to_string(r.count) + "," +
+                     std::to_string(r.rounds);
+  if (include_ms) line += "," + format_fixed(r.ms, 3);
+  return line;
+}
+
+std::vector<std::string> split_fields(const std::string& line) {
+  std::vector<std::string> fields;
+  std::string::size_type start = 0;
+  while (true) {
+    const auto pos = line.find(',', start);
+    fields.push_back(line.substr(start, pos - start));
+    if (pos == std::string::npos) break;
+    start = pos + 1;
+  }
+  return fields;
+}
+
+std::uint64_t parse_u64(const std::string& path, const std::string& value) {
+  SEHC_CHECK(!value.empty() &&
+                 value.find_first_not_of("0123456789") == std::string::npos,
+             "metrics sidecar '" + path + "': expected an integer, got '" +
+                 value + "'");
+  return std::stoull(value);
+}
+
+bool row_key_less(const MetricsRow& a, const MetricsRow& b) {
+  if (a.cell != b.cell) return a.cell < b.cell;
+  if (a.kind != b.kind) return a.kind < b.kind;
+  return a.name < b.name;
+}
+
+}  // namespace
+
+std::string default_metrics_path(const std::string& store_path) {
+  return store_path + ".metrics.csv";
+}
+
+std::vector<MetricsRow> metrics_rows_from_snapshot(
+    std::size_t cell, const MetricsSnapshot& snap) {
+  std::vector<MetricsRow> rows;
+  rows.reserve(snap.counters.size() + snap.phases.size());
+  for (const auto& [name, value] : snap.counters) {
+    rows.push_back(MetricsRow{cell, "counter", name, value, 0, 0.0});
+  }
+  for (const auto& [path, stats] : snap.phases) {
+    rows.push_back(MetricsRow{cell, "phase", path, stats.visits, stats.rounds,
+                              stats.seconds * 1e3});
+  }
+  return rows;
+}
+
+MetricsSidecarLog::MetricsSidecarLog()
+    : mutex_(std::make_unique<std::mutex>()) {}
+
+MetricsSidecarLog::MetricsSidecarLog(std::string path, std::uint64_t spec_hash)
+    : mutex_(std::make_unique<std::mutex>()),
+      path_(std::move(path)),
+      spec_hash_(spec_hash) {}
+
+MetricsSidecarLog::MetricsSidecarLog(MetricsSidecarLog&&) noexcept = default;
+MetricsSidecarLog& MetricsSidecarLog::operator=(MetricsSidecarLog&&) noexcept =
+    default;
+MetricsSidecarLog::~MetricsSidecarLog() = default;
+
+void MetricsSidecarLog::append(std::size_t cell, const MetricsSnapshot& snap) {
+  std::vector<MetricsRow> rows = metrics_rows_from_snapshot(cell, snap);
+  if (rows.empty()) return;
+  std::lock_guard<std::mutex> lock(*mutex_);
+  if (!path_.empty() && !out_) {
+    if (!loaded_) {
+      // Resume: keep rows from a previous run of the SAME spec; anything
+      // else (other spec, damaged header) is discarded — the cells rerun
+      // and re-derive their metrics.
+      std::ifstream is(path_);
+      std::string first;
+      if (is.good() && std::getline(is, first) &&
+          first == header_line(spec_hash_)) {
+        rows_ = read_metrics_sidecar(path_);
+      }
+      loaded_ = true;
+    }
+    out_ = std::make_unique<std::ofstream>(path_, std::ios::trunc);
+    SEHC_CHECK(out_->good(), "metrics sidecar: cannot open '" + path_ + "'");
+    *out_ << header_line(spec_hash_) << '\n' << kColumnsFull << '\n';
+    for (const MetricsRow& r : rows_) *out_ << format_row(r, true) << '\n';
+  }
+  for (MetricsRow& r : rows) {
+    if (out_) *out_ << format_row(r, true) << '\n';
+    rows_.push_back(std::move(r));
+  }
+  if (out_) {
+    out_->flush();
+    SEHC_CHECK(out_->good(),
+               "metrics sidecar: write failed on '" + path_ + "'");
+  }
+}
+
+std::vector<MetricsRow> MetricsSidecarLog::sorted_rows() const {
+  std::lock_guard<std::mutex> lock(*mutex_);
+  return merge_metrics_rows(rows_);
+}
+
+void MetricsSidecarLog::finalize() {
+  if (path_.empty()) return;
+  std::lock_guard<std::mutex> lock(*mutex_);
+  out_.reset();
+  if (rows_.empty()) {
+    // Nothing recorded this run and nothing carried over: remove any stale
+    // sidecar (e.g. one left by a run of a different spec).
+    if (!loaded_) {
+      std::ifstream is(path_);
+      std::string first;
+      if (is.good() && std::getline(is, first) &&
+          first == header_line(spec_hash_)) {
+        return;  // a valid sidecar from a completed earlier run — keep it
+      }
+    }
+    std::remove(path_.c_str());
+    return;
+  }
+  const std::vector<MetricsRow> sorted = merge_metrics_rows(rows_);
+  const std::string tmp = path_ + ".tmp";
+  {
+    std::ofstream os(tmp, std::ios::trunc);
+    SEHC_CHECK(os.good(), "metrics sidecar: cannot open '" + tmp + "'");
+    write_metrics_rows(os, sorted, spec_hash_, /*include_ms=*/true);
+    os.flush();
+    SEHC_CHECK(os.good(), "metrics sidecar: write failed on '" + tmp + "'");
+  }
+  SEHC_CHECK(std::rename(tmp.c_str(), path_.c_str()) == 0,
+             "metrics sidecar: rename '" + tmp + "' -> '" + path_ +
+                 "' failed: " + std::strerror(errno));
+}
+
+std::vector<MetricsRow> read_metrics_sidecar(const std::string& path) {
+  std::ifstream is(path);
+  if (!is.good()) return {};  // no sidecar -> no metrics
+  std::string line;
+  SEHC_CHECK(static_cast<bool>(std::getline(is, line)),
+             "metrics sidecar '" + path + "': empty file");
+  SEHC_CHECK(line.rfind("# sehc-metrics v1 ", 0) == 0,
+             "metrics sidecar '" + path + "': unexpected header: " + line);
+  SEHC_CHECK(static_cast<bool>(std::getline(is, line)),
+             "metrics sidecar '" + path + "': missing column header");
+  const bool has_ms = line == kColumnsFull;
+  SEHC_CHECK(has_ms || line == kColumnsCanonical,
+             "metrics sidecar '" + path + "': unexpected columns: " + line);
+  std::vector<MetricsRow> rows;
+  while (std::getline(is, line)) {
+    if (line.empty()) continue;
+    const std::vector<std::string> fields = split_fields(line);
+    SEHC_CHECK(fields.size() == (has_ms ? 6u : 5u),
+               "metrics sidecar '" + path + "': malformed row: " + line);
+    MetricsRow r;
+    r.cell = static_cast<std::size_t>(parse_u64(path, fields[0]));
+    r.kind = fields[1];
+    r.name = fields[2];
+    r.count = parse_u64(path, fields[3]);
+    r.rounds = parse_u64(path, fields[4]);
+    if (has_ms) {
+      try {
+        r.ms = std::stod(fields[5]);
+      } catch (const std::exception&) {
+        throw_error("metrics sidecar '" + path + "': bad ms field: " + line);
+      }
+    }
+    rows.push_back(std::move(r));
+  }
+  return rows;
+}
+
+std::vector<MetricsRow> merge_metrics_rows(std::vector<MetricsRow> rows) {
+  // Stable sort keeps input order within a key, so "last occurrence wins"
+  // is the row after sorting's final duplicate — a cell healed on resume
+  // reports its fault-free metrics, not the quarantined attempt's.
+  std::stable_sort(rows.begin(), rows.end(), row_key_less);
+  std::vector<MetricsRow> out;
+  out.reserve(rows.size());
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    if (i + 1 < rows.size() && !row_key_less(rows[i], rows[i + 1])) continue;
+    out.push_back(std::move(rows[i]));
+  }
+  return out;
+}
+
+void write_metrics_rows(std::ostream& os, const std::vector<MetricsRow>& rows,
+                        std::uint64_t spec_hash, bool include_ms) {
+  os << header_line(spec_hash) << '\n'
+     << (include_ms ? kColumnsFull : kColumnsCanonical) << '\n';
+  for (const MetricsRow& r : rows) os << format_row(r, include_ms) << '\n';
+}
+
+}  // namespace sehc

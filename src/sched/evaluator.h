@@ -53,6 +53,7 @@
 #include <vector>
 
 #include "hc/workload.h"
+#include "obs/metrics.h"
 #include "sched/encoding.h"
 
 namespace sehc {
@@ -314,6 +315,21 @@ class Evaluator::TrialBatch {
   /// next evaluate() call.
   const std::vector<double>& evaluate(double bound);
 
+  /// Always-on batch instrumentation, updated ONCE per evaluate() call
+  /// (plain member arithmetic — never a registry or map lookup, so the
+  /// --check-overhead perf gate stays green with metrics compiled in).
+  /// Pruned counts lanes retired mid-sweep (+infinity results), exactly
+  /// the trials the scalar reference would also have pruned.
+  struct BatchMetrics {
+    std::uint64_t batches = 0;      ///< evaluate() calls with >= 1 trial
+    std::uint64_t trials = 0;       ///< trials evaluated across batches
+    std::uint64_t pruned = 0;       ///< trials retired by the bound
+    std::uint64_t max_batch = 0;    ///< largest single batch
+    LogHistogram batch_sizes;          ///< distribution of batch sizes
+  };
+  const BatchMetrics& metrics() const { return metrics_; }
+  void reset_metrics() { metrics_ = BatchMetrics{}; }
+
  private:
   enum class Kind : std::uint8_t { kReassign, kMove, kString };
 
@@ -359,6 +375,7 @@ class Evaluator::TrialBatch {
   std::vector<std::size_t> live_;        // general path: live trial indices
   std::vector<std::size_t> from_;        // general path: per-trial start
   std::vector<double> results_;
+  BatchMetrics metrics_;
 };
 
 /// One-shot convenience wrapper.

@@ -135,6 +135,18 @@ const std::vector<double>& Evaluator::TrialBatch::evaluate(double bound) {
     } else {
       evaluate_general(bound);
     }
+    // Once per batch, after the sweep: plain member updates plus one O(n)
+    // scan, a rounding error next to the O(n*k) sweep itself (the
+    // --check-overhead gate holds the proof).
+    metrics_.batches += 1;
+    metrics_.trials += n;
+    if (n > metrics_.max_batch) metrics_.max_batch = n;
+    metrics_.batch_sizes.record(n);
+    std::uint64_t pruned = 0;
+    for (const double r : results_) {
+      if (r == kInf) ++pruned;
+    }
+    metrics_.pruned += pruned;
   }
   trials_.clear();
   return results_;

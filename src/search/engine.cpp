@@ -4,6 +4,7 @@
 
 #include "core/error.h"
 #include "core/table.h"
+#include "obs/phase.h"
 
 namespace sehc {
 
@@ -93,13 +94,27 @@ SearchResult run_search(SearchEngine& engine, const Budget& budget,
                         const Deadline& deadline) {
   budget.validate();
   engine.init();
+  // One span per drive, flushed once at the end: the step loop itself pays
+  // only a double compare per step, never a registry lookup (the stepwise
+  // overhead gate in perf_hotpath covers this path with metrics live). The
+  // span nests under whatever phase the caller has open (campaign cells,
+  // serve solve slots); a deadline that unwinds mid-run still records the
+  // span visit via SpanScope, just without the terminal counter flush.
+  MetricsRegistry* const metrics = ambient_metrics();
+  SpanScope span(metrics, "engine:" + engine.name());
   bool timed_out = false;
+  std::uint64_t improvements = 0;
+  double last_best = engine.best_makespan();
   while (!engine.done() && !budget_exhausted(budget, engine)) {
     if (deadline.expired()) {
       timed_out = true;
       break;
     }
     const StepStats stats = engine.step();
+    if (stats.best_makespan < last_best) {
+      last_best = stats.best_makespan;
+      ++improvements;
+    }
     if (observer && !observer(stats)) break;
   }
   SearchResult result;
@@ -109,6 +124,13 @@ SearchResult run_search(SearchEngine& engine, const Budget& budget,
   result.evals = engine.evals_used();
   result.seconds = engine.elapsed_seconds();
   result.schedule = engine.best_schedule();
+  if (metrics != nullptr) {
+    span.add_rounds(result.steps);
+    const std::string prefix = "engine/" + engine.name() + "/";
+    metrics->counter_add(prefix + "steps", result.steps);
+    metrics->counter_add(prefix + "evals", result.evals);
+    metrics->counter_add(prefix + "improvements", improvements);
+  }
   return result;
 }
 

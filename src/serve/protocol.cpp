@@ -260,7 +260,7 @@ ScheduleRequest ScheduleRequest::parse(const std::string& payload) {
   ScheduleRequest req;
   for (const auto& [key, value] : doc.fields) {
     if (key == "op") {
-      if (value != "solve" && value != "stats") {
+      if (value != "solve" && value != "stats" && value != "metrics") {
         proto_fail("unknown op '" + value + "'");
       }
       req.op = value;

@@ -75,7 +75,9 @@ int connect_unix(const std::string& path);
 
 struct ScheduleRequest {
   /// "solve" answers with a schedule; "stats" answers with the server's
-  /// counters in the response's extra fields (no workload needed).
+  /// counters in the response's extra fields (no workload needed);
+  /// "metrics" answers with the flattened observability-registry snapshot
+  /// (phase timings, latency histograms, engine counters) the same way.
   std::string op = "solve";
   /// Scheduler registry name ("SE", "GA", ..., "HEFT", "MinMin", ...).
   std::string engine = "SE";

@@ -13,6 +13,7 @@
 
 #include "core/content_hash.h"
 #include "core/error.h"
+#include "core/table.h"
 #include "exp/trace_io.h"
 #include "hc/workload_io.h"
 #include "heuristics/scheduler.h"
@@ -27,6 +28,15 @@ using Clock = std::chrono::steady_clock;
 
 double ms_between(Clock::time_point a, Clock::time_point b) {
   return std::chrono::duration<double, std::milli>(b - a).count();
+}
+
+double sec_between(Clock::time_point a, Clock::time_point b) {
+  return std::chrono::duration<double>(b - a).count();
+}
+
+std::uint64_t us_between(Clock::time_point a, Clock::time_point b) {
+  const auto us = std::chrono::duration_cast<std::chrono::microseconds>(b - a);
+  return us.count() <= 0 ? 0 : static_cast<std::uint64_t>(us.count());
 }
 
 /// poll() for readability with EINTR handling; false on timeout.
@@ -249,6 +259,10 @@ void Server::handle_payload(int fd, const std::string& payload) {
     respond_stats(fd);
     return;
   }
+  if (request.op == "metrics") {
+    respond_metrics(fd);
+    return;
+  }
   handle_solve(fd, request);
 }
 
@@ -281,9 +295,14 @@ void Server::handle_solve(int fd, const ScheduleRequest& request) {
   const std::string canonical =
       request.canonical_string(workload_to_string(*workload));
   const std::uint64_t hash = content_hash64(canonical);
+  const Clock::time_point parsed = Clock::now();
+  metrics_.phase_record("request/parse", 1, 0, sec_between(arrival, parsed));
 
   // Response cache: a hit IS the cold solve's deterministic bytes.
-  if (auto cached = cache_.lookup(hash, canonical)) {
+  const auto cached = cache_.lookup(hash, canonical);
+  metrics_.phase_record("request/cache_lookup", 1, 0,
+                        sec_between(parsed, Clock::now()));
+  if (cached) {
     resp.status = ServeStatus::kOk;
     resp.makespan = cached->makespan;
     resp.evals = cached->evals;
@@ -292,6 +311,8 @@ void Server::handle_solve(int fd, const ScheduleRequest& request) {
     resp.cache_hit = true;
     completed_.fetch_add(1);
     write_frame(fd, resp.serialize());
+    metrics_.hist_record("latency/request_us",
+                         us_between(arrival, Clock::now()));
     return;
   }
 
@@ -353,7 +374,16 @@ void Server::handle_solve(int fd, const ScheduleRequest& request) {
   resp.queue_ms = std::max(0.0, ms_between(arrival, outcome.solve_start));
   resp.solve_ms = ms_between(outcome.solve_start, outcome.solve_end);
   completed_.fetch_add(1);
+  const Clock::time_point reply_start = Clock::now();
   write_frame(fd, resp.serialize());
+  const Clock::time_point done = Clock::now();
+  metrics_.phase_record("request/queue", 1, 0, resp.queue_ms / 1e3);
+  metrics_.phase_record("request/reply", 1, 0, sec_between(reply_start, done));
+  metrics_.hist_record("latency/queue_us",
+                       static_cast<std::uint64_t>(resp.queue_ms * 1e3));
+  metrics_.hist_record("latency/solve_us",
+                       static_cast<std::uint64_t>(resp.solve_ms * 1e3));
+  metrics_.hist_record("latency/request_us", us_between(arrival, done));
 }
 
 void Server::dispatch_loop() {
@@ -394,6 +424,9 @@ void Server::solve_on_slot(std::size_t slot_index,
   WorkerSlot& slot = *slots_[slot_index];
   SolveOutcome outcome;
   outcome.solve_start = Clock::now();
+  // Ambient registry for the duration of the solve: run_search flushes its
+  // per-engine step/eval/improvement counters and engine span in here.
+  const MetricsScope metrics_scope(&metrics_);
   try {
     const ScheduleRequest& req = entry->request;
     // Warm slot: an engine retained from a previous solve of this exact
@@ -461,6 +494,10 @@ void Server::solve_on_slot(std::size_t slot_index,
     slot.reset();
   }
   outcome.solve_end = Clock::now();
+  // One solve span per actual solve (riders share it); rounds = steps.
+  metrics_.phase_record("request/solve", 1,
+                        outcome.ok ? outcome.result.steps : 0,
+                        sec_between(outcome.solve_start, outcome.solve_end));
 
   // Cache before unregistering so a request arriving in the gap either
   // attaches (pre-erase) or hits the cache (post-insert) — never re-solves.
@@ -503,6 +540,45 @@ void Server::respond_stats(int fd) {
   add("pool_pending", s.pool_pending);
   add("pool_active", s.pool_active);
   add("draining", s.draining ? 1 : 0);
+  completed_.fetch_add(1);
+  write_frame(fd, resp.serialize());
+}
+
+void Server::respond_metrics(int fd) {
+  // The registry snapshot flattened to key=value lines, one per scalar:
+  // "counter.<name>", "gauge.<name>", "hist.<name>.<stat>",
+  // "phase.<path>.<stat>". Every value is a bare number, so clients can
+  // embed the document in JSON without quoting; the only non-integer
+  // fields are the volatile "phase.*.ms" ones.
+  const MetricsSnapshot snap = metrics_.snapshot();
+  ScheduleResponse resp;
+  resp.status = ServeStatus::kOk;
+  auto add = [&resp](std::string key, std::uint64_t value) {
+    resp.extra.emplace_back(std::move(key), std::to_string(value));
+  };
+  for (const auto& [name, value] : snap.counters) {
+    add("counter." + name, value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    add("gauge." + name, value);
+  }
+  for (const auto& [name, hist] : snap.histograms) {
+    const std::string prefix = "hist." + name;
+    add(prefix + ".count", hist.count());
+    add(prefix + ".sum", hist.sum());
+    add(prefix + ".min", hist.min());
+    add(prefix + ".max", hist.max());
+    add(prefix + ".p50", hist.quantile(0.50));
+    add(prefix + ".p90", hist.quantile(0.90));
+    add(prefix + ".p99", hist.quantile(0.99));
+  }
+  for (const auto& [path, stats] : snap.phases) {
+    const std::string prefix = "phase." + path;
+    add(prefix + ".visits", stats.visits);
+    add(prefix + ".rounds", stats.rounds);
+    resp.extra.emplace_back(prefix + ".ms",
+                            format_fixed(stats.seconds * 1e3, 3));
+  }
   completed_.fetch_add(1);
   write_frame(fd, resp.serialize());
 }

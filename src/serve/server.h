@@ -57,6 +57,7 @@
 
 #include "core/thread_pool.h"
 #include "hc/workload.h"
+#include "obs/metrics.h"
 #include "serve/admission.h"
 #include "serve/cache.h"
 #include "serve/protocol.h"
@@ -135,6 +136,11 @@ class Server {
   const ServeOptions& options() const { return options_; }
   bool draining() const { return draining_.load(); }
   ServerStats stats_snapshot() const;
+  /// Observability registry: per-request phase timings (parse, cache
+  /// lookup, queue, solve, reply), server-wide latency histograms, and the
+  /// engine counters run_search flushes from solve slots. The `metrics`
+  /// endpoint serializes snapshots of it.
+  MetricsSnapshot metrics_snapshot() const { return metrics_.snapshot(); }
 
  private:
   struct InFlight;
@@ -147,6 +153,7 @@ class Server {
   void handle_payload(int fd, const std::string& payload);
   void handle_solve(int fd, const ScheduleRequest& request);
   void respond_stats(int fd);
+  void respond_metrics(int fd);
   void solve_on_slot(std::size_t slot_index, const std::shared_ptr<InFlight>& entry);
   std::size_t acquire_slot();
   void release_slot(std::size_t slot_index);
@@ -181,6 +188,9 @@ class Server {
   std::atomic<std::uint64_t> connections_{0}, requests_{0}, completed_{0},
       shed_{0}, errors_{0}, timeouts_{0}, protocol_errors_{0}, coalesced_{0},
       batches_{0}, max_batch_{0}, slot_reuses_{0};
+
+  // Phase timings and latency histograms (see metrics_snapshot()).
+  MetricsRegistry metrics_;
 };
 
 }  // namespace sehc

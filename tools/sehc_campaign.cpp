@@ -39,6 +39,7 @@
 #include "core/options.h"
 #include "core/table.h"
 #include "exp/campaign.h"
+#include "obs/metrics_sidecar.h"
 
 namespace {
 
@@ -123,7 +124,12 @@ int cmd_run(const Options& opts) {
   const CampaignSpec spec = spec_from_options(opts);
   const std::string store_path = opts.get("store", "");
   SEHC_CHECK(!store_path.empty(), "run: --store PATH is required");
-  if (opts.has("fresh")) std::remove(store_path.c_str());
+  if (opts.has("fresh")) {
+    std::remove(store_path.c_str());
+    // The metrics sidecar carries the same spec hash as the store, so a
+    // stale one would otherwise be resumed alongside the fresh store.
+    std::remove(default_metrics_path(store_path).c_str());
+  }
 
   ResultStore store = ResultStore::open(store_path, spec.store_schema());
 
@@ -181,6 +187,10 @@ int cmd_run(const Options& opts) {
   }
   std::cout << "store: " << store_path << " (" << store.size()
             << " records)\n";
+  if (!summary.metrics_path.empty()) {
+    std::cout << "metrics: " << summary.metrics_path << " ("
+              << summary.metrics.size() << " rows)\n";
+  }
 
   if (opts.has("merged-out")) {
     const std::string out_path = opts.get("merged-out", "");
@@ -188,6 +198,15 @@ int cmd_run(const Options& opts) {
     SEHC_CHECK(static_cast<bool>(os), "run: cannot write " + out_path);
     store.write_canonical(os);
     std::cout << "canonical table: " << out_path << '\n';
+    // Canonical (ms-less) metrics next to the canonical table: this file
+    // is byte-identical however the run was sharded or threaded.
+    if (!summary.metrics.empty()) {
+      const std::string metrics_out = default_metrics_path(out_path);
+      std::ofstream ms(metrics_out, std::ios::binary);
+      SEHC_CHECK(static_cast<bool>(ms), "run: cannot write " + metrics_out);
+      write_metrics_rows(ms, summary.metrics, spec.hash(), false);
+      std::cout << "canonical metrics: " << metrics_out << '\n';
+    }
   }
   if (opts.has("bench-json")) {
     // Wall-time tracking next to BENCH_hotpath.json: cells/s here divided
@@ -241,6 +260,24 @@ int cmd_merge(int argc, char** argv) {
   merged.write_canonical(os);
   std::cout << "merged " << inputs.size() << " store(s), " << merged.size()
             << " records -> " << out_path << '\n';
+
+  // Merge the shards' metrics sidecars the same way (keep-last dedup by
+  // (cell, kind, name)); the canonical output matches what a single
+  // unsharded run writes next to its --merged-out table.
+  std::vector<MetricsRow> metrics;
+  for (const std::string& input : inputs) {
+    const std::vector<MetricsRow> rows =
+        read_metrics_sidecar(default_metrics_path(input));
+    metrics.insert(metrics.end(), rows.begin(), rows.end());
+  }
+  if (!metrics.empty()) {
+    const std::string metrics_out = default_metrics_path(out_path);
+    std::ofstream ms(metrics_out, std::ios::binary);
+    SEHC_CHECK(static_cast<bool>(ms), "merge: cannot write " + metrics_out);
+    write_metrics_rows(ms, merge_metrics_rows(std::move(metrics)),
+                       merged.schema().spec_hash, false);
+    std::cout << "merged metrics: " << metrics_out << '\n';
+  }
   return 0;
 }
 

@@ -31,6 +31,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -74,7 +75,8 @@ int usage() {
       "                    [--connections C] [--engine NAME]\n"
       "                    [--budget steps:N|evals:N|seconds:S]\n"
       "                    [--deadline-ms MS] [--workloads W] [--seed S]\n"
-      "                    [--tasks K] [--machines L] [--out PATH]\n");
+      "                    [--tasks K] [--machines L] [--out PATH]\n"
+      "                    [--metrics-out PATH]\n");
   return 2;
 }
 
@@ -85,7 +87,8 @@ int main(int argc, char** argv) {
     const Options opts(
         argc, argv,
         {"socket", "requests", "rate", "connections", "engine", "budget",
-         "deadline-ms", "workloads", "seed", "tasks", "machines", "out"});
+         "deadline-ms", "workloads", "seed", "tasks", "machines", "out",
+         "metrics-out"});
     if (!opts.has("socket")) return usage();
 
     const std::string socket_path = opts.get("socket", "");
@@ -106,6 +109,7 @@ int main(int argc, char** argv) {
     const std::size_t machines =
         static_cast<std::size_t>(opts.get_int("machines", 8));
     const std::string out_path = opts.get("out", "BENCH_serve.json");
+    const std::string metrics_out_path = opts.get("metrics-out", "");
     SEHC_CHECK(requests > 0 && rate > 0.0 && connections > 0 &&
                    n_workloads > 0,
                "loadgen: requests, rate, connections and workloads must be "
@@ -180,20 +184,37 @@ int main(int argc, char** argv) {
     const double elapsed_s =
         std::chrono::duration<double>(Clock::now() - start).count();
 
-    // One stats round-trip after the run: the server's own counters go into
-    // the bench file next to the client-side view.
+    // One stats and one metrics round-trip after the run: the server's own
+    // counters and its observability snapshot (phase timings, latency
+    // histograms) go into the bench file next to the client-side view.
     std::vector<std::pair<std::string, std::string>> server_stats;
+    std::vector<std::pair<std::string, std::string>> server_metrics;
     try {
       const int fd = connect_unix(socket_path);
       ScheduleRequest stats_req;
       stats_req.op = "stats";
       stats_req.workload_text.clear();
       server_stats = call_server(fd, stats_req).extra;
+      stats_req.op = "metrics";
+      server_metrics = call_server(fd, stats_req).extra;
       ::close(fd);
     } catch (const ProtocolError& e) {
       protocol_errors.fetch_add(1);
       std::fprintf(stderr, "loadgen: stats: %s\n", e.what());
     }
+    // Server-side request latency quantiles (the histogram is in µs; the
+    // values are exact bucket lower bounds, see obs/metrics.h). Having both
+    // views side by side separates queueing imposed by open-loop arrivals
+    // (client-only) from time spent inside the server.
+    const auto metric_value = [&](const std::string& key) {
+      for (const auto& [k, v] : server_metrics) {
+        if (k == key) return std::strtod(v.c_str(), nullptr);
+      }
+      return 0.0;
+    };
+    const double server_p50 = metric_value("hist.latency/request_us.p50") / 1e3;
+    const double server_p90 = metric_value("hist.latency/request_us.p90") / 1e3;
+    const double server_p99 = metric_value("hist.latency/request_us.p99") / 1e3;
 
     std::vector<double> ok_latencies;
     std::size_t ok = 0, shed = 0, errors = 0, hits = 0, timeouts = 0;
@@ -237,6 +258,12 @@ int main(int argc, char** argv) {
                  timeouts,
                  static_cast<unsigned long long>(protocol_errors.load()),
                  throughput, p50, p90, p99);
+    if (!server_metrics.empty()) {
+      std::fprintf(stderr,
+                   "loadgen: server-side p50=%.2fms p90=%.2fms p99=%.2fms "
+                   "(histogram bucket floors)\n",
+                   server_p50, server_p90, server_p99);
+    }
 
     FILE* json = std::fopen(out_path.c_str(), "w");
     if (!json) {
@@ -262,6 +289,11 @@ int main(int argc, char** argv) {
     std::fprintf(json, "    \"p90\": %.3f,\n", p90);
     std::fprintf(json, "    \"p99\": %.3f\n", p99);
     std::fprintf(json, "  },\n");
+    std::fprintf(json, "  \"server_latency_ms\": {\n");
+    std::fprintf(json, "    \"p50\": %.3f,\n", server_p50);
+    std::fprintf(json, "    \"p90\": %.3f,\n", server_p90);
+    std::fprintf(json, "    \"p99\": %.3f\n", server_p99);
+    std::fprintf(json, "  },\n");
     std::fprintf(json, "  \"ok\": %zu,\n", ok);
     std::fprintf(json, "  \"shed\": %zu,\n", shed);
     std::fprintf(json, "  \"errors\": %zu,\n", errors);
@@ -277,9 +309,33 @@ int main(int argc, char** argv) {
                    server_stats[i].second.c_str(),
                    i + 1 < server_stats.size() ? "," : "");
     }
+    std::fprintf(json, "  },\n");
+    // The op=metrics snapshot, flattened: every value the server returns is
+    // a bare number, so it embeds as-is.
+    std::fprintf(json, "  \"server_metrics\": {\n");
+    for (std::size_t i = 0; i < server_metrics.size(); ++i) {
+      std::fprintf(json, "    \"%s\": %s%s\n",
+                   server_metrics[i].first.c_str(),
+                   server_metrics[i].second.c_str(),
+                   i + 1 < server_metrics.size() ? "," : "");
+    }
     std::fprintf(json, "  }\n}\n");
     std::fclose(json);
     std::fprintf(stderr, "loadgen: wrote %s\n", out_path.c_str());
+
+    if (!metrics_out_path.empty()) {
+      FILE* mf = std::fopen(metrics_out_path.c_str(), "w");
+      if (!mf) {
+        std::fprintf(stderr, "loadgen: cannot open %s for writing\n",
+                     metrics_out_path.c_str());
+        return 1;
+      }
+      for (const auto& [k, v] : server_metrics) {
+        std::fprintf(mf, "%s=%s\n", k.c_str(), v.c_str());
+      }
+      std::fclose(mf);
+      std::fprintf(stderr, "loadgen: wrote %s\n", metrics_out_path.c_str());
+    }
 
     return (protocol_errors.load() > 0 || errors > 0) ? 1 : 0;
   } catch (const std::exception& e) {

@@ -26,6 +26,7 @@
 #include "core/error.h"
 #include "exp/fault.h"
 #include "exp/result_store.h"
+#include "obs/metrics_sidecar.h"
 
 namespace {
 
@@ -41,7 +42,9 @@ int usage() {
                "  --resamples N        bootstrap resamples (default 2000)\n"
                "  --confidence C       CI level in (0,1) (default 0.95)\n"
                "  --boot-seed S        bootstrap seed\n"
-               "  --taus t1,t2,...     profile tau breakpoints\n";
+               "  --taus t1,t2,...     profile tau breakpoints\n"
+               "  --timings            add the volatile wall-clock ms column "
+               "to the Timing section\n";
   return 2;
 }
 
@@ -110,6 +113,8 @@ Cli parse_cli(int argc, char** argv) {
       cli.options.bootstrap.seed = std::stoull(take());
     } else if (arg == "--taus") {
       cli.options.profile_taus = parse_taus(take());
+    } else if (arg == "--timings") {
+      cli.options.show_timings = true;
     } else {
       SEHC_CHECK(arg.rfind("--", 0) != 0, "unknown option " + arg);
       cli.stores.push_back(arg);
@@ -142,6 +147,18 @@ int run(const Cli& cli) {
     if (i > 0) enriched.options.quarantine_source += ", ";
     enriched.options.quarantine_source += sources[i];
   }
+
+  // Observability context: each input store's metrics sidecar
+  // (`<store>.metrics.csv`) feeds the Timing section. Sidecars from several
+  // shards merge keep-last by (cell, kind, name), exactly like the campaign
+  // merge, so shard reports match the single-process report byte for byte.
+  std::vector<MetricsRow> metrics;
+  for (const std::string& path : cli.stores) {
+    const std::vector<MetricsRow> rows =
+        read_metrics_sidecar(default_metrics_path(path));
+    metrics.insert(metrics.end(), rows.begin(), rows.end());
+  }
+  enriched.options.metrics = merge_metrics_rows(std::move(metrics));
   const ReportOptions& options = enriched.options;
 
   // Render fully before touching --out: a failing command must not

@@ -9,7 +9,9 @@
 #      a wedged dispatcher or lost wakeup, not performance regressions;
 #   3. a second identical run is served (almost) entirely from the response
 #      cache: cache_hit_rate >= 0.95;
-#   4. SIGTERM drains gracefully: the daemon exits 0 and its final stats
+#   4. the op=metrics endpoint returns a well-formed snapshot whose solve
+#      spans and request-latency histogram actually recorded the runs;
+#   5. SIGTERM drains gracefully: the daemon exits 0 and its final stats
 #      line says "drained".
 #
 #   tools/serve_check.sh --serve-bin build/sehc_serve \
@@ -48,7 +50,7 @@ cleanup() {
 }
 trap cleanup EXIT
 
-echo "serve_check: [1/4] starting sehc_serve on $SOCK"
+echo "serve_check: [1/5] starting sehc_serve on $SOCK"
 "$SERVE_BIN" --socket "$SOCK" --threads 2 --queue 32 \
     > "$SERVER_LOG" 2>&1 &
 SERVER_PID=$!
@@ -67,7 +69,7 @@ LOADGEN=("$LOADGEN_BIN" --socket "$SOCK" --requests 120 --rate 60 \
     --connections 4 --engine SE --budget steps:25 --workloads 6 \
     --tasks 30 --machines 6 --seed 7)
 
-echo "serve_check: [2/4] cold loadgen run (fixed seed, low rate)"
+echo "serve_check: [2/5] cold loadgen run (fixed seed, low rate)"
 "${LOADGEN[@]}" --out "$WORKDIR/BENCH_serve.json" \
     > "$WORKDIR/loadgen_cold.log" 2>&1 || {
   echo "serve_check: FAIL: cold loadgen run failed (protocol errors or error replies)" >&2
@@ -84,8 +86,9 @@ awk -v p="$p99" -v bound="$P99_MS" 'BEGIN { exit !(p < bound) }' || {
 }
 echo "serve_check: cold p99=${p99}ms (bound ${P99_MS}ms)"
 
-echo "serve_check: [3/4] warm rerun must hit the response cache"
+echo "serve_check: [3/5] warm rerun must hit the response cache"
 "${LOADGEN[@]}" --out "$WORKDIR/BENCH_serve_warm.json" \
+    --metrics-out "$WORKDIR/serve_metrics.snapshot" \
     > "$WORKDIR/loadgen_warm.log" 2>&1 || {
   echo "serve_check: FAIL: warm loadgen run failed" >&2
   cat "$WORKDIR/loadgen_warm.log" >&2
@@ -100,7 +103,29 @@ awk -v h="$hit_rate" 'BEGIN { exit !(h >= 0.95) }' || {
 }
 echo "serve_check: warm cache_hit_rate=$hit_rate"
 
-echo "serve_check: [4/4] SIGTERM must drain gracefully"
+echo "serve_check: [4/5] op=metrics snapshot must have recorded the runs"
+SNAPSHOT="$WORKDIR/serve_metrics.snapshot"
+[[ -s "$SNAPSHOT" ]] || {
+  echo "serve_check: FAIL: loadgen wrote no metrics snapshot" >&2
+  exit 1
+}
+solve_visits=$(grep -o '^phase\.request/solve\.visits=[0-9]*' "$SNAPSHOT" \
+    | cut -d= -f2)
+request_count=$(grep -o '^hist\.latency/request_us\.count=[0-9]*' "$SNAPSHOT" \
+    | cut -d= -f2)
+[[ -n "$solve_visits" && "$solve_visits" -gt 0 ]] || {
+  echo "serve_check: FAIL: metrics snapshot has no solve spans" >&2
+  cat "$SNAPSHOT" >&2
+  exit 1
+}
+[[ -n "$request_count" && "$request_count" -gt 0 ]] || {
+  echo "serve_check: FAIL: metrics snapshot has an empty request-latency histogram" >&2
+  cat "$SNAPSHOT" >&2
+  exit 1
+}
+echo "serve_check: metrics snapshot ok (solve visits=$solve_visits, request latencies=$request_count)"
+
+echo "serve_check: [5/5] SIGTERM must drain gracefully"
 kill -TERM "$SERVER_PID"
 code=0
 wait "$SERVER_PID" || code=$?

@@ -8,8 +8,8 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 BIN="${1:-./build}"
 STORE="$(mktemp -t sehc_report_golden_XXXX.csv)"
-trap 'rm -f "$STORE"' EXIT
-rm -f "$STORE"
+trap 'rm -f "$STORE" "$STORE.metrics.csv"' EXIT
+rm -f "$STORE" "$STORE.metrics.csv"
 "$BIN/sehc_campaign" run --spec paper-class-grid --iters 6 --seeds 2 \
     --tasks 20 --machines 4 --curve-points 6 --threads 2 --fresh \
     --store "$STORE"
