@@ -14,12 +14,16 @@
 //         old Evaluator verbatim);
 //       - "incremental": rolling checkpoints + exact pruning + the CSR hot
 //         path — the scalar reference trial loop;
-//       - "batch_trials": the shipped hot path — allocate_tasks() driving
-//         Evaluator::TrialBatch, all machine candidates of a position
-//         evaluated in one SoA sweep. All three modes must commit
-//         bit-identical final strings (asserted per pass on the final
-//         makespans); --check-overhead TOL fails the run when the batch
-//         falls below (1 - TOL) x the scalar incremental throughput.
+//       - "batch_trials": the SoA sweep — allocate_tasks() driving
+//         Evaluator::TrialBatch with the scalar strip loops forced;
+//       - "simd_trials": the shipped hot path — the same sweep under the
+//         SIMD strip kernel selected by --kernel=auto|scalar|simd (default:
+//         the SEHC_KERNEL env override, then runtime CPU detection). All
+//         four modes must commit bit-identical final strings (asserted per
+//         pass on the final makespans) and identical pruned-lane counts;
+//         --check-overhead TOL fails the run when the batch falls below
+//         (1 - TOL) x the scalar incremental throughput or the SIMD strips
+//         fall below (1 - TOL) x the scalar strips.
 //   * time-to-target: wall seconds until a full SeEngine run first reaches
 //     a makespan within 5% of its final best (read off the recorded trace).
 //   * engine_step: step-driver overhead — the same SE configuration through
@@ -38,6 +42,7 @@
 #include <cstdio>
 #include <limits>
 #include <numeric>
+#include <optional>
 #include <string>
 #include <vector>
 
@@ -47,6 +52,7 @@
 #include "ga/ga.h"
 #include "heuristics/gsa.h"
 #include "obs/metrics.h"
+#include "sched/simd.h"
 #include "se/allocation.h"
 #include "se/se.h"
 #include "workload/generator.h"
@@ -252,14 +258,16 @@ ThroughputResult measure_throughput(const Workload& w, std::size_t passes,
 }
 
 /// The shipped hot path: allocate_tasks() driving Evaluator::TrialBatch over
-/// every task (one SoA sweep per trial position). Must commit strings
-/// bit-identical to the scalar passes above.
+/// every task (one SoA sweep per trial position), under the given strip
+/// kernel. Must commit strings bit-identical to the scalar passes above.
 ThroughputResult measure_batch_throughput(
-    const Workload& w, std::size_t passes, std::vector<double>& finals,
+    const Workload& w, std::size_t passes, KernelChoice kernel,
+    std::vector<double>& finals,
     Evaluator::TrialBatch::BatchMetrics& metrics) {
   Evaluator eval(w);
   Evaluator check(w);
   Evaluator::TrialBatch batch(eval);
+  batch.set_kernel(kernel);
   const MachineCandidates candidates(w, 0);
   std::vector<TaskId> all_tasks(w.num_tasks());
   std::iota(all_tasks.begin(), all_tasks.end(), TaskId{0});
@@ -286,6 +294,10 @@ ThroughputResult measure_batch_throughput(
 struct LruResult {
   double ga_hit_rate = 0.0;
   double gsa_hit_rate = 0.0;
+  std::size_t ga_hits = 0;
+  std::size_t ga_lookups = 0;
+  std::size_t gsa_hits = 0;
+  std::size_t gsa_lookups = 0;
 };
 
 LruResult measure_prepared_lru(const Workload& w, std::size_t generations) {
@@ -299,6 +311,9 @@ LruResult measure_prepared_lru(const Workload& w, std::size_t generations) {
     engine.init();
     while (!engine.done()) engine.step();
     out.ga_hit_rate = engine.prepared_cache().hit_rate();
+    out.ga_hits = engine.prepared_cache().hits();
+    out.ga_lookups =
+        engine.prepared_cache().hits() + engine.prepared_cache().misses();
   }
   {
     GsaParams p;
@@ -309,6 +324,9 @@ LruResult measure_prepared_lru(const Workload& w, std::size_t generations) {
     engine.init();
     while (!engine.done()) engine.step();
     out.gsa_hit_rate = engine.prepared_cache().hit_rate();
+    out.gsa_hits = engine.prepared_cache().hits();
+    out.gsa_lookups =
+        engine.prepared_cache().hits() + engine.prepared_cache().misses();
   }
   return out;
 }
@@ -369,9 +387,13 @@ StepOverheadResult measure_step_overhead(const Workload& w,
   sp.record_trace = false;
   // Both paths are the same step core; a single timed run of each swings
   // several percent on scheduler/cache noise alone. Alternate the two
-  // paths over a few repetitions and keep each path's best throughput —
-  // the standard way to compare two implementations of identical work.
-  constexpr std::size_t kReps = 5;
+  // paths over repeated runs and keep each path's best throughput — the
+  // standard way to compare two implementations of identical work. Nine
+  // reps (not five): with the SIMD strips a whole SE run on the smallest
+  // class is ~40 ms, short enough that a single timer interrupt lands a
+  // multi-percent dent, and the best-of needs more draws for both paths
+  // to sample a quiet window on a single-core runner.
+  constexpr std::size_t kReps = 9;
   for (std::size_t rep = 0; rep < kReps; ++rep) {
     {
       SeEngine engine(w, sp);
@@ -411,7 +433,7 @@ StepOverheadResult measure_step_overhead(const Workload& w,
 
 int main(int argc, char** argv) {
   const Options opts(argc, argv,
-                     {"passes", "iters", "out", "check-overhead"});
+                     {"passes", "iters", "out", "check-overhead", "kernel"});
   const auto passes =
       static_cast<std::size_t>(opts.get_int("passes", static_cast<std::int64_t>(scaled(6, 1))));
   const auto iters =
@@ -428,11 +450,27 @@ int main(int argc, char** argv) {
   // bound to absorb runner noise on its tiny budgets).
   const bool check_overhead = opts.has("check-overhead");
   const double overhead_tol = opts.get_double("check-overhead", 0.05);
+  // --kernel=auto|scalar|simd selects the strip kernel of the simd_trials
+  // measurement (and overrides the SEHC_KERNEL env default). batch_trials
+  // always forces the scalar strips so the pair isolates exactly the SIMD
+  // gain; everything else in the process (the SE runs behind time-to-target
+  // and engine_step) rides the env default like any other consumer.
+  KernelChoice kernel_choice = kernel_choice_from_env();
+  if (opts.has("kernel")) {
+    const std::string flag = opts.get("kernel", "auto");
+    const std::optional<KernelChoice> parsed = parse_kernel_choice(flag);
+    if (!parsed) {
+      std::fprintf(stderr, "--kernel must be one of auto|scalar|simd\n");
+      return 1;
+    }
+    kernel_choice = *parsed;
+  }
+  const SimdKernel simd_kernel = resolve_kernel(kernel_choice);
 
   std::printf("=== perf_hotpath: SE allocation trials/sec, pre-engine baseline "
-              "vs incremental engine vs SoA trial batch "
+              "vs incremental engine vs SoA trial batch (scalar + %s strips) "
               "(%zu passes, %zu SE iterations) ===\n\n",
-              passes, iters);
+              kernel_name(simd_kernel), passes, iters);
 
   FILE* json = std::fopen(out_path.c_str(), "w");
   if (!json) {
@@ -441,6 +479,7 @@ int main(int argc, char** argv) {
   }
   std::fprintf(json, "{\n  \"bench\": \"perf_hotpath\",\n");
   std::fprintf(json, "  \"unit\": \"trials_per_sec\",\n");
+  std::fprintf(json, "  \"kernel\": \"%s\",\n", kernel_name(simd_kernel));
   std::fprintf(json, "  \"passes\": %zu,\n  \"se_iterations\": %zu,\n",
                passes, iters);
   std::fprintf(json, "  \"results\": [\n");
@@ -450,14 +489,17 @@ int main(int argc, char** argv) {
   bool overhead_ok = true;
   for (const ClassSpec& spec : classes) {
     const Workload w = make_workload(spec.params);
-    std::vector<double> naive_finals, inc_finals, batch_finals;
+    std::vector<double> naive_finals, inc_finals, batch_finals, simd_finals;
     const ThroughputResult naive =
         measure_throughput<false, BaselineEvaluator>(w, passes, naive_finals);
     const ThroughputResult inc =
         measure_throughput<true, Evaluator>(w, passes, inc_finals);
     Evaluator::TrialBatch::BatchMetrics batch_metrics;
-    const ThroughputResult batch =
-        measure_batch_throughput(w, passes, batch_finals, batch_metrics);
+    const ThroughputResult batch = measure_batch_throughput(
+        w, passes, KernelChoice::kScalar, batch_finals, batch_metrics);
+    Evaluator::TrialBatch::BatchMetrics simd_metrics;
+    const ThroughputResult simd = measure_batch_throughput(
+        w, passes, kernel_choice, simd_finals, simd_metrics);
     const TargetResult target = measure_time_to_target(w, iters);
     const StepOverheadResult overhead = measure_step_overhead(w, iters);
     const LruResult lru = measure_prepared_lru(w, std::max<std::size_t>(
@@ -469,14 +511,21 @@ int main(int argc, char** argv) {
         inc.trials_per_sec() > 0.0
             ? batch.trials_per_sec() / inc.trials_per_sec()
             : 0.0;
+    const double simd_speedup =
+        batch.trials_per_sec() > 0.0
+            ? simd.trials_per_sec() / batch.trials_per_sec()
+            : 0.0;
     if (naive_finals != inc_finals || inc_finals != batch_finals ||
-        naive.trials != inc.trials || inc.trials != batch.trials) {
-      // All three modes run the identical allocation policy from identical
-      // seeds; any divergence in committed strings or trial counts is a
-      // correctness bug, not noise.
+        batch_finals != simd_finals || naive.trials != inc.trials ||
+        inc.trials != batch.trials || batch.trials != simd.trials ||
+        batch_metrics.pruned != simd_metrics.pruned) {
+      // All four modes run the identical allocation policy from identical
+      // seeds; any divergence in committed strings, trial counts or pruned
+      // lanes is a correctness bug, not noise.
       std::fprintf(stderr,
-                   "trial modes diverged on %s: per-pass final makespans or "
-                   "trial counts differ across baseline/incremental/batch\n",
+                   "trial modes diverged on %s: per-pass final makespans, "
+                   "trial counts or pruned counts differ across "
+                   "baseline/incremental/batch/simd\n",
                    spec.name);
       overhead_ok = false;
     }
@@ -505,6 +554,16 @@ int main(int argc, char** argv) {
                    batch_speedup, spec.name, overhead_tol * 100.0);
       overhead_ok = false;
     }
+    if (check_overhead && simd_speedup < 1.0 - overhead_tol) {
+      // The SIMD strips run the same sweep; they must never fall below the
+      // scalar strips (when the CPU has no vector unit the two coincide).
+      std::fprintf(stderr,
+                   "simd_trials: %s strips at %.3fx of scalar strips on %s "
+                   "(tolerance %.0f%%)\n",
+                   kernel_name(simd_kernel), simd_speedup, spec.name,
+                   overhead_tol * 100.0);
+      overhead_ok = false;
+    }
 
     std::printf("%-28s k=%zu l=%zu\n", spec.name, w.num_tasks(),
                 w.num_machines());
@@ -514,6 +573,9 @@ int main(int argc, char** argv) {
                 inc.trials_per_sec(), inc.trials, inc.seconds);
     std::printf("  batch       %12.0f trials/sec (%zu trials, %.3fs)\n",
                 batch.trials_per_sec(), batch.trials, batch.seconds);
+    std::printf("  simd (%s) %10.0f trials/sec (%zu trials, %.3fs)\n",
+                kernel_name(simd_kernel), simd.trials_per_sec(), simd.trials,
+                simd.seconds);
     const double pruned_rate =
         batch_metrics.trials > 0
             ? static_cast<double>(batch_metrics.pruned) /
@@ -527,16 +589,27 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(batch_metrics.max_batch),
                 pruned_rate);
     std::printf("  speedup     %12.2fx incremental/baseline, %.2fx "
-                "batch/incremental\n",
-                speedup, batch_speedup);
+                "batch/incremental, %.2fx simd/batch\n",
+                speedup, batch_speedup, simd_speedup);
     std::printf("  SE run      best=%.2f in %.3fs; within 5%% after %.3fs\n",
                 target.best, target.total_seconds, target.time_to_target);
     std::printf("  engine_step %12.0f trials/sec stepwise vs %.0f run() "
                 "(%.3fx)\n",
                 overhead.step_trials_per_sec, overhead.run_trials_per_sec,
                 overhead.ratio());
-    std::printf("  prepared_lru hit rate: GA %.3f, GSA %.3f\n\n",
-                lru.ga_hit_rate, lru.gsa_hit_rate);
+    // A hit IS a repeated parent (value-keyed cache), so the rate is only
+    // meaningful when parents repeat; the default GA family (crossover 0.6)
+    // replaces most parent values every generation — see README.
+    if (lru.ga_hits == 0 && lru.gsa_hits == 0) {
+      std::printf("  prepared_lru no repeated parents (GA 0/%zu, GSA 0/%zu "
+                  "lookups hit)\n\n",
+                  lru.ga_lookups, lru.gsa_lookups);
+    } else {
+      std::printf("  prepared_lru hit rate: GA %.3f (%zu/%zu), GSA %.3f "
+                  "(%zu/%zu)\n\n",
+                  lru.ga_hit_rate, lru.ga_hits, lru.ga_lookups,
+                  lru.gsa_hit_rate, lru.gsa_hits, lru.gsa_lookups);
+    }
 
     if (!first) std::fprintf(json, ",\n");
     first = false;
@@ -563,9 +636,20 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(batch_metrics.max_batch));
     std::fprintf(json, "        \"pruned_rate\": %.4f\n", pruned_rate);
     std::fprintf(json, "      },\n");
+    std::fprintf(json, "      \"simd_trials\": {\n");
+    std::fprintf(json, "        \"kernel\": \"%s\",\n",
+                 kernel_name(simd_kernel));
+    std::fprintf(json, "        \"trials_per_sec\": %.1f,\n",
+                 simd.trials_per_sec());
+    std::fprintf(json, "        \"speedup_vs_batch\": %.3f\n", simd_speedup);
+    std::fprintf(json, "      },\n");
     std::fprintf(json, "      \"prepared_lru\": {\n");
     std::fprintf(json, "        \"ga_hit_rate\": %.4f,\n", lru.ga_hit_rate);
-    std::fprintf(json, "        \"gsa_hit_rate\": %.4f\n", lru.gsa_hit_rate);
+    std::fprintf(json, "        \"ga_hits\": %zu,\n", lru.ga_hits);
+    std::fprintf(json, "        \"ga_lookups\": %zu,\n", lru.ga_lookups);
+    std::fprintf(json, "        \"gsa_hit_rate\": %.4f,\n", lru.gsa_hit_rate);
+    std::fprintf(json, "        \"gsa_hits\": %zu,\n", lru.gsa_hits);
+    std::fprintf(json, "        \"gsa_lookups\": %zu\n", lru.gsa_lookups);
     std::fprintf(json, "      },\n");
     std::fprintf(json, "      \"trials\": %zu,\n", inc.trials);
     std::fprintf(json, "      \"se_best_makespan\": %.17g,\n", target.best);

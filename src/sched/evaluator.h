@@ -55,6 +55,7 @@
 #include "hc/workload.h"
 #include "obs/metrics.h"
 #include "sched/encoding.h"
+#include "sched/simd.h"
 
 namespace sehc {
 
@@ -330,6 +331,16 @@ class Evaluator::TrialBatch {
   const BatchMetrics& metrics() const { return metrics_; }
   void reset_metrics() { metrics_ = BatchMetrics{}; }
 
+  /// Kernel selection for the uniform-sweep strip loops. The batch resolves
+  /// the SEHC_KERNEL environment override (default auto) at construction;
+  /// set_kernel() re-resolves an explicit choice against the running CPU
+  /// (auto/simd pick the best supported backend, scalar forces the
+  /// reference loops). Every backend is bit-identical — the knob exists for
+  /// benchmarking, differential testing and incident bisection, never for
+  /// correctness.
+  void set_kernel(KernelChoice choice);
+  SimdKernel kernel() const { return kernel_; }
+
  private:
   enum class Kind : std::uint8_t { kReassign, kMove, kString };
 
@@ -365,17 +376,26 @@ class Evaluator::TrialBatch {
 
   // SoA lanes, stride = trials_.size() during evaluate(): avail_lanes_ row m
   // = per-lane availability of machine m; finish_lanes_ row t = per-lane
-  // finish of task t; makespan_ / lane_trial_ indexed by lane.
-  std::vector<double> avail_lanes_;
-  std::vector<double> finish_lanes_;
-  std::vector<double> makespan_;
-  std::vector<double> ready_lanes_;      // per-lane ready-time scratch
+  // finish of task t; makespan_ / lane_trial_ indexed by lane. The lane
+  // stores are 64-byte aligned for the SIMD strip loops.
+  AlignedVector<double> avail_lanes_;
+  AlignedVector<double> finish_lanes_;
+  AlignedVector<double> makespan_;
+  AlignedVector<double> ready_lanes_;    // per-lane ready-time scratch
   std::vector<std::size_t> lane_trial_;
   std::vector<MachineId> lane_machine_;  // fast path: per-lane machine
   std::vector<std::size_t> live_;        // general path: live trial indices
   std::vector<std::size_t> from_;        // general path: per-trial start
   std::vector<double> results_;
   BatchMetrics metrics_;
+
+  // Strip-kernel dispatch (resolved once, never per strip) plus the lazily
+  // recorded selected-kernel gauge and the per-evaluate pruned-lane count
+  // (tracked where lanes retire, so evaluate() never rescans results_).
+  SimdKernel kernel_ = SimdKernel::kScalar;
+  const BatchKernelOps* ops_ = nullptr;
+  bool kernel_gauge_recorded_ = false;
+  std::size_t pruned_count_ = 0;
 };
 
 /// One-shot convenience wrapper.

@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <limits>
+#include <string>
 
 namespace sehc {
 
@@ -26,7 +27,16 @@ namespace {
 constexpr double kInf = std::numeric_limits<double>::infinity();
 }  // namespace
 
-Evaluator::TrialBatch::TrialBatch(const Evaluator& eval) : eval_(&eval) {}
+Evaluator::TrialBatch::TrialBatch(const Evaluator& eval)
+    : eval_(&eval),
+      kernel_(resolve_kernel(kernel_choice_from_env())),
+      ops_(&batch_kernel_ops(kernel_)) {}
+
+void Evaluator::TrialBatch::set_kernel(KernelChoice choice) {
+  kernel_ = resolve_kernel(choice);
+  ops_ = &batch_kernel_ops(kernel_);
+  kernel_gauge_recorded_ = false;
+}
 
 void Evaluator::TrialBatch::begin_checkpoint(const SolutionString& base) {
   base_ = &base;
@@ -130,23 +140,29 @@ const std::vector<double>& Evaluator::TrialBatch::evaluate(double bound) {
   eval_->trial_count_ += n;
   results_.assign(n, kInf);
   if (n > 0) {
+    if (!kernel_gauge_recorded_) {
+      // Once per batch lifetime (and per set_kernel): the selected kernel
+      // as a high-water gauge in whatever registry drives this run, so
+      // bench artifacts and the serve metrics op can state which backend
+      // actually executed.
+      kernel_gauge_recorded_ = true;
+      if (MetricsRegistry* reg = ambient_metrics()) {
+        reg->gauge_max(std::string("kernel/") + kernel_name(kernel_), 1);
+      }
+    }
     if (uniform_reassign()) {
       evaluate_uniform(bound);
     } else {
       evaluate_general(bound);
     }
-    // Once per batch, after the sweep: plain member updates plus one O(n)
-    // scan, a rounding error next to the O(n*k) sweep itself (the
-    // --check-overhead gate holds the proof).
+    // Once per batch, after the sweep: plain member arithmetic only (the
+    // --check-overhead gate holds the proof). The pruned count is tracked
+    // where lanes retire, so no rescan of results_ is needed.
     metrics_.batches += 1;
     metrics_.trials += n;
     if (n > metrics_.max_batch) metrics_.max_batch = n;
     metrics_.batch_sizes.record(n);
-    std::uint64_t pruned = 0;
-    for (const double r : results_) {
-      if (r == kInf) ++pruned;
-    }
-    metrics_.pruned += pruned;
+    metrics_.pruned += pruned_count_;
   }
   trials_.clear();
   return results_;
@@ -203,6 +219,7 @@ void Evaluator::TrialBatch::evaluate_uniform(double bound) {
     std::fill_n(avail_lanes_.begin() + m * batch, batch, ev.cp_avail_[m]);
   }
   // Scalar entry check: a checkpoint already past the bound prunes all lanes.
+  pruned_count_ = batch;
   if (ev.cp_makespan_ > bound) return;
 
   const double* const shared_finish = ev.finish_.data();
@@ -267,24 +284,20 @@ void Evaluator::TrialBatch::evaluate_uniform(double bound) {
               ready[lane] = std::max(ready[lane], fsrc[lane] + tr);
             }
           } else {
+            // One shared transfer offset over a contiguous finish row: the
+            // vectorizable max-accumulate strip (elementwise over
+            // independent lanes, so bit-identical at any width).
             const MachineId pm = segs[pos[src]].machine;
             const double tr = ev.transfer_row(pm, m)[ev.pred_item_[e]];
-            for (std::size_t lane = 0; lane < live; ++lane) {
-              ready[lane] = std::max(ready[lane], fsrc[lane] + tr);
-            }
+            ops_->ready_maxadd(ready, fsrc, tr, live);
           }
         }
       }
       const double exec = ev.exec_[m * k + t];
       double* const am = al + m * batch;
       double* const ft = fl + t * batch;
-      for (std::size_t lane = 0; lane < live; ++lane) {
-        const double start = std::max(ready[lane], am[lane]);
-        const double fin = start + exec;
-        ft[lane] = fin;
-        am[lane] = fin;
-        if (fin > ms[lane]) ms[lane] = fin;
-      }
+      // Start/finish/makespan update as one width-W strip sweep.
+      ops_->schedule_update(ready, am, ft, ms, exec, live);
     }
     // Retire lanes past the bound (scalar prunes inside the segment loop;
     // checking once per position yields the same +infinity results because
@@ -302,6 +315,9 @@ void Evaluator::TrialBatch::evaluate_uniform(double bound) {
   for (std::size_t lane = 0; lane < live; ++lane) {
     results_[lane_trial_[lane]] = ms[lane];
   }
+  // Every retired lane left a +infinity result behind; the survivors wrote
+  // theirs just above.
+  pruned_count_ = batch - live;
 }
 
 // General path: any mix of trial kinds, per-trial start positions (prepared
@@ -328,13 +344,17 @@ void Evaluator::TrialBatch::evaluate_general(double bound) {
   live_.clear();
 
   std::size_t min_from = k;
+  pruned_count_ = 0;
   for (std::size_t i = 0; i < batch; ++i) {
     const std::size_t f = trial_from(trials_[i]);
     SEHC_ASSERT_MSG(f <= k, "TrialBatch: trial start out of range");
     from_[i] = f;
     const double entry =
         checkpoint ? ev.cp_makespan_ : state_->prefix_makespan[f];
-    if (entry > bound) continue;  // scalar entry check: results_[i] = +inf
+    if (entry > bound) {  // scalar entry check: results_[i] = +inf
+      ++pruned_count_;
+      continue;
+    }
     if (f >= k) {
       results_[i] = entry;  // empty suffix: the prefix makespan is exact
       continue;
@@ -395,6 +415,7 @@ void Evaluator::TrialBatch::evaluate_general(double bound) {
         if (fin > bound) {  // prune: drop the trial from the live list
           live_[idx] = live_.back();
           live_.pop_back();
+          ++pruned_count_;
           continue;
         }
       }

@@ -17,9 +17,13 @@
 #include <limits>
 #include <vector>
 
+#include <cstring>
+
 #include "core/rng.h"
+#include "ga/ga.h"
 #include "sched/encoding.h"
 #include "sched/prepared_lru.h"
+#include "sched/simd.h"
 #include "workload/generator.h"
 
 namespace sehc {
@@ -381,6 +385,228 @@ TEST(TrialBatch, ClearDropsPendingTrialsWithoutCounting) {
   EXPECT_EQ(eval.trial_count(), 0u);
 }
 
+TEST(TrialBatch, PrunedMetricCountsRetiredLanes) {
+  // The pruned metric is tracked where lanes retire (compaction / live-list
+  // drops / entry checks), never by rescanning results_: pin it against an
+  // explicit +infinity count of the returned results, in both modes and
+  // across the entry-prune and empty-suffix corners.
+  const Workload w = small_workload(111);
+  Rng rng(11);
+  const SolutionString s = random_solution(w, rng);
+
+  Evaluator eval(w);
+  Evaluator::TrialBatch batch(eval);
+  std::uint64_t expect_pruned = 0;
+
+  const auto inf_count = [](const std::vector<double>& lens) {
+    std::uint64_t n = 0;
+    for (const double v : lens) {
+      if (v == kInf) ++n;
+    }
+    return n;
+  };
+
+  // Uniform checkpoint path: full survival, partial compaction, all pruned.
+  const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+  eval.begin_trials(s, 0);
+  std::vector<double> exact;
+  {
+    Evaluator scalar_eval(w);
+    scalar_eval.begin_trials(s, 0);
+    SolutionString probe = s;
+    for (MachineId m = 0; m < w.num_machines(); ++m) {
+      probe.set_machine(t, m);
+      exact.push_back(scalar_eval.trial_makespan(probe, kInf));
+    }
+  }
+  std::vector<double> sorted = exact;
+  std::sort(sorted.begin(), sorted.end());
+  for (const double bound : {kInf, sorted[sorted.size() / 2], 0.0}) {
+    batch.begin_checkpoint(s);
+    for (MachineId m = 0; m < w.num_machines(); ++m) batch.add_reassign(t, m);
+    expect_pruned += inf_count(batch.evaluate(bound));
+    EXPECT_EQ(batch.metrics().pruned, expect_pruned) << "bound " << bound;
+  }
+
+  // General prepared path: mixed survive/prune plus an entry-pruned trial
+  // (prefix already past the bound) and a never-pruned empty suffix.
+  eval.prepare(s);
+  std::vector<MoveDraw> moves;
+  std::vector<SolutionString> moved;
+  for (int i = 0; i < 12; ++i) {
+    moves.push_back(draw_move(s, w, rng));
+    moved.push_back(apply_move(s, moves.back()));
+  }
+  for (const double bound : {kInf, exact[0], 0.0}) {
+    batch.begin_prepared(s);
+    for (std::size_t i = 0; i < moves.size(); ++i) {
+      batch.add_string(moved[i], moves[i].suffix_start());
+    }
+    batch.add_string(s, s.size());  // empty suffix
+    expect_pruned += inf_count(batch.evaluate(bound));
+    EXPECT_EQ(batch.metrics().pruned, expect_pruned) << "bound " << bound;
+  }
+}
+
+// --- SIMD strip kernels ------------------------------------------------------
+//
+// The uniform sweep's inner loops run as width-W vector strips with a scalar
+// tail. These tests force the scalar and SIMD kernels explicitly and pin
+// bit-identity on exactly the shapes where strip arithmetic can go wrong:
+// batch sizes around the vector width, compaction that leaves a ragged
+// tail mid-strip, and an all-pruned first position. Where the CPU has no
+// vector unit, forced-simd resolves to scalar and the comparison is
+// vacuous, so the tests skip.
+
+bool simd_available() {
+  return detect_simd_kernel() != SimdKernel::kScalar;
+}
+
+/// Evaluates the same uniform-reassign round (machines cycling over `n`
+/// lanes) under the given kernel and returns the results.
+std::vector<double> uniform_round(const Workload& w, const SolutionString& s,
+                                  TaskId t, std::size_t n, double bound,
+                                  KernelChoice kernel) {
+  Evaluator eval(w);
+  Evaluator::TrialBatch batch(eval);
+  batch.set_kernel(kernel);
+  eval.begin_trials(s, 0);
+  batch.begin_checkpoint(s);
+  for (std::size_t i = 0; i < n; ++i) {
+    batch.add_reassign(t, static_cast<MachineId>(i % w.num_machines()));
+  }
+  return batch.evaluate(bound);
+}
+
+TEST(TrialBatchSimd, EdgeShapeBatchSizesMatchScalarBitForBit) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD backend on this CPU";
+  const std::size_t W = kernel_width(detect_simd_kernel());
+  ASSERT_GE(W, 2u);
+
+  const Workload w = small_workload(112);
+  Rng rng(12);
+  const SolutionString s = random_solution(w, rng);
+  const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+
+  // Scalar per-trial reference for the largest shape.
+  Evaluator scalar_eval(w);
+  scalar_eval.begin_trials(s, 0);
+  SolutionString probe = s;
+
+  for (const std::size_t n : {std::size_t{1}, W - 1, W, W + 1, 2 * W + 3}) {
+    if (n == 0) continue;
+    const std::vector<double> scalar =
+        uniform_round(w, s, t, n, kInf, KernelChoice::kScalar);
+    const std::vector<double> simd =
+        uniform_round(w, s, t, n, kInf, KernelChoice::kSimd);
+    ASSERT_EQ(scalar.size(), n);
+    ASSERT_EQ(simd.size(), n);
+    EXPECT_EQ(0, std::memcmp(scalar.data(), simd.data(), n * sizeof(double)))
+        << "batch size " << n;
+    for (std::size_t i = 0; i < n; ++i) {
+      probe.set_machine(t, static_cast<MachineId>(i % w.num_machines()));
+      EXPECT_EQ(simd[i], scalar_eval.trial_makespan(probe, kInf))
+          << "batch size " << n << " lane " << i;
+    }
+  }
+}
+
+TEST(TrialBatchSimd, CompactionMidStripLeavesRaggedTailIdentical) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD backend on this CPU";
+  const std::size_t W = kernel_width(detect_simd_kernel());
+
+  const Workload w = small_workload(113);
+  Rng rng(13);
+  const SolutionString s = random_solution(w, rng);
+  const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+  const std::size_t n = 2 * W + 3;
+
+  // Bounds at every exact value force compaction at varying sweep depths,
+  // leaving live-lane counts that are ragged with respect to the strip
+  // width (the tail loop and the compacted-lane columns must both agree).
+  const std::vector<double> exact =
+      uniform_round(w, s, t, n, kInf, KernelChoice::kScalar);
+  for (const double bound : exact) {
+    if (bound == kInf) continue;
+    const std::vector<double> scalar =
+        uniform_round(w, s, t, n, bound, KernelChoice::kScalar);
+    const std::vector<double> simd =
+        uniform_round(w, s, t, n, bound, KernelChoice::kSimd);
+    EXPECT_EQ(0, std::memcmp(scalar.data(), simd.data(), n * sizeof(double)))
+        << "bound " << bound;
+  }
+}
+
+TEST(TrialBatchSimd, AllLanesPrunedAtFirstPositionMatchScalar) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD backend on this CPU";
+  const std::size_t W = kernel_width(detect_simd_kernel());
+
+  const Workload w = small_workload(114);
+  Rng rng(14);
+  const SolutionString s = random_solution(w, rng);
+  const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+  const std::size_t n = 2 * W + 1;
+
+  // Bound 0 with a zero-length checkpoint passes the entry check (0 > 0 is
+  // false) and retires every lane at the first swept position.
+  const std::vector<double> scalar =
+      uniform_round(w, s, t, n, 0.0, KernelChoice::kScalar);
+  const std::vector<double> simd =
+      uniform_round(w, s, t, n, 0.0, KernelChoice::kSimd);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(scalar[i], kInf);
+    EXPECT_EQ(simd[i], kInf);
+  }
+}
+
+TEST(TrialBatchSimd, RandomizedTrialSetsByteIdenticalAcrossKernels) {
+  if (!simd_available()) GTEST_SKIP() << "no SIMD backend on this CPU";
+
+  // Randomized uniform rounds (the SIMD path) plus mixed prepared batches
+  // (the general path, kernel-independent but swept for completeness):
+  // forced-scalar and forced-simd results_ must be byte-identical.
+  for (const std::uint64_t seed : {201u, 202u, 203u, 204u}) {
+    const Workload w = small_workload(seed);
+    Rng rng(seed);
+    const SolutionString s = random_solution(w, rng);
+    const TaskId t = static_cast<TaskId>(rng.below(s.size()));
+    const std::size_t n = 1 + rng.below(3 * w.num_machines());
+    const std::vector<double> exact =
+        uniform_round(w, s, t, n, kInf, KernelChoice::kScalar);
+    std::vector<double> sorted = exact;
+    std::sort(sorted.begin(), sorted.end());
+    const double bound = sorted[rng.below(sorted.size())];
+    const std::vector<double> scalar =
+        uniform_round(w, s, t, n, bound, KernelChoice::kScalar);
+    const std::vector<double> simd =
+        uniform_round(w, s, t, n, bound, KernelChoice::kSimd);
+    EXPECT_EQ(0, std::memcmp(scalar.data(), simd.data(), n * sizeof(double)))
+        << "seed " << seed;
+
+    Evaluator scalar_eval(w);
+    Evaluator simd_eval(w);
+    Evaluator::TrialBatch scalar_batch(scalar_eval);
+    Evaluator::TrialBatch simd_batch(simd_eval);
+    scalar_batch.set_kernel(KernelChoice::kScalar);
+    simd_batch.set_kernel(KernelChoice::kSimd);
+    scalar_eval.prepare(s);
+    simd_eval.prepare(s);
+    std::vector<MoveDraw> moves;
+    for (int i = 0; i < 10; ++i) moves.push_back(draw_move(s, w, rng));
+    scalar_batch.begin_prepared(s);
+    simd_batch.begin_prepared(s);
+    for (const MoveDraw& m : moves) {
+      scalar_batch.add_move(m.task, m.new_pos, m.machine);
+      simd_batch.add_move(m.task, m.new_pos, m.machine);
+    }
+    const std::vector<double>& a = scalar_batch.evaluate(bound);
+    const std::vector<double>& b = simd_batch.evaluate(bound);
+    ASSERT_EQ(a.size(), b.size());
+    EXPECT_EQ(0, std::memcmp(a.data(), b.data(), a.size() * sizeof(double)))
+        << "seed " << seed;
+  }
+}
+
 TEST(PreparedLru, HitsMissesAndEviction) {
   const Workload w = small_workload(109);
   Rng rng(9);
@@ -415,6 +641,29 @@ TEST(PreparedLru, HitsMissesAndEviction) {
   EXPECT_EQ(cache.size(), 0u);
   EXPECT_EQ(cache.hits(), 0u);
   EXPECT_EQ(cache.misses(), 0u);
+}
+
+TEST(PreparedLru, RepeatedParentsThroughGaProduceHits) {
+  // The near-zero hit rates perf_hotpath reports for the paper GA family
+  // are a property of that workload, not a broken cache key: population 50
+  // cycles ~dozens of distinct parent values per generation through the
+  // 8-entry cache, and crossover 0.6 replaces most parent values outright.
+  // When parents actually repeat — a population that fits the capacity,
+  // with uncrossed clones re-parenting mutation-only children across
+  // generations — the value-keyed LRU must hit.
+  const Workload w = small_workload(115);
+  GaParams p;
+  p.seed = 11;
+  p.max_generations = 40;
+  p.record_trace = false;
+  p.population = 8;  // <= kPreparedCacheCapacity: repeat values survive
+  p.crossover_prob = 0.0;  // every child descends by mutation or cloning
+  p.mutation_prob = 0.5;   // clones keep parent values alive across gens
+  GaEngine engine(w, p);
+  engine.init();
+  while (!engine.done()) engine.step();
+  EXPECT_GT(engine.prepared_cache().hits(), 0u);
+  EXPECT_GT(engine.prepared_cache().hit_rate(), 0.0);
 }
 
 TEST(PreparedLru, CachedStatesAreBitIdenticalToFreshPrepare) {

@@ -123,7 +123,13 @@ request_count=$(grep -o '^hist\.latency/request_us\.count=[0-9]*' "$SNAPSHOT" \
   cat "$SNAPSHOT" >&2
   exit 1
 }
-echo "serve_check: metrics snapshot ok (solve visits=$solve_visits, request latencies=$request_count)"
+kernel_gauge=$(grep -o '^gauge\.kernel/[a-z0-9]*=1' "$SNAPSHOT" | cut -d. -f2- | cut -d= -f1)
+[[ -n "$kernel_gauge" ]] || {
+  echo "serve_check: FAIL: metrics snapshot has no kernel/<backend> gauge (the evaluator batch kernel never reported which strips executed)" >&2
+  cat "$SNAPSHOT" >&2
+  exit 1
+}
+echo "serve_check: metrics snapshot ok (solve visits=$solve_visits, request latencies=$request_count, $kernel_gauge)"
 
 echo "serve_check: [5/5] SIGTERM must drain gracefully"
 kill -TERM "$SERVER_PID"
